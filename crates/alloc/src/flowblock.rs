@@ -1,0 +1,321 @@
+//! FlowBlock worker state and the three per-iteration compute kernels.
+//!
+//! All arithmetic lives here, shared verbatim by the serial and parallel
+//! engines so their results are bit-for-bit identical.
+
+use flowtune_topo::FlowId;
+
+/// A flow as stored inside a FlowBlock: its path expressed as offsets into
+/// the source block's upward LinkBlock and the destination block's
+/// downward LinkBlock (1 offset each for intra-rack flows, 2 each for
+/// spine-crossing flows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockFlow {
+    /// External flow identity.
+    pub id: FlowId,
+    /// Proportional-fairness weight (log utility `w log x`). The hot path
+    /// is specialized to log utility — the objective the paper's allocator
+    /// runs; other utilities are available in the serial `flowtune-num`
+    /// solvers.
+    pub weight: f64,
+    /// Offsets into the upward LinkBlock (inline: ≤ 2 in a 2-tier Clos;
+    /// heap indirection here would dominate the rate pass).
+    pub up: [u32; 2],
+    /// Valid entries in `up`.
+    pub up_len: u8,
+    /// Offsets into the downward LinkBlock.
+    pub down: [u32; 2],
+    /// Valid entries in `down`.
+    pub down_len: u8,
+    /// Bottleneck line rate (Gbit/s); demands are capped here via the
+    /// price floor.
+    pub x_max: f64,
+}
+
+impl BlockFlow {
+    /// The valid upward offsets.
+    #[inline]
+    pub fn up_offsets(&self) -> &[u32] {
+        &self.up[..self.up_len as usize]
+    }
+
+    /// The valid downward offsets.
+    #[inline]
+    pub fn down_offsets(&self) -> &[u32] {
+        &self.down[..self.down_len as usize]
+    }
+
+    /// Builds a flow from offset slices (≤ 2 each).
+    pub fn new(id: FlowId, weight: f64, up: &[u32], down: &[u32], x_max: f64) -> Self {
+        assert!(up.len() <= 2 && down.len() <= 2, "2-tier paths only");
+        let mut u = [0u32; 2];
+        u[..up.len()].copy_from_slice(up);
+        let mut d = [0u32; 2];
+        d[..down.len()].copy_from_slice(down);
+        Self {
+            id,
+            weight,
+            up: u,
+            up_len: up.len() as u8,
+            down: d,
+            down_len: down.len() as u8,
+            x_max,
+        }
+    }
+}
+
+/// A flow's allocation after an iteration, in Gbit/s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRate {
+    /// External flow identity.
+    pub id: FlowId,
+    /// Raw optimizer rate.
+    pub rate: f64,
+    /// Rate after F-NORM (equals `rate` when normalization is off).
+    pub normalized: f64,
+}
+
+/// Per-worker private accumulators for its two LinkBlock copies.
+#[derive(Debug, Clone, Default)]
+pub struct Accums {
+    /// Sum of flow rates per upward-LinkBlock link.
+    pub up_load: Vec<f64>,
+    /// Sum of demand derivatives (Hessian diagonal) per upward link.
+    pub up_h: Vec<f64>,
+    /// Sum of flow rates per downward-LinkBlock link.
+    pub down_load: Vec<f64>,
+    /// Sum of demand derivatives per downward link.
+    pub down_h: Vec<f64>,
+}
+
+impl Accums {
+    /// Zero-filled accumulators for LinkBlocks of `n` links.
+    pub fn new(n: usize) -> Self {
+        Self {
+            up_load: vec![0.0; n],
+            up_h: vec![0.0; n],
+            down_load: vec![0.0; n],
+            down_h: vec![0.0; n],
+        }
+    }
+
+    /// Resets all four arrays to zero.
+    pub fn clear(&mut self) {
+        for v in [
+            &mut self.up_load,
+            &mut self.up_h,
+            &mut self.down_load,
+            &mut self.down_h,
+        ] {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Element-wise addition of another worker's accumulators — the unit
+    /// of "communication" in the aggregation tree.
+    pub fn absorb(&mut self, other: &Accums) {
+        for (a, b) in self.up_load.iter_mut().zip(&other.up_load) {
+            *a += b;
+        }
+        for (a, b) in self.up_h.iter_mut().zip(&other.up_h) {
+            *a += b;
+        }
+        for (a, b) in self.down_load.iter_mut().zip(&other.down_load) {
+            *a += b;
+        }
+        for (a, b) in self.down_h.iter_mut().zip(&other.down_h) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-worker copies of its two LinkBlocks' prices and utilization ratios
+/// (refreshed by the distribution phase each iteration).
+#[derive(Debug, Clone)]
+pub struct PriceView {
+    /// Upward LinkBlock prices.
+    pub up_prices: Vec<f64>,
+    /// Downward LinkBlock prices.
+    pub down_prices: Vec<f64>,
+    /// Upward LinkBlock utilization ratios `r_ℓ` (for F-NORM).
+    pub up_ratio: Vec<f64>,
+    /// Downward LinkBlock utilization ratios.
+    pub down_ratio: Vec<f64>,
+}
+
+impl PriceView {
+    /// Initial view: all prices 1 (§3), ratios 0.
+    pub fn new(n: usize) -> Self {
+        Self {
+            up_prices: vec![1.0; n],
+            down_prices: vec![1.0; n],
+            up_ratio: vec![0.0; n],
+            down_ratio: vec![0.0; n],
+        }
+    }
+}
+
+/// Kernel 1 — Algorithm 1's rate update over one FlowBlock, accumulating
+/// link loads and the exact Hessian diagonal into the worker's private
+/// LinkBlock copies.
+///
+/// `rates[i]` receives flow `flows[i]`'s new rate.
+pub fn rate_pass(flows: &[BlockFlow], view: &PriceView, acc: &mut Accums, rates: &mut [f64]) {
+    debug_assert_eq!(flows.len(), rates.len());
+    for (flow, rate) in flows.iter().zip(rates.iter_mut()) {
+        let mut lambda = 0.0;
+        for &o in flow.up_offsets() {
+            lambda += view.up_prices[o as usize];
+        }
+        for &o in flow.down_offsets() {
+            lambda += view.down_prices[o as usize];
+        }
+        // Price floor at the line-rate kink keeps the demand finite and
+        // the diagonal strictly negative (see flowtune-num docs).
+        let lambda = lambda.max(flow.weight / flow.x_max);
+        let x = flow.weight / lambda;
+        let dx = -x / lambda; // = -w/λ²
+        *rate = x;
+        for &o in flow.up_offsets() {
+            acc.up_load[o as usize] += x;
+            acc.up_h[o as usize] += dx;
+        }
+        for &o in flow.down_offsets() {
+            acc.down_load[o as usize] += x;
+            acc.down_h[o as usize] += dx;
+        }
+    }
+}
+
+/// Kernel 2 — NED price update (Algorithm 1, eq. 4) plus utilization
+/// ratios, over one LinkBlock's authoritative (aggregated) state.
+pub fn price_update(
+    load: &[f64],
+    hdiag: &[f64],
+    capacity: &[f64],
+    gamma: f64,
+    prices: &mut [f64],
+    ratios: &mut [f64],
+) {
+    for l in 0..load.len() {
+        ratios[l] = load[l] / capacity[l];
+        let h = hdiag[l];
+        if h < 0.0 {
+            let g = load[l] - capacity[l];
+            prices[l] = (prices[l] - gamma * g / h).max(0.0);
+        } else {
+            // Unused link: decay the stale price (same rule as the serial
+            // NED in flowtune-num).
+            prices[l] *= 0.5;
+        }
+    }
+}
+
+/// Kernel 3 — F-NORM (§4.2) over one FlowBlock: divide each flow's rate by
+/// the worst utilization ratio on its own path.
+pub fn normalize_pass(
+    flows: &[BlockFlow],
+    view: &PriceView,
+    rates: &[f64],
+    normalized: &mut [f64],
+) {
+    debug_assert_eq!(flows.len(), rates.len());
+    for (i, flow) in flows.iter().enumerate() {
+        if rates[i] == 0.0 {
+            normalized[i] = 0.0;
+            continue;
+        }
+        let mut worst = 0.0f64;
+        for &o in flow.up_offsets() {
+            worst = worst.max(view.up_ratio[o as usize]);
+        }
+        for &o in flow.down_offsets() {
+            worst = worst.max(view.down_ratio[o as usize]);
+        }
+        normalized[i] = if worst > 0.0 { rates[i] / worst } else { rates[i] };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(weight: f64, up: Vec<u32>, down: Vec<u32>, x_max: f64) -> BlockFlow {
+        BlockFlow::new(FlowId(0), weight, &up, &down, x_max)
+    }
+
+    #[test]
+    fn rate_pass_matches_hand_computation() {
+        let flows = vec![flow(1.0, vec![0], vec![1], 10.0)];
+        let mut view = PriceView::new(2);
+        view.up_prices = vec![0.3, 0.0];
+        view.down_prices = vec![0.0, 0.2];
+        let mut acc = Accums::new(2);
+        let mut rates = vec![0.0];
+        rate_pass(&flows, &view, &mut acc, &mut rates);
+        assert!((rates[0] - 2.0).abs() < 1e-12); // 1/(0.3+0.2)
+        assert!((acc.up_load[0] - 2.0).abs() < 1e-12);
+        assert!((acc.down_load[1] - 2.0).abs() < 1e-12);
+        assert!((acc.up_h[0] - (-4.0)).abs() < 1e-12); // -1/0.25
+        assert_eq!(acc.up_load[1], 0.0);
+    }
+
+    #[test]
+    fn rate_pass_honours_line_rate_cap() {
+        let flows = vec![flow(1.0, vec![0], vec![0], 10.0)];
+        let view = PriceView {
+            up_prices: vec![0.0],
+            down_prices: vec![0.0],
+            up_ratio: vec![0.0],
+            down_ratio: vec![0.0],
+        };
+        let mut acc = Accums::new(1);
+        let mut rates = vec![0.0];
+        rate_pass(&flows, &view, &mut acc, &mut rates);
+        assert_eq!(rates[0], 10.0);
+    }
+
+    #[test]
+    fn price_update_moves_toward_balance() {
+        let mut prices = vec![0.1];
+        let mut ratios = vec![0.0];
+        // Overloaded link: 15 on capacity 10, h = -100.
+        price_update(&[15.0], &[-100.0], &[10.0], 1.0, &mut prices, &mut ratios);
+        assert!((prices[0] - 0.15).abs() < 1e-12); // 0.1 - 1·5/(-100)
+        assert!((ratios[0] - 1.5).abs() < 1e-12);
+        // Unused link decays.
+        let mut p2 = vec![0.8];
+        price_update(&[0.0], &[0.0], &[10.0], 1.0, &mut p2, &mut ratios);
+        assert_eq!(p2[0], 0.4);
+    }
+
+    #[test]
+    fn normalize_pass_divides_by_worst_path_ratio() {
+        let flows = vec![
+            flow(1.0, vec![0], vec![0], 10.0),
+            flow(1.0, vec![1], vec![1], 10.0),
+        ];
+        let mut view = PriceView::new(2);
+        view.up_ratio = vec![2.0, 0.5];
+        view.down_ratio = vec![1.0, 0.25];
+        let rates = vec![6.0, 6.0];
+        let mut out = vec![0.0; 2];
+        normalize_pass(&flows, &view, &rates, &mut out);
+        assert_eq!(out[0], 3.0); // divided by 2.0
+        assert_eq!(out[1], 12.0); // scaled up by 1/0.5 — still capacity-safe
+    }
+
+    #[test]
+    fn accums_absorb_is_elementwise_sum() {
+        let mut a = Accums::new(2);
+        a.up_load = vec![1.0, 2.0];
+        let mut b = Accums::new(2);
+        b.up_load = vec![0.5, 0.25];
+        b.down_h = vec![-1.0, 0.0];
+        a.absorb(&b);
+        assert_eq!(a.up_load, vec![1.5, 2.25]);
+        assert_eq!(a.down_h, vec![-1.0, 0.0]);
+        a.clear();
+        assert_eq!(a.up_load, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! The multicore Flowtune allocator (§5 of the paper).
+//!
+//! A strawman parallel NED "which arbitrarily distributes flows to
+//! different processors, will result in poor performance because ...
+//! updates to a link from flows on different processors will cause
+//! significant cache-coherence traffic". Flowtune instead partitions:
+//!
+//! * **flows** into a B×B grid of [FlowBlocks](flowblock) by (source
+//!   block, destination block) — each owned by exactly one worker;
+//! * **links** into B upward and B downward
+//!   [LinkBlocks](layout::BlockLayout) — every flow of FlowBlock (i,j)
+//!   touches only up-LinkBlock *i* and down-LinkBlock *j*.
+//!
+//! Each worker keeps *private copies* of the two LinkBlocks it needs. An
+//! iteration runs entirely on private state, then the modified copies are
+//! summed to authoritative copies on the grid diagonals in `log₂ B`
+//! butterfly steps (Figure 3), prices are updated there (NED), and the
+//! results — prices plus the per-link utilization ratios F-NORM needs —
+//! are distributed back along the reverse pattern.
+//!
+//! Two interchangeable engines implement this:
+//!
+//! * [`SerialAllocator`] — one thread, same arithmetic, same summation
+//!   order; the reference the parallel engine is tested against
+//!   (bit-for-bit) and the engine the network simulator embeds.
+//! * [`MulticoreAllocator`] — one OS thread per FlowBlock with barrier
+//!   synchronization and mutex-protected buffer exchange; the engine the
+//!   §6.1 throughput benchmarks run.
+
+pub mod flowblock;
+pub mod layout;
+pub mod parallel;
+pub mod reduce;
+pub mod serial;
+
+pub use flowblock::{BlockFlow, FlowRate};
+pub use layout::BlockLayout;
+pub use parallel::MulticoreAllocator;
+pub use serial::SerialAllocator;
+
+/// Configuration shared by both allocator engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocConfig {
+    /// NED step size γ (Algorithm 1; the paper's simulations use 0.4).
+    pub gamma: f64,
+    /// Whether to F-NORM the rates after each iteration (§4.2). U-NORM is
+    /// deliberately unsupported here: it needs a *global* max, which
+    /// breaks the block decomposition — §4.2 notes F-NORM is the scheme
+    /// that "reuses the multi-core design of NED".
+    pub f_norm: bool,
+    /// Fraction of each link's capacity made available to the optimizer.
+    /// §6.4: "the allocator adjusts the available link capacities by the
+    /// threshold; with a 0.01 threshold, the allocator would allocate 99%
+    /// of link capacities."
+    pub capacity_fraction: f64,
+}
+
+impl Default for AllocConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.4,
+            f_norm: true,
+            capacity_fraction: 1.0,
+        }
+    }
+}

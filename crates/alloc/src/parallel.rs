@@ -1,0 +1,422 @@
+//! The multicore engine: one OS thread per FlowBlock.
+//!
+//! Every phase boundary is a barrier; LinkBlock exchange happens through
+//! per-worker mutexes, never holding two locks at once (the receiver copies
+//! the peer's buffer out under the peer's lock, then merges under its own).
+//! The phase structure per iteration is:
+//!
+//! 1. **rate pass** — private state only, no sharing;
+//! 2. `log₂ B` **aggregation** steps (Figure 3) — up partials move along
+//!    rows toward the main diagonal, down partials along columns toward the
+//!    secondary diagonal;
+//! 3. **price update** — only the 2B diagonal workers are active;
+//! 4. `log₂ B` **distribution** steps — the reverse tree broadcasts fresh
+//!    prices and utilization ratios;
+//! 5. **F-NORM** — private state only.
+//!
+//! The engine produces *bit-for-bit* the same rates as
+//! [`SerialAllocator`](crate::SerialAllocator): aggregation follows the
+//! same pairwise summation order, and everything else is element-wise.
+//!
+//! When the grid has more FlowBlocks than the machine has cores, several
+//! logical workers share one OS thread (the paper does the same: "we
+//! divided all FlowBlocks into groups of 2-by-2, and put two adjacent
+//! groups on each CPU"); phases remain globally barrier-synchronized, so
+//! the aggregation schedule and therefore the arithmetic are unchanged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use flowtune_topo::{FlowId, Path, TwoTierClos};
+
+use crate::flowblock::{normalize_pass, price_update, rate_pass, FlowRate};
+use crate::reduce::{
+    down_aggregate, down_distribute, down_root, steps, up_aggregate, up_distribute, up_root, Role,
+};
+use crate::serial::GridState;
+use crate::AllocConfig;
+
+/// The parallel allocator engine. Construction, flow add/remove, and rate
+/// queries run on the caller's thread; [`MulticoreAllocator::run_iterations`]
+/// spins up the worker grid.
+#[derive(Debug)]
+pub struct MulticoreAllocator {
+    grid: GridState,
+}
+
+impl MulticoreAllocator {
+    /// Builds an allocator over `fabric`; the block count must be a power
+    /// of two.
+    pub fn new(fabric: &TwoTierClos, cfg: AllocConfig) -> Self {
+        Self {
+            grid: GridState::new(fabric, cfg),
+        }
+    }
+
+    /// Registers a flow (see [`crate::SerialAllocator::add_flow`]).
+    pub fn add_flow(
+        &mut self,
+        id: FlowId,
+        src_server: usize,
+        dst_server: usize,
+        weight: f64,
+        path: &Path,
+    ) {
+        self.grid.add_flow(id, src_server, dst_server, weight, path);
+    }
+
+    /// Deregisters a flow; returns whether it existed.
+    pub fn remove_flow(&mut self, id: FlowId) -> bool {
+        self.grid.remove_flow(id)
+    }
+
+    /// Number of registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.grid.flow_count()
+    }
+
+    /// All flows' current allocations (Gbit/s).
+    pub fn rates(&self) -> Vec<FlowRate> {
+        self.grid.rates()
+    }
+
+    /// One flow's current allocation.
+    pub fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
+        self.grid.flow_rate(id)
+    }
+
+    /// Runs `n` iterations on B² worker threads and returns the wall time
+    /// spent *inside* the iteration loop (thread spawn/join excluded), so
+    /// `elapsed / n` is the per-iteration allocator latency the §6.1 table
+    /// reports.
+    pub fn run_iterations(&mut self, n: usize) -> Duration {
+        let b = self.grid.layout.blocks();
+        let n_workers = b * b;
+        let tree_steps = steps(b);
+        let gamma = self.grid.cfg.gamma;
+        let f_norm = self.grid.cfg.f_norm;
+        let layout = &self.grid.layout;
+
+        // OS threads: one per FlowBlock up to the core count; beyond
+        // that, logical workers are chunked onto threads.
+        // Cap the thread count: beyond ~8 threads the barrier cost on
+        // typical hosts outweighs the extra parallelism for the small
+        // per-phase work (the paper's own profile: "Communication between
+        // CPUs in the aggregate and distribute steps took more than half
+        // of the runtime in all experiments").
+        let cores = std::thread::available_parallelism().map_or(8, |c| c.get());
+        let n_threads = n_workers.min(cores).min(16);
+        let chunk = n_workers.div_ceil(n_threads);
+
+        // Move every worker's state under a mutex for the parallel phase.
+        let cells: Vec<Mutex<crate::serial::WorkerCore>> = self
+            .grid
+            .workers
+            .drain(..)
+            .map(Mutex::new)
+            .collect();
+        let barrier = SpinBarrier::new(n_threads);
+        let elapsed = Mutex::new(Duration::ZERO);
+
+        std::thread::scope(|scope| {
+            for t in 0..n_threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n_workers);
+                let cells = &cells;
+                let barrier = &barrier;
+                let elapsed = &elapsed;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    // Scratch buffers for copy-out exchange.
+                    let lpl = layout.links_per_lb();
+                    let mut buf_a = vec![0.0f64; lpl];
+                    let mut buf_b = vec![0.0f64; lpl];
+                    for _ in 0..n {
+                        // Phase 1: rate pass.
+                        for w in lo..hi {
+                            let mut me = cells[w].lock();
+                            let me = &mut *me;
+                            me.acc.clear();
+                            rate_pass(&me.flows, &me.view, &mut me.acc, &mut me.rates);
+                        }
+                        barrier.wait();
+
+                        // Phase 2: aggregation tree.
+                        for s in 0..tree_steps {
+                            for w in lo..hi {
+                                let (i, j) = (w / b, w % b);
+                                if let Role::Recv { from } = up_aggregate(i, j, b, s) {
+                                    {
+                                        let peer = cells[from].lock();
+                                        buf_a.copy_from_slice(&peer.acc.up_load);
+                                        buf_b.copy_from_slice(&peer.acc.up_h);
+                                    }
+                                    let mut me = cells[w].lock();
+                                    for (x, y) in me.acc.up_load.iter_mut().zip(&buf_a) {
+                                        *x += y;
+                                    }
+                                    for (x, y) in me.acc.up_h.iter_mut().zip(&buf_b) {
+                                        *x += y;
+                                    }
+                                }
+                                if let Role::Recv { from } = down_aggregate(i, j, b, s) {
+                                    {
+                                        let peer = cells[from].lock();
+                                        buf_a.copy_from_slice(&peer.acc.down_load);
+                                        buf_b.copy_from_slice(&peer.acc.down_h);
+                                    }
+                                    let mut me = cells[w].lock();
+                                    for (x, y) in me.acc.down_load.iter_mut().zip(&buf_a) {
+                                        *x += y;
+                                    }
+                                    for (x, y) in me.acc.down_h.iter_mut().zip(&buf_b) {
+                                        *x += y;
+                                    }
+                                }
+                            }
+                            barrier.wait();
+                        }
+
+                        // Phase 3: price update on the diagonal owners.
+                        for w in lo..hi {
+                            let (i, j) = (w / b, w % b);
+                            if w == up_root(i, b) {
+                                let mut me = cells[w].lock();
+                                let me = &mut *me;
+                                price_update(
+                                    &me.acc.up_load,
+                                    &me.acc.up_h,
+                                    layout.up_capacity(i),
+                                    gamma,
+                                    &mut me.view.up_prices,
+                                    &mut me.view.up_ratio,
+                                );
+                            }
+                            if w == down_root(j, b) {
+                                let mut me = cells[w].lock();
+                                let me = &mut *me;
+                                price_update(
+                                    &me.acc.down_load,
+                                    &me.acc.down_h,
+                                    layout.down_capacity(j),
+                                    gamma,
+                                    &mut me.view.down_prices,
+                                    &mut me.view.down_ratio,
+                                );
+                            }
+                        }
+                        barrier.wait();
+
+                        // Phase 4: distribution (reverse tree).
+                        for s in (0..tree_steps).rev() {
+                            for w in lo..hi {
+                                let (i, j) = (w / b, w % b);
+                                if let Role::Recv { from } = up_distribute(i, j, b, s) {
+                                    {
+                                        let peer = cells[from].lock();
+                                        buf_a.copy_from_slice(&peer.view.up_prices);
+                                        buf_b.copy_from_slice(&peer.view.up_ratio);
+                                    }
+                                    let mut me = cells[w].lock();
+                                    me.view.up_prices.copy_from_slice(&buf_a);
+                                    me.view.up_ratio.copy_from_slice(&buf_b);
+                                }
+                                if let Role::Recv { from } = down_distribute(i, j, b, s) {
+                                    {
+                                        let peer = cells[from].lock();
+                                        buf_a.copy_from_slice(&peer.view.down_prices);
+                                        buf_b.copy_from_slice(&peer.view.down_ratio);
+                                    }
+                                    let mut me = cells[w].lock();
+                                    me.view.down_prices.copy_from_slice(&buf_a);
+                                    me.view.down_ratio.copy_from_slice(&buf_b);
+                                }
+                            }
+                            barrier.wait();
+                        }
+
+                        // Phase 5: normalization.
+                        for w in lo..hi {
+                            let mut me = cells[w].lock();
+                            let me = &mut *me;
+                            if f_norm {
+                                normalize_pass(&me.flows, &me.view, &me.rates, &mut me.normalized);
+                            } else {
+                                me.normalized.copy_from_slice(&me.rates);
+                            }
+                        }
+                        barrier.wait();
+                    }
+                    if t == 0 {
+                        *elapsed.lock() = t0.elapsed();
+                    }
+                });
+            }
+        });
+
+        self.grid.workers = cells.into_iter().map(Mutex::into_inner).collect();
+        let took = *elapsed.lock();
+        took
+    }
+
+    /// Runs a single iteration (convenience wrapper; spawns and joins the
+    /// worker grid, so per-call overhead is high — prefer
+    /// [`MulticoreAllocator::run_iterations`] for timing).
+    pub fn iterate(&mut self) {
+        self.run_iterations(1);
+    }
+}
+
+
+/// Sense-reversing spin barrier: threads busy-wait (with periodic yields,
+/// for oversubscribed grids) instead of parking on a condvar, keeping
+/// phase-boundary latency in the sub-microsecond range the §6.1 numbers
+/// depend on.
+#[derive(Debug)]
+struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        Self {
+            total,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == generation {
+            spins = spins.wrapping_add(1);
+            if spins < 500_000 {
+                std::hint::spin_loop();
+            } else {
+                // Oversubscribed (more workers than cores): let the peers
+                // run.
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SerialAllocator;
+    use flowtune_topo::ClosConfig;
+
+    /// Deterministic pseudo-random flow set over a fabric.
+    fn spray_flows(
+        fabric: &TwoTierClos,
+        n: usize,
+        mut add: impl FnMut(FlowId, usize, usize, f64, &Path),
+    ) {
+        let servers = fabric.config().server_count();
+        for f in 0..n {
+            let id = FlowId(f as u64);
+            let src = (f * 7919) % servers;
+            let mut dst = (f * 104_729 + 13) % servers;
+            if dst == src {
+                dst = (dst + 1) % servers;
+            }
+            let weight = 1.0 + (f % 4) as f64;
+            let path = fabric.path(src, dst, id);
+            add(id, src, dst, weight, &path);
+        }
+    }
+
+    fn check_equivalence(blocks: usize) {
+        let fabric = TwoTierClos::build(ClosConfig::multicore(blocks, 2, 4));
+        let cfg = AllocConfig::default();
+        let mut serial = SerialAllocator::new(&fabric, cfg);
+        let mut parallel = MulticoreAllocator::new(&fabric, cfg);
+        spray_flows(&fabric, 64, |id, s, d, w, p| serial.add_flow(id, s, d, w, p));
+        spray_flows(&fabric, 64, |id, s, d, w, p| {
+            parallel.add_flow(id, s, d, w, p)
+        });
+        serial.run_iterations(37);
+        parallel.run_iterations(37);
+        let a = serial.rates();
+        let b = parallel.rates();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(
+                x.rate.to_bits(),
+                y.rate.to_bits(),
+                "rate mismatch for {:?}: {} vs {}",
+                x.id,
+                x.rate,
+                y.rate
+            );
+            assert_eq!(
+                x.normalized.to_bits(),
+                y.normalized.to_bits(),
+                "normalized mismatch for {:?}",
+                x.id
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_b2() {
+        check_equivalence(2);
+    }
+
+    #[test]
+    fn parallel_matches_serial_b4() {
+        check_equivalence(4);
+    }
+
+    #[test]
+    fn parallel_matches_serial_b8() {
+        check_equivalence(8);
+    }
+
+    #[test]
+    fn parallel_matches_serial_single_block() {
+        check_equivalence(1);
+    }
+
+    #[test]
+    fn churn_between_parallel_runs() {
+        let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 4));
+        let cfg = AllocConfig::default();
+        let mut alloc = MulticoreAllocator::new(&fabric, cfg);
+        spray_flows(&fabric, 16, |id, s, d, w, p| alloc.add_flow(id, s, d, w, p));
+        alloc.run_iterations(20);
+        assert!(alloc.remove_flow(FlowId(0)));
+        assert!(alloc.remove_flow(FlowId(5)));
+        spray_flows(&fabric, 4, |id, s, d, w, p| {
+            alloc.add_flow(FlowId(id.0 + 1000), s, d, w, p)
+        });
+        alloc.run_iterations(20);
+        assert_eq!(alloc.flow_count(), 18);
+        for r in alloc.rates() {
+            assert!(r.rate.is_finite() && r.rate > 0.0);
+            assert!(r.normalized.is_finite() && r.normalized >= 0.0);
+        }
+    }
+
+    #[test]
+    fn returns_nonzero_elapsed() {
+        let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 4));
+        let mut alloc = MulticoreAllocator::new(&fabric, AllocConfig::default());
+        spray_flows(&fabric, 8, |id, s, d, w, p| alloc.add_flow(id, s, d, w, p));
+        let took = alloc.run_iterations(10);
+        assert!(took > Duration::ZERO);
+    }
+}

@@ -1,0 +1,300 @@
+//! The Figure-3 aggregation/distribution schedule.
+//!
+//! Workers form a B×B grid (worker `(i, j)` owns FlowBlock src-block `i` →
+//! dst-block `j`). Upward LinkBlock `i` is aggregated *along row i* onto
+//! the main-diagonal worker `(i, i)`; downward LinkBlock `j` is aggregated
+//! *along column j* onto the secondary-diagonal worker `(B−1−j, j)`. Both
+//! use a binomial tree over the worker's *virtual index* `k` — its distance
+//! from the diagonal along the row/column — so the whole grid finishes in
+//! `log₂ B` steps: "n² processors require only log₂ n steps rather than
+//! log₂ n²" (§5).
+//!
+//! Distribution runs the identical tree in reverse (receivers become
+//! senders), so "distribution follows the reverse of the aggregation
+//! pattern".
+
+/// What a worker does for one LinkBlock in one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Absorb the partial state of worker `from` (aggregation) or copy the
+    /// authoritative state from worker `from` (distribution).
+    Recv {
+        /// Flat index (`i·B + j`) of the peer.
+        from: usize,
+    },
+    /// This worker's buffer is consumed/read by `to`; it does nothing.
+    Peer {
+        /// Flat index of the peer that acts on this worker's buffer.
+        to: usize,
+    },
+    /// Not involved in this step.
+    Idle,
+}
+
+/// Number of tree steps for a B×B grid (`log₂ B`); B must be a power of
+/// two.
+pub fn steps(blocks: usize) -> usize {
+    debug_assert!(blocks.is_power_of_two());
+    blocks.trailing_zeros() as usize
+}
+
+/// Virtual index of worker `(i, j)` for its row's upward LinkBlock:
+/// distance (mod B) from the main-diagonal worker `(i, i)`.
+fn k_up(i: usize, j: usize, b: usize) -> usize {
+    (j + b - i) % b
+}
+
+/// Virtual index of worker `(i, j)` for its column's downward LinkBlock:
+/// distance (mod B) from the secondary-diagonal worker `(B−1−j, j)`.
+fn k_down(i: usize, j: usize, b: usize) -> usize {
+    let target_row = b - 1 - j;
+    (i + b - target_row) % b
+}
+
+/// Flat worker index of the row-`i` worker with up-virtual-index `k`.
+pub fn up_worker(i: usize, k: usize, b: usize) -> usize {
+    i * b + (i + k) % b
+}
+
+/// Flat worker index of the column-`j` worker with down-virtual-index `k`.
+pub fn down_worker(j: usize, k: usize, b: usize) -> usize {
+    ((b - 1 - j + k) % b) * b + j
+}
+
+/// Binomial-tree role of virtual index `k` at aggregation step `s`.
+fn tree_role(k: usize, s: usize) -> TreeRole {
+    let span = 1usize << (s + 1);
+    let half = 1usize << s;
+    if k % span == 0 {
+        TreeRole::Root
+    } else if k % span == half {
+        TreeRole::Leaf
+    } else {
+        TreeRole::Out
+    }
+}
+
+enum TreeRole {
+    Root,
+    Leaf,
+    Out,
+}
+
+/// Aggregation role of worker `(i, j)` for its **upward** LinkBlock at
+/// step `s`.
+pub fn up_aggregate(i: usize, j: usize, b: usize, s: usize) -> Role {
+    let k = k_up(i, j, b);
+    match tree_role(k, s) {
+        TreeRole::Root => Role::Recv {
+            from: up_worker(i, k + (1 << s), b),
+        },
+        TreeRole::Leaf => Role::Peer {
+            to: up_worker(i, k - (1 << s), b),
+        },
+        TreeRole::Out => Role::Idle,
+    }
+}
+
+/// Aggregation role of worker `(i, j)` for its **downward** LinkBlock at
+/// step `s`.
+pub fn down_aggregate(i: usize, j: usize, b: usize, s: usize) -> Role {
+    let k = k_down(i, j, b);
+    match tree_role(k, s) {
+        TreeRole::Root => Role::Recv {
+            from: down_worker(j, k + (1 << s), b),
+        },
+        TreeRole::Leaf => Role::Peer {
+            to: down_worker(j, k - (1 << s), b),
+        },
+        TreeRole::Out => Role::Idle,
+    }
+}
+
+/// Distribution role at (descending) step `s`: the reverse of aggregation
+/// — the step-`s` aggregation root now *feeds* its former leaf, so the
+/// leaf reports `Recv` and the root `Peer`.
+pub fn up_distribute(i: usize, j: usize, b: usize, s: usize) -> Role {
+    match up_aggregate(i, j, b, s) {
+        Role::Recv { from } => Role::Peer { to: from },
+        Role::Peer { to } => Role::Recv { from: to },
+        Role::Idle => Role::Idle,
+    }
+}
+
+/// Distribution role for the downward LinkBlock at (descending) step `s`.
+pub fn down_distribute(i: usize, j: usize, b: usize, s: usize) -> Role {
+    match down_aggregate(i, j, b, s) {
+        Role::Recv { from } => Role::Peer { to: from },
+        Role::Peer { to } => Role::Recv { from: to },
+        Role::Idle => Role::Idle,
+    }
+}
+
+/// The main-diagonal worker that ends up owning upward LinkBlock `i`.
+pub fn up_root(i: usize, b: usize) -> usize {
+    i * b + i
+}
+
+/// The secondary-diagonal worker that ends up owning downward LinkBlock
+/// `j`.
+pub fn down_root(j: usize, b: usize) -> usize {
+    (b - 1 - j) * b + j
+}
+
+/// Reduces `partials[k]` (indexed by virtual index) with the exact
+/// pairwise order of the parallel tree; the result lands in
+/// `partials[0]`. Used by the serial engine so serial and parallel sums
+/// are bit-for-bit identical.
+pub fn binomial_reduce_in_order<T, F: FnMut(&mut T, &T)>(partials: &mut [T], mut absorb: F)
+where
+    T: Sized,
+{
+    let b = partials.len();
+    debug_assert!(b.is_power_of_two());
+    for s in 0..steps(b) {
+        let half = 1usize << s;
+        let span = half * 2;
+        for k in (0..b).step_by(span) {
+            // Split so we can borrow receiver and sender disjointly.
+            let (head, tail) = partials.split_at_mut(k + half);
+            absorb(&mut head[k], &tail[0]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate the aggregation for one LinkBlock kind and check every
+    /// partial reaches the right diagonal exactly once.
+    fn check_aggregation(b: usize, up: bool) {
+        // Each worker starts holding the multiset {flat index} for each
+        // LinkBlock it contributes to.
+        let mut holdings: Vec<Vec<usize>> = (0..b * b).map(|w| vec![w]).collect();
+        for s in 0..steps(b) {
+            let mut moves = Vec::new();
+            for i in 0..b {
+                for j in 0..b {
+                    let w = i * b + j;
+                    let role = if up {
+                        up_aggregate(i, j, b, s)
+                    } else {
+                        down_aggregate(i, j, b, s)
+                    };
+                    if let Role::Recv { from } = role {
+                        moves.push((from, w));
+                    }
+                }
+            }
+            for (from, to) in moves {
+                let taken = std::mem::take(&mut holdings[from]);
+                holdings[to].extend(taken);
+            }
+        }
+        for block in 0..b {
+            let root = if up { up_root(block, b) } else { down_root(block, b) };
+            let members: Vec<usize> = if up {
+                (0..b).map(|j| block * b + j).collect()
+            } else {
+                (0..b).map(|i| i * b + block).collect()
+            };
+            let mut got = holdings[root].clone();
+            got.sort_unstable();
+            assert_eq!(got, members, "b={b} up={up} block={block}");
+        }
+    }
+
+    #[test]
+    fn aggregation_reaches_diagonals() {
+        for b in [1, 2, 4, 8] {
+            check_aggregation(b, true);
+            check_aggregation(b, false);
+        }
+    }
+
+    #[test]
+    fn roots_are_on_the_diagonals() {
+        let b = 4;
+        for i in 0..b {
+            assert_eq!(up_root(i, b), i * b + i);
+            let dr = down_root(i, b);
+            let (r, c) = (dr / b, dr % b);
+            assert_eq!(r + c, b - 1, "secondary diagonal");
+        }
+    }
+
+    #[test]
+    fn roles_are_mutually_consistent() {
+        // If w receives from v, then v must be a peer pointing at w.
+        let b = 8;
+        for s in 0..steps(b) {
+            for i in 0..b {
+                for j in 0..b {
+                    if let Role::Recv { from } = up_aggregate(i, j, b, s) {
+                        let (fi, fj) = (from / b, from % b);
+                        assert_eq!(
+                            up_aggregate(fi, fj, b, s),
+                            Role::Peer { to: i * b + j }
+                        );
+                    }
+                    if let Role::Recv { from } = down_aggregate(i, j, b, s) {
+                        let (fi, fj) = (from / b, from % b);
+                        assert_eq!(
+                            down_aggregate(fi, fj, b, s),
+                            Role::Peer { to: i * b + j }
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_reaches_every_worker() {
+        let b = 4;
+        // Start with only the roots holding the result.
+        let mut has_up = vec![false; b * b];
+        for i in 0..b {
+            has_up[up_root(i, b)] = true;
+        }
+        for s in (0..steps(b)).rev() {
+            let mut grants = Vec::new();
+            for i in 0..b {
+                for j in 0..b {
+                    if let Role::Recv { from } = up_distribute(i, j, b, s) {
+                        grants.push((from, i * b + j));
+                    }
+                }
+            }
+            for (from, to) in grants {
+                assert!(has_up[from], "distributing from a worker without data");
+                has_up[to] = true;
+            }
+        }
+        assert!(has_up.iter().all(|&x| x), "some worker missed the broadcast");
+    }
+
+    #[test]
+    fn binomial_reduce_matches_tree_order() {
+        let mut partials: Vec<Vec<f64>> = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
+        binomial_reduce_in_order(&mut partials, |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        });
+        assert_eq!(partials[0], vec![10.0, 100.0]);
+    }
+
+    #[test]
+    fn single_block_grid_is_trivial() {
+        assert_eq!(steps(1), 0);
+        assert_eq!(up_root(0, 1), 0);
+        assert_eq!(down_root(0, 1), 0);
+    }
+}

@@ -1,0 +1,492 @@
+//! Single-threaded reference engine.
+//!
+//! Performs exactly the same arithmetic, in exactly the same order, as the
+//! parallel engine: per-FlowBlock rate passes, binomial-tree aggregation of
+//! LinkBlock partials, NED price update on the diagonal copies, and
+//! distribution back — just on one thread. The `parallel_matches_serial`
+//! tests assert bit-for-bit equality, which is what makes the parallel
+//! engine trustworthy.
+
+use std::collections::HashMap;
+
+use flowtune_topo::{BlockId, FlowId, Path, TwoTierClos};
+
+use crate::flowblock::{normalize_pass, price_update, rate_pass, Accums, BlockFlow, FlowRate, PriceView};
+use crate::layout::BlockLayout;
+use crate::reduce::{binomial_reduce_in_order, down_root, down_worker, up_root, up_worker};
+use crate::AllocConfig;
+
+/// Shared flow/worker bookkeeping used by both engines.
+#[derive(Debug)]
+pub(crate) struct GridState {
+    pub layout: BlockLayout,
+    pub cfg: AllocConfig,
+    /// server index → block, for FlowBlock assignment.
+    pub server_block: Vec<BlockId>,
+    /// B² workers in row-major (src block, dst block) order.
+    pub workers: Vec<WorkerCore>,
+    /// flow id → (worker, slot within worker).
+    pub index: HashMap<FlowId, (usize, usize)>,
+}
+
+/// One FlowBlock worker's private state.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerCore {
+    pub flows: Vec<BlockFlow>,
+    pub rates: Vec<f64>,
+    pub normalized: Vec<f64>,
+    pub acc: Accums,
+    pub view: PriceView,
+}
+
+impl WorkerCore {
+    fn new(links_per_lb: usize) -> Self {
+        Self {
+            flows: Vec::new(),
+            rates: Vec::new(),
+            normalized: Vec::new(),
+            acc: Accums::new(links_per_lb),
+            view: PriceView::new(links_per_lb),
+        }
+    }
+}
+
+impl GridState {
+    pub(crate) fn new(fabric: &TwoTierClos, cfg: AllocConfig) -> Self {
+        assert!(
+            fabric.block_count().is_power_of_two(),
+            "the aggregation tree needs a power-of-two block count"
+        );
+        let layout = BlockLayout::new(fabric, cfg.capacity_fraction);
+        let b = layout.blocks();
+        let server_block = (0..fabric.config().server_count())
+            .map(|s| fabric.block_of_server(s))
+            .collect();
+        let workers = (0..b * b)
+            .map(|_| WorkerCore::new(layout.links_per_lb()))
+            .collect();
+        Self {
+            layout,
+            cfg,
+            server_block,
+            workers,
+            index: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn add_flow(
+        &mut self,
+        id: FlowId,
+        src_server: usize,
+        dst_server: usize,
+        weight: f64,
+        path: &Path,
+    ) {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be > 0");
+        assert!(
+            !self.index.contains_key(&id),
+            "flow {id} already registered"
+        );
+        let b = self.layout.blocks();
+        let src_block = self.server_block[src_server];
+        let dst_block = self.server_block[dst_server];
+        let (up, down) = self.layout.split_path(path, src_block, dst_block);
+        let x_max = up
+            .iter()
+            .map(|&o| self.layout.up_capacity(src_block.index())[o as usize])
+            .chain(
+                down.iter()
+                    .map(|&o| self.layout.down_capacity(dst_block.index())[o as usize]),
+            )
+            .fold(f64::INFINITY, f64::min);
+        let w = src_block.index() * b + dst_block.index();
+        let worker = &mut self.workers[w];
+        worker.flows.push(BlockFlow::new(id, weight, &up, &down, x_max));
+        worker.rates.push(0.0);
+        worker.normalized.push(0.0);
+        self.index.insert(id, (w, worker.flows.len() - 1));
+    }
+
+    pub(crate) fn remove_flow(&mut self, id: FlowId) -> bool {
+        let Some((w, slot)) = self.index.remove(&id) else {
+            return false;
+        };
+        let worker = &mut self.workers[w];
+        worker.flows.swap_remove(slot);
+        worker.rates.swap_remove(slot);
+        worker.normalized.swap_remove(slot);
+        if slot < worker.flows.len() {
+            // A flow was moved into the vacated slot; re-index it.
+            let moved = worker.flows[slot].id;
+            self.index.insert(moved, (w, slot));
+        }
+        true
+    }
+
+    pub(crate) fn flow_count(&self) -> usize {
+        self.index.len()
+    }
+
+    pub(crate) fn rates(&self) -> Vec<FlowRate> {
+        let mut out = Vec::with_capacity(self.index.len());
+        for worker in &self.workers {
+            for (i, flow) in worker.flows.iter().enumerate() {
+                out.push(FlowRate {
+                    id: flow.id,
+                    rate: worker.rates[i],
+                    normalized: worker.normalized[i],
+                });
+            }
+        }
+        out
+    }
+
+    pub(crate) fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
+        let &(w, slot) = self.index.get(&id)?;
+        let worker = &self.workers[w];
+        Some(FlowRate {
+            id,
+            rate: worker.rates[slot],
+            normalized: worker.normalized[slot],
+        })
+    }
+}
+
+/// The single-threaded allocator engine.
+#[derive(Debug)]
+pub struct SerialAllocator {
+    grid: GridState,
+}
+
+impl SerialAllocator {
+    /// Builds an allocator over `fabric`. The fabric's block count must be
+    /// a power of two (1 is fine: a single-block fabric degenerates to
+    /// plain NED with no aggregation steps).
+    pub fn new(fabric: &TwoTierClos, cfg: AllocConfig) -> Self {
+        Self {
+            grid: GridState::new(fabric, cfg),
+        }
+    }
+
+    /// Registers a flow. `path` must come from the same fabric.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids, non-positive weights, or paths that
+    /// violate block locality.
+    pub fn add_flow(
+        &mut self,
+        id: FlowId,
+        src_server: usize,
+        dst_server: usize,
+        weight: f64,
+        path: &Path,
+    ) {
+        self.grid.add_flow(id, src_server, dst_server, weight, path);
+    }
+
+    /// Deregisters a flow; returns whether it existed.
+    pub fn remove_flow(&mut self, id: FlowId) -> bool {
+        self.grid.remove_flow(id)
+    }
+
+    /// Number of registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.grid.flow_count()
+    }
+
+    /// All flows' current allocations (Gbit/s), in deterministic
+    /// (FlowBlock, slot) order.
+    pub fn rates(&self) -> Vec<FlowRate> {
+        self.grid.rates()
+    }
+
+    /// One flow's current allocation.
+    pub fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
+        self.grid.flow_rate(id)
+    }
+
+    /// Runs one full allocator iteration: rate pass → aggregate → price
+    /// update → distribute → (optionally) F-NORM.
+    pub fn iterate(&mut self) {
+        let grid = &mut self.grid;
+        let b = grid.layout.blocks();
+
+        // Phase A: per-FlowBlock rate pass on private LinkBlock copies.
+        for worker in &mut grid.workers {
+            worker.acc.clear();
+            rate_pass(&worker.flows, &worker.view, &mut worker.acc, &mut worker.rates);
+        }
+
+        // Phase B+C: aggregate each LinkBlock along the binomial tree (in
+        // the tree's exact pairwise order) and run the NED price update on
+        // the diagonal owner's copy.
+        for i in 0..b {
+            let mut partials: Vec<(Vec<f64>, Vec<f64>)> = (0..b)
+                .map(|k| {
+                    let w = up_worker(i, k, b);
+                    (
+                        grid.workers[w].acc.up_load.clone(),
+                        grid.workers[w].acc.up_h.clone(),
+                    )
+                })
+                .collect();
+            binomial_reduce_in_order(&mut partials, |a, o| {
+                for (x, y) in a.0.iter_mut().zip(&o.0) {
+                    *x += y;
+                }
+                for (x, y) in a.1.iter_mut().zip(&o.1) {
+                    *x += y;
+                }
+            });
+            let (load, hdiag) = &partials[0];
+            let root = up_root(i, b);
+            let view = &mut grid.workers[root].view;
+            price_update(
+                load,
+                hdiag,
+                grid.layout.up_capacity(i),
+                grid.cfg.gamma,
+                &mut view.up_prices,
+                &mut view.up_ratio,
+            );
+        }
+        for j in 0..b {
+            let mut partials: Vec<(Vec<f64>, Vec<f64>)> = (0..b)
+                .map(|k| {
+                    let w = down_worker(j, k, b);
+                    (
+                        grid.workers[w].acc.down_load.clone(),
+                        grid.workers[w].acc.down_h.clone(),
+                    )
+                })
+                .collect();
+            binomial_reduce_in_order(&mut partials, |a, o| {
+                for (x, y) in a.0.iter_mut().zip(&o.0) {
+                    *x += y;
+                }
+                for (x, y) in a.1.iter_mut().zip(&o.1) {
+                    *x += y;
+                }
+            });
+            let (load, hdiag) = &partials[0];
+            let root = down_root(j, b);
+            let view = &mut grid.workers[root].view;
+            price_update(
+                load,
+                hdiag,
+                grid.layout.down_capacity(j),
+                grid.cfg.gamma,
+                &mut view.down_prices,
+                &mut view.down_ratio,
+            );
+        }
+
+        // Phase D: distribute prices + ratios back to every row/column
+        // member (the serial engine copies straight from the roots; the
+        // byte content is identical to the reverse-tree broadcast).
+        for i in 0..b {
+            let root = up_root(i, b);
+            let (prices, ratios) = (
+                grid.workers[root].view.up_prices.clone(),
+                grid.workers[root].view.up_ratio.clone(),
+            );
+            for j in 0..b {
+                let w = i * b + j;
+                grid.workers[w].view.up_prices.copy_from_slice(&prices);
+                grid.workers[w].view.up_ratio.copy_from_slice(&ratios);
+            }
+        }
+        for j in 0..b {
+            let root = down_root(j, b);
+            let (prices, ratios) = (
+                grid.workers[root].view.down_prices.clone(),
+                grid.workers[root].view.down_ratio.clone(),
+            );
+            for i in 0..b {
+                let w = i * b + j;
+                grid.workers[w].view.down_prices.copy_from_slice(&prices);
+                grid.workers[w].view.down_ratio.copy_from_slice(&ratios);
+            }
+        }
+
+        // Phase E: F-NORM per FlowBlock.
+        if grid.cfg.f_norm {
+            for worker in &mut grid.workers {
+                normalize_pass(&worker.flows, &worker.view, &worker.rates, &mut worker.normalized);
+            }
+        } else {
+            for worker in &mut grid.workers {
+                worker.normalized.copy_from_slice(&worker.rates);
+            }
+        }
+    }
+
+    /// Runs `n` iterations.
+    pub fn run_iterations(&mut self, n: usize) {
+        for _ in 0..n {
+            self.iterate();
+        }
+    }
+
+    /// The current price of a (data-plane) link, if it belongs to a
+    /// LinkBlock.
+    pub fn link_price(&self, link: flowtune_topo::LinkId) -> Option<f64> {
+        let slot = self.grid.layout.slot(link)?;
+        let b = self.grid.layout.blocks();
+        let view = if slot.up {
+            &self.grid.workers[up_root(slot.block.index(), b)].view
+        } else {
+            &self.grid.workers[down_root(slot.block.index(), b)].view
+        };
+        Some(if slot.up {
+            view.up_prices[slot.offset as usize]
+        } else {
+            view.down_prices[slot.offset as usize]
+        })
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtune_topo::ClosConfig;
+
+    fn fabric() -> TwoTierClos {
+        TwoTierClos::build(ClosConfig::multicore(2, 2, 4))
+    }
+
+    fn cfg() -> AllocConfig {
+        AllocConfig {
+            gamma: 0.4,
+            f_norm: true,
+            capacity_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn two_flows_share_a_host_link() {
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(&f, cfg());
+        // Two flows from server 0 to two different remote servers: they
+        // share server 0's 40 G uplink.
+        let p1 = f.path(0, 8, FlowId(1));
+        let p2 = f.path(0, 12, FlowId(2));
+        alloc.add_flow(FlowId(1), 0, 8, 1.0, &p1);
+        alloc.add_flow(FlowId(2), 0, 12, 1.0, &p2);
+        alloc.run_iterations(200);
+        let r1 = alloc.flow_rate(FlowId(1)).unwrap();
+        let r2 = alloc.flow_rate(FlowId(2)).unwrap();
+        assert!((r1.rate - 20.0).abs() < 1e-6, "{r1:?}");
+        assert!((r2.rate - 20.0).abs() < 1e-6, "{r2:?}");
+        // F-NORM keeps the shared uplink at its capacity.
+        assert!(r1.normalized + r2.normalized <= 40.0 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn single_flow_gets_line_rate() {
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(&f, cfg());
+        let p = f.path(3, 13, FlowId(7));
+        alloc.add_flow(FlowId(7), 3, 13, 1.0, &p);
+        alloc.run_iterations(300);
+        let r = alloc.flow_rate(FlowId(7)).unwrap();
+        assert!((r.rate - 40.0).abs() < 1e-4, "{r:?}");
+    }
+
+    #[test]
+    fn remove_flow_frees_capacity() {
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(&f, cfg());
+        let p1 = f.path(0, 8, FlowId(1));
+        let p2 = f.path(0, 12, FlowId(2));
+        alloc.add_flow(FlowId(1), 0, 8, 1.0, &p1);
+        alloc.add_flow(FlowId(2), 0, 12, 1.0, &p2);
+        alloc.run_iterations(200);
+        assert!(alloc.remove_flow(FlowId(1)));
+        assert!(!alloc.remove_flow(FlowId(1)), "double remove");
+        alloc.run_iterations(200);
+        let r2 = alloc.flow_rate(FlowId(2)).unwrap();
+        assert!((r2.rate - 40.0).abs() < 1e-4, "{r2:?}");
+        assert_eq!(alloc.flow_count(), 1);
+    }
+
+    #[test]
+    fn weighted_flows_split_proportionally() {
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(&f, cfg());
+        let p1 = f.path(0, 8, FlowId(1));
+        let p2 = f.path(0, 12, FlowId(2));
+        alloc.add_flow(FlowId(1), 0, 8, 3.0, &p1);
+        alloc.add_flow(FlowId(2), 0, 12, 1.0, &p2);
+        alloc.run_iterations(400);
+        let r1 = alloc.flow_rate(FlowId(1)).unwrap().rate;
+        let r2 = alloc.flow_rate(FlowId(2)).unwrap().rate;
+        assert!((r1 / r2 - 3.0).abs() < 1e-3, "{r1} / {r2}");
+    }
+
+    #[test]
+    fn capacity_fraction_headroom_is_respected() {
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(
+            &f,
+            AllocConfig {
+                capacity_fraction: 0.95,
+                ..cfg()
+            },
+        );
+        let p = f.path(3, 13, FlowId(7));
+        alloc.add_flow(FlowId(7), 3, 13, 1.0, &p);
+        alloc.run_iterations(300);
+        let r = alloc.flow_rate(FlowId(7)).unwrap();
+        assert!((r.rate - 38.0).abs() < 1e-4, "{r:?}");
+    }
+
+    #[test]
+    fn matches_flowtune_num_ned() {
+        // The block-decomposed engine must agree with the monolithic NED
+        // from flowtune-num on the same instance, γ and iteration count.
+        use flowtune_num::{solver::Optimizer, Ned, NumProblem, SolverState, Utility};
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(&f, cfg());
+        let caps_gbps: Vec<f64> = f
+            .topology()
+            .links()
+            .iter()
+            .map(|l| l.capacity_bps as f64 / 1e9)
+            .collect();
+        let mut problem = NumProblem::new(caps_gbps);
+        let pairs = [(0usize, 9usize), (1, 8), (0, 12), (5, 3), (14, 2), (9, 0)];
+        let mut slot_of = Vec::new();
+        for (i, &(src, dst)) in pairs.iter().enumerate() {
+            let id = FlowId(i as u64);
+            let path = f.path(src, dst, id);
+            alloc.add_flow(id, src, dst, 1.0, &path);
+            slot_of.push(problem.add_flow(path.links().to_vec(), Utility::log(1.0)));
+        }
+        let mut state = SolverState::new(&problem);
+        let mut ned = Ned::new(0.4);
+        for _ in 0..150 {
+            ned.iterate(&problem, &mut state);
+        }
+        alloc.run_iterations(150);
+        for (i, &slot) in slot_of.iter().enumerate() {
+            let got = alloc.flow_rate(FlowId(i as u64)).unwrap().rate;
+            let want = state.rates[slot];
+            assert!(
+                (got - want).abs() < 1e-9 * want.max(1.0),
+                "flow {i}: block engine {got} vs NED {want}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_flow_id_rejected() {
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(&f, cfg());
+        let p = f.path(0, 8, FlowId(1));
+        alloc.add_flow(FlowId(1), 0, 8, 1.0, &p);
+        alloc.add_flow(FlowId(1), 0, 8, 1.0, &p);
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion: Fastpass-style arbiter slot throughput — the per-packet
+//! work the §6.1 comparison charges Fastpass for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowtune_fastpass::Arbiter;
+
+fn bench_arbiter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter");
+    for endpoints in [64usize, 256, 1024] {
+        group.throughput(Throughput::Elements(endpoints as u64));
+        group.bench_with_input(
+            BenchmarkId::new("allocate_slot", endpoints),
+            &endpoints,
+            |b, &n| {
+                let mut arb = Arbiter::new(n);
+                b.iter(|| {
+                    // Keep demand topped up so every slot does full work.
+                    if arb.backlog() < n as u64 {
+                        for s in 0..n as u16 {
+                            arb.add_demand(s, ((s as usize + n / 2) % n) as u16, 64);
+                        }
+                    }
+                    arb.allocate_slot()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiter);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion: multicore allocator iteration latency vs worker-grid size
+//! (the §6.1 scaling claim, as a microbenchmark), plus the serial engine
+//! as the zero-communication baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_alloc::{AllocConfig, MulticoreAllocator, SerialAllocator};
+use flowtune_topo::{ClosConfig, FlowId, TwoTierClos};
+
+fn spray(
+    fabric: &TwoTierClos,
+    n: usize,
+    mut add: impl FnMut(FlowId, usize, usize, f64, &flowtune_topo::Path),
+) {
+    let servers = fabric.config().server_count();
+    for f in 0..n {
+        let src = (f * 7919) % servers;
+        let mut dst = (f * 104_729 + 13) % servers;
+        if dst == src {
+            dst = (dst + 1) % servers;
+        }
+        let path = fabric.path(src, dst, FlowId(f as u64));
+        add(FlowId(f as u64), src, dst, 1.0, &path);
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicore_scaling");
+    group.sample_size(10);
+    let flows = 3072;
+    for blocks in [1usize, 2, 4] {
+        let fabric = TwoTierClos::build(ClosConfig::multicore(blocks, 4, 16));
+        let mut serial = SerialAllocator::new(&fabric, AllocConfig::default());
+        spray(&fabric, flows, |id, s, d, w, p| serial.add_flow(id, s, d, w, p));
+        group.bench_with_input(BenchmarkId::new("serial", blocks), &blocks, |b, _| {
+            b.iter(|| serial.iterate());
+        });
+
+        let mut parallel = MulticoreAllocator::new(&fabric, AllocConfig::default());
+        spray(&fabric, flows, |id, s, d, w, p| {
+            parallel.add_flow(id, s, d, w, p)
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", blocks), &blocks, |b, _| {
+            // Amortize thread spawn over 50 iterations per measurement.
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    total += parallel.run_iterations(50) / 50;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

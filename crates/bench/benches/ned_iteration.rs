@@ -1,0 +1,53 @@
+//! Criterion: per-iteration cost of the NUM optimizers vs instance size.
+//!
+//! NED's pitch is that the exact diagonal is "computed quickly enough on
+//! CPUs for sizeable topologies" — this bench quantifies the per-iteration
+//! cost and compares the baselines at equal instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowtune_num::{Fgm, Gradient, Ned, NedRt, NumProblem, Optimizer, SolverState, Utility};
+use flowtune_topo::{ClosConfig, FlowId, TwoTierClos};
+
+fn instance(flows: usize) -> NumProblem {
+    let fabric = TwoTierClos::build(ClosConfig::paper_eval());
+    let servers = fabric.config().server_count();
+    let caps: Vec<f64> = fabric
+        .topology()
+        .links()
+        .iter()
+        .map(|l| l.capacity_bps as f64 / 1e9)
+        .collect();
+    let mut p = NumProblem::new(caps);
+    for f in 0..flows {
+        let src = (f * 7919) % servers;
+        let mut dst = (f * 104_729 + 13) % servers;
+        if dst == src {
+            dst = (dst + 1) % servers;
+        }
+        let path = fabric.path(src, dst, FlowId(f as u64));
+        p.add_flow(path.links().to_vec(), Utility::log(1.0));
+    }
+    p
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ned_iteration");
+    for flows in [512usize, 4096, 16384] {
+        let p = instance(flows);
+        group.throughput(Throughput::Elements(flows as u64));
+        let mut run = |name: &str, opt: &mut dyn Optimizer| {
+            let mut state = SolverState::new(&p);
+            group.bench_with_input(BenchmarkId::new(name, flows), &p, |b, p| {
+                b.iter(|| opt.iterate(p, &mut state));
+            });
+        };
+        run("NED", &mut Ned::new(0.4));
+        run("NED-RT", &mut NedRt::new(0.4));
+        run("Gradient", &mut Gradient::default());
+        run("FGM", &mut Fgm::new());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: U-NORM vs F-NORM cost (§4 notes F-NORM "requires per-flow
+//! work"; this quantifies it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_num::normalize::{f_norm, u_norm};
+use flowtune_num::{NumProblem, SolverState, Utility};
+use flowtune_topo::{ClosConfig, FlowId, TwoTierClos};
+
+fn instance(flows: usize) -> (NumProblem, Vec<f64>) {
+    let fabric = TwoTierClos::build(ClosConfig::paper_eval());
+    let servers = fabric.config().server_count();
+    let caps: Vec<f64> = fabric
+        .topology()
+        .links()
+        .iter()
+        .map(|l| l.capacity_bps as f64 / 1e9)
+        .collect();
+    let mut p = NumProblem::new(caps);
+    for f in 0..flows {
+        let src = (f * 7919) % servers;
+        let mut dst = (f * 104_729 + 13) % servers;
+        if dst == src {
+            dst = (dst + 1) % servers;
+        }
+        let path = fabric.path(src, dst, FlowId(f as u64));
+        p.add_flow(path.links().to_vec(), Utility::log(1.0));
+    }
+    let mut state = SolverState::new(&p);
+    let mut ned = flowtune_num::Ned::new(0.4);
+    for _ in 0..20 {
+        flowtune_num::Optimizer::iterate(&mut ned, &p, &mut state);
+    }
+    let rates = state.rates.clone();
+    (p, rates)
+}
+
+fn bench_norms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalization");
+    for flows in [1024usize, 8192] {
+        let (p, rates) = instance(flows);
+        group.bench_with_input(BenchmarkId::new("f_norm", flows), &p, |b, p| {
+            b.iter(|| f_norm(p, &rates));
+        });
+        group.bench_with_input(BenchmarkId::new("u_norm", flows), &p, |b, p| {
+            b.iter(|| u_norm(p, &rates));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_norms);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: simulator event throughput — how much loaded-datacenter
+//! time the simulator chews per wall second, per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowtune_sim::{Scheme, SimConfig, Simulation, MS};
+use flowtune_topo::ClosConfig;
+use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_core");
+    group.sample_size(10);
+    for scheme in [Scheme::Flowtune, Scheme::Dctcp, Scheme::Pfabric] {
+        group.bench_with_input(
+            BenchmarkId::new("2ms_32srv_load0.5", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::paper(scheme);
+                    cfg.clos = ClosConfig {
+                        racks: 2,
+                        servers_per_rack: 16,
+                        racks_per_block: 2,
+                        ..ClosConfig::paper_eval()
+                    };
+                    let mut sim = Simulation::new(cfg);
+                    let mut gen = TraceGenerator::new(TraceConfig {
+                        workload: Workload::Web,
+                        load: 0.5,
+                        servers: 32,
+                        server_link_bps: 10_000_000_000,
+                        seed: 1,
+                    });
+                    for e in gen.events_until(2 * MS) {
+                        sim.add_flow(e.at_ps, e.src as u16, e.dst as u16, e.bytes);
+                    }
+                    sim.run_until(4 * MS);
+                    sim.metrics().delivered_bytes
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

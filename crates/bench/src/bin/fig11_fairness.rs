@@ -1,0 +1,46 @@
+//! Figure 11: proportional fairness of each scheme relative to Flowtune.
+//!
+//! The score is the mean per-flow log₂(rate); Figure 11 plots each
+//! scheme's score minus Flowtune's (so 0 = as fair; −1 = flows got half
+//! the proportionally-fair rate on average). Paper result: DCTCP 1.0–1.9
+//! points below Flowtune, pFabric 0.45–0.83, XCP ~1.3, CoDel ~0.25.
+
+use flowtune_bench::{run_cell, CellSpec, Opts};
+use flowtune_sim::{Scheme, MS};
+use flowtune_workload::Workload;
+
+fn main() {
+    let opts = Opts::parse();
+    let servers = opts.scaled(144, 48) as usize;
+    let horizon = opts.scaled(60 * MS, 8 * MS);
+    let drain = opts.scaled(40 * MS, 30 * MS);
+    let loads: &[f64] = if opts.quick {
+        &[0.4, 0.8]
+    } else {
+        &[0.2, 0.4, 0.6, 0.8]
+    };
+    println!("# Figure 11 — per-flow fairness score relative to Flowtune");
+    println!("load,scheme,score,relative_to_flowtune");
+    for &load in loads {
+        let spec = |scheme| CellSpec {
+            scheme,
+            workload: Workload::Web,
+            load,
+            servers,
+            horizon_ps: horizon,
+            drain_ps: drain,
+            seed: opts.seed,
+        };
+        let ft = run_cell(&spec(Scheme::Flowtune));
+        println!("{load},Flowtune,{:.3},0.000", ft.fairness);
+        for scheme in [Scheme::Dctcp, Scheme::Pfabric, Scheme::SfqCodel, Scheme::Xcp] {
+            let r = run_cell(&spec(scheme));
+            println!(
+                "{load},{},{:.3},{:.3}",
+                r.scheme,
+                r.fairness,
+                r.fairness - ft.fairness
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 12: total over-capacity allocation without normalization,
+//! per optimizer, vs load.
+//!
+//! Paper result (I): "Normalization is important; without it, NED
+//! over-allocates links by up to 140 Gbits/s. NED over-allocates more
+//! than Gradient because it is more aggressive ... FGM does not handle
+//! the stream of updates well, and its allocations become unrealistic at
+//! even moderate loads."
+
+use flowtune_bench::num_churn::NumChurn;
+use flowtune_bench::Opts;
+use flowtune_num::{Fgm, Gradient, GradientRt, Ned, NedRt, Optimizer, SolverState};
+use flowtune_workload::Workload;
+
+fn main() {
+    let opts = Opts::parse();
+    let ticks = opts.scaled(20_000, 3_000) as usize; // 200 / 30 ms at 10 µs
+    let warmup = ticks / 5;
+    let loads: &[f64] = if opts.quick {
+        &[0.25, 0.5, 0.75]
+    } else {
+        &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    };
+    println!("# Figure 12 — mean over-capacity allocation (Gbit/s) without normalization");
+    println!("algorithm,load,mean_overallocation_gbps,p99_overallocation_gbps");
+    let algos: Vec<(&str, Box<dyn Fn() -> Box<dyn Optimizer>>)> = vec![
+        ("NED", Box::new(|| Box::new(Ned::new(0.4)))),
+        ("NED-RT", Box::new(|| Box::new(NedRt::new(0.4)))),
+        // Gradient step sized for ~10 G capacities, per §6.6's reference
+        // implementations.
+        ("Gradient", Box::new(|| Box::new(Gradient::stable_for(10.0, 4.0, 1.0)))),
+        ("Gradient-RT", Box::new(|| Box::new(GradientRt::new(0.02)))),
+        ("FGM", Box::new(|| Box::new(Fgm::new()))),
+    ];
+    for (name, mk) in &algos {
+        for &load in loads {
+            let mut churn = NumChurn::new(Workload::Web, load, opts.seed);
+            let mut opt = mk();
+            let mut state = SolverState::new(&churn.problem);
+            let mut samples = Vec::with_capacity(ticks - warmup);
+            for i in 0..ticks {
+                let t = churn.advance(opt.as_mut(), &mut state);
+                if i >= warmup {
+                    samples.push(t.overallocation_gbps);
+                }
+            }
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let p99 =
+                flowtune_sim::metrics::percentile(&mut samples, 99.0).unwrap_or(0.0);
+            println!("{name},{load},{mean:.2},{p99:.2}");
+        }
+    }
+}

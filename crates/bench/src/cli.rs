@@ -1,0 +1,87 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Reduced scale (default) vs paper scale.
+    pub quick: bool,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            quick: true,
+            seed: 42,
+        }
+    }
+}
+
+impl Opts {
+    /// Parses `--quick`, `--full` and `--seed N` from `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown flags.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--full" => opts.quick = false,
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed needs an integer");
+                }
+                other => panic!("unknown flag {other}; use --quick|--full|--seed N"),
+            }
+        }
+        opts
+    }
+
+    /// Scale a paper-sized quantity down in quick mode.
+    pub fn scaled(&self, full: u64, quick: u64) -> u64 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let o = parse(&[]);
+        assert!(o.quick);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn full_and_seed() {
+        let o = parse(&["--full", "--seed", "7"]);
+        assert!(!o.quick);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.scaled(100, 10), 100);
+        assert_eq!(parse(&["--quick"]).scaled(100, 10), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--wat"]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Fluid-model driver for the control-plane overhead experiments
+//! (Figures 5–7).
+//!
+//! Update-traffic volume is a property of the allocator's threshold
+//! filtering and the flowlet churn, not of packet-level queueing, so these
+//! figures run the *real* [`AllocatorService`] against a fluid data plane:
+//! every 10 µs tick, each active flowlet drains at its currently allocated
+//! (normalized) rate, and ends exactly when its bytes run out. Control
+//! bytes are accounted with the real 16/4/6-byte encodings plus Ethernet
+//! framing ([`flowtune_proto::wire`]).
+
+use std::collections::HashMap;
+
+use flowtune::{AllocatorService, FlowtuneConfig};
+use flowtune_proto::{codec, wire, Message, Token};
+use flowtune_topo::{ClosConfig, TwoTierClos};
+use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
+
+/// Accounting of one fluid run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FluidStats {
+    /// Payload bytes endpoint→allocator (starts + ends).
+    pub payload_to_alloc: u64,
+    /// Payload bytes allocator→endpoints (rate updates).
+    pub payload_from_alloc: u64,
+    /// Wire bytes (64-byte-min frames + preamble) endpoint→allocator.
+    pub wire_to_alloc: u64,
+    /// Wire bytes allocator→endpoints.
+    pub wire_from_alloc: u64,
+    /// Flowlets started / ended.
+    pub flowlets: u64,
+    /// Rate updates sent (post-filter) / suppressed.
+    pub updates_sent: u64,
+    /// Updates suppressed by the threshold.
+    pub updates_suppressed: u64,
+    /// Simulated duration, ps.
+    pub duration_ps: u64,
+}
+
+impl FluidStats {
+    /// Update traffic from the allocator as a fraction of total network
+    /// capacity (Figure 5's y axis), where network capacity is the sum of
+    /// server access links.
+    pub fn from_alloc_fraction(&self, servers: usize, link_bps: u64) -> f64 {
+        let secs = self.duration_ps as f64 / 1e12;
+        let bits = self.wire_from_alloc as f64 * 8.0;
+        bits / secs / (servers as f64 * link_bps as f64)
+    }
+
+    /// Update traffic *to* the allocator as a capacity fraction.
+    pub fn to_alloc_fraction(&self, servers: usize, link_bps: u64) -> f64 {
+        let secs = self.duration_ps as f64 / 1e12;
+        let bits = self.wire_to_alloc as f64 * 8.0;
+        bits / secs / (servers as f64 * link_bps as f64)
+    }
+}
+
+/// The fluid-model experiment driver.
+#[derive(Debug)]
+pub struct FluidDriver {
+    service: AllocatorService,
+    trace: TraceGenerator,
+    cfg: FlowtuneConfig,
+    servers: usize,
+    /// token → remaining bytes.
+    remaining: HashMap<Token, f64>,
+    next_token: u32,
+    stats: FluidStats,
+    now_ps: u64,
+}
+
+impl FluidDriver {
+    /// Builds a driver over `servers` servers (racks of 16) running
+    /// `workload` at `load`.
+    pub fn new(
+        workload: Workload,
+        load: f64,
+        servers: usize,
+        cfg: FlowtuneConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(servers % 16 == 0, "whole racks of 16 expected");
+        let clos = ClosConfig {
+            racks: servers / 16,
+            servers_per_rack: 16,
+            racks_per_block: servers / 16,
+            ..ClosConfig::paper_eval()
+        };
+        let fabric = TwoTierClos::build(clos);
+        let service = AllocatorService::new(&fabric, cfg);
+        let trace = TraceGenerator::new(TraceConfig {
+            workload,
+            load,
+            servers,
+            server_link_bps: 10_000_000_000,
+            seed,
+        });
+        Self {
+            service,
+            trace,
+            cfg,
+            servers,
+            remaining: HashMap::new(),
+            next_token: 0,
+            stats: FluidStats::default(),
+            now_ps: 0,
+        }
+    }
+
+    fn account_to_alloc(&mut self, msg: &Message) {
+        let len = msg.encoded_len();
+        self.stats.payload_to_alloc += len as u64;
+        self.stats.wire_to_alloc += wire::segment_wire_bytes(len) as u64;
+    }
+
+    /// Runs the fluid simulation for `duration_ps`, returning the
+    /// accounting. A `warmup_ps` prefix is simulated but not accounted so
+    /// steady-state concurrency is measured.
+    pub fn run(&mut self, warmup_ps: u64, duration_ps: u64) -> FluidStats {
+        let tick = self.cfg.tick_interval_ps;
+        let end = warmup_ps + duration_ps;
+        let mut pending = self.trace.next_event();
+        let mut tokens_of_flow: HashMap<u64, Token> = HashMap::new();
+        while self.now_ps < end {
+            let in_window = self.now_ps >= warmup_ps;
+            // Admit arrivals up to now.
+            while pending.at_ps <= self.now_ps {
+                let token = Token::new(self.next_token & Token::MAX);
+                self.next_token = (self.next_token + 1) & Token::MAX;
+                let spine = {
+                    let f = self.service.fabric();
+                    f.ecmp_spine(
+                        pending.src as usize,
+                        pending.dst as usize,
+                        flowtune_topo::FlowId(pending.id),
+                    )
+                };
+                let msg = Message::FlowletStart {
+                    token,
+                    src: pending.src as u16,
+                    dst: pending.dst as u16,
+                    size_hint: pending.bytes.min(u32::MAX as u64) as u32,
+                    weight_q8: 256,
+                    spine: spine as u8,
+                };
+                self.service.on_message(msg);
+                self.remaining.insert(token, pending.bytes as f64);
+                tokens_of_flow.insert(pending.id, token);
+                if in_window {
+                    self.stats.flowlets += 1;
+                    self.account_to_alloc(&msg);
+                }
+                pending = self.trace.next_event();
+            }
+
+            // One allocator tick.
+            let updates = self.service.tick();
+            if in_window {
+                for (_, msg) in &updates {
+                    let len = msg.encoded_len();
+                    self.stats.payload_from_alloc += len as u64;
+                    self.stats.wire_from_alloc += wire::segment_wire_bytes(len) as u64;
+                    self.stats.updates_sent += 1;
+                }
+            }
+
+            // Fluid drain at allocated rates.
+            let dt_secs = tick as f64 / 1e12;
+            let mut ended = Vec::new();
+            for (&token, rem) in self.remaining.iter_mut() {
+                let gbps = self.service.flow_rate_gbps(token).unwrap_or(0.0);
+                *rem -= gbps * 1e9 / 8.0 * dt_secs;
+                if *rem <= 0.0 {
+                    ended.push(token);
+                }
+            }
+            for token in ended {
+                self.remaining.remove(&token);
+                let msg = Message::FlowletEnd { token };
+                self.service.on_message(msg);
+                if in_window {
+                    self.account_to_alloc(&msg);
+                }
+            }
+
+            self.now_ps += tick;
+        }
+        let svc = self.service.stats();
+        self.stats.updates_suppressed = svc.updates_suppressed;
+        self.stats.duration_ps = duration_ps;
+        self.stats
+    }
+
+    /// Fraction helpers need these.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Active flowlets right now.
+    pub fn active(&self) -> usize {
+        self.remaining.len()
+    }
+}
+
+/// Encodes a message batch and returns its total payload length —
+/// convenience for tests.
+pub fn payload_len(msgs: &[Message]) -> usize {
+    let mut buf = bytes::BytesMut::new();
+    for m in msgs {
+        codec::encode(m, &mut buf);
+    }
+    buf.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluid_run_reaches_steady_state_and_accounts() {
+        let mut d = FluidDriver::new(
+            Workload::Web,
+            0.5,
+            32,
+            FlowtuneConfig::default(),
+            7,
+        );
+        let stats = d.run(2_000_000_000, 10_000_000_000); // 2 ms warmup, 10 ms window
+        assert!(stats.flowlets > 10, "flowlets {}", stats.flowlets);
+        assert!(stats.updates_sent > 0);
+        assert!(stats.wire_from_alloc > stats.payload_from_alloc);
+        let frac = stats.from_alloc_fraction(32, 10_000_000_000);
+        assert!(frac > 0.0 && frac < 0.2, "fraction {frac}");
+    }
+
+    #[test]
+    fn higher_threshold_cuts_update_traffic() {
+        let run = |threshold: f64| {
+            let cfg = FlowtuneConfig {
+                update_threshold: threshold,
+                ..FlowtuneConfig::default()
+            };
+            let mut d = FluidDriver::new(Workload::Web, 0.6, 32, cfg, 11);
+            d.run(2_000_000_000, 10_000_000_000)
+        };
+        let t1 = run(0.01);
+        let t5 = run(0.05);
+        assert!(
+            t5.updates_sent < t1.updates_sent,
+            "0.05 sent {} vs 0.01 sent {}",
+            t5.updates_sent,
+            t1.updates_sent
+        );
+    }
+
+    #[test]
+    fn web_generates_more_updates_than_hadoop() {
+        let run = |w: Workload| {
+            let mut d = FluidDriver::new(w, 0.6, 32, FlowtuneConfig::default(), 3);
+            d.run(2_000_000_000, 10_000_000_000)
+        };
+        let web = run(Workload::Web);
+        let hadoop = run(Workload::Hadoop);
+        assert!(
+            web.wire_from_alloc > hadoop.wire_from_alloc,
+            "web {} vs hadoop {}",
+            web.wire_from_alloc,
+            hadoop.wire_from_alloc
+        );
+    }
+
+    #[test]
+    fn payload_len_matches_encodings() {
+        let msgs = [
+            Message::FlowletEnd { token: Token::new(1) },
+            Message::FlowletEnd { token: Token::new(2) },
+        ];
+        assert_eq!(payload_len(&msgs), 8);
+    }
+}

@@ -1,0 +1,62 @@
+//! System configuration.
+
+/// Tunables of a Flowtune deployment, with the paper's values as defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowtuneConfig {
+    /// NED step size γ (§6.2: "experiments have γ = 0.4"; any value in
+    /// [0.2, 1.5] behaves similarly).
+    pub gamma: f64,
+    /// NED iterations per allocator tick (1 in the paper: "The allocator
+    /// performs an iteration every 10 µs").
+    pub iterations_per_tick: usize,
+    /// Allocator tick interval in picoseconds (10 µs).
+    pub tick_interval_ps: u64,
+    /// Rate-update suppression threshold (§6.4; 0.01 default).
+    pub update_threshold: f64,
+    /// Idle time after which a sender's empty queue ends the flowlet
+    /// (§1: "a flowlet ends when there is a threshold amount of time
+    /// during which a sender's queue is empty"). Default 30 µs ≈ 2 RTTs.
+    pub flowlet_idle_ps: u64,
+    /// Default proportional-fairness weight for flows that don't specify
+    /// one.
+    pub default_weight: f64,
+    /// Whether the allocator F-NORMs rates before sending them (§4.2; on
+    /// in every end-to-end experiment).
+    pub f_norm: bool,
+}
+
+impl Default for FlowtuneConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.4,
+            iterations_per_tick: 1,
+            tick_interval_ps: 10_000_000, // 10 µs
+            update_threshold: 0.01,
+            flowlet_idle_ps: 30_000_000, // 30 µs
+            default_weight: 1.0,
+            f_norm: true,
+        }
+    }
+}
+
+impl FlowtuneConfig {
+    /// The capacity fraction the allocator may hand out: §6.4 "the
+    /// allocator adjusts the available link capacities by the threshold".
+    pub fn capacity_fraction(&self) -> f64 {
+        1.0 - self.update_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = FlowtuneConfig::default();
+        assert_eq!(c.gamma, 0.4);
+        assert_eq!(c.tick_interval_ps, 10_000_000);
+        assert_eq!(c.update_threshold, 0.01);
+        assert!((c.capacity_fraction() - 0.99).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Flowlet detection.
+//!
+//! §1: "By 'flowlet', we mean a batch of packets that are backlogged at a
+//! sender; a flowlet ends when there is a threshold amount of time during
+//! which a sender's queue is empty." The tracker is a small, sans-IO state
+//! machine driven by queue occupancy transitions and a clock; the endpoint
+//! agent owns one per flow.
+
+/// Lifecycle state of one flow's current flowlet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowletState {
+    /// No active flowlet (initial, or after an end was reported).
+    Idle,
+    /// The sender's queue is non-empty.
+    Backlogged,
+    /// The queue drained at the contained time; if it stays empty past
+    /// the threshold the flowlet ends.
+    Draining {
+        /// When the queue became empty (ps).
+        empty_since_ps: u64,
+    },
+}
+
+/// Per-flow flowlet state machine.
+#[derive(Debug, Clone)]
+pub struct FlowletTracker {
+    idle_threshold_ps: u64,
+    state: FlowletState,
+}
+
+/// What the caller must do after feeding an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowletAction {
+    /// Nothing to report.
+    None,
+    /// A new flowlet began: notify the allocator (FlowletStart).
+    Started,
+    /// The flowlet ended: notify the allocator (FlowletEnd).
+    Ended,
+}
+
+impl FlowletTracker {
+    /// Creates a tracker with the configured idle threshold.
+    pub fn new(idle_threshold_ps: u64) -> Self {
+        Self {
+            idle_threshold_ps,
+            state: FlowletState::Idle,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> FlowletState {
+        self.state
+    }
+
+    /// True between `Started` and `Ended` reports.
+    pub fn active(&self) -> bool {
+        !matches!(self.state, FlowletState::Idle)
+    }
+
+    /// The sender queued data for this flow at time `now`.
+    pub fn on_backlog(&mut self, _now_ps: u64) -> FlowletAction {
+        match self.state {
+            FlowletState::Idle => {
+                self.state = FlowletState::Backlogged;
+                FlowletAction::Started
+            }
+            // A refill during draining resumes the same flowlet — that is
+            // the entire point of the idle threshold: "long lived flows
+            // that send intermittently generate multiple flowlets" only
+            // when the gap exceeds it.
+            FlowletState::Draining { .. } | FlowletState::Backlogged => {
+                self.state = FlowletState::Backlogged;
+                FlowletAction::None
+            }
+        }
+    }
+
+    /// The sender's queue for this flow drained at time `now`.
+    pub fn on_drained(&mut self, now_ps: u64) -> FlowletAction {
+        if matches!(self.state, FlowletState::Backlogged) {
+            self.state = FlowletState::Draining {
+                empty_since_ps: now_ps,
+            };
+        }
+        FlowletAction::None
+    }
+
+    /// Clock tick: ends the flowlet if the queue has been empty long
+    /// enough.
+    pub fn poll(&mut self, now_ps: u64) -> FlowletAction {
+        if let FlowletState::Draining { empty_since_ps } = self.state {
+            if now_ps.saturating_sub(empty_since_ps) >= self.idle_threshold_ps {
+                self.state = FlowletState::Idle;
+                return FlowletAction::Ended;
+            }
+        }
+        FlowletAction::None
+    }
+
+    /// The earliest time a [`FlowletTracker::poll`] could report an end,
+    /// if the flow is draining — lets an event-driven caller set a timer
+    /// instead of polling.
+    pub fn end_deadline_ps(&self) -> Option<u64> {
+        match self.state {
+            FlowletState::Draining { empty_since_ps } => {
+                Some(empty_since_ps + self.idle_threshold_ps)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: u64 = 30_000_000; // 30 µs
+
+    #[test]
+    fn backlog_starts_exactly_one_flowlet() {
+        let mut f = FlowletTracker::new(T);
+        assert_eq!(f.on_backlog(0), FlowletAction::Started);
+        assert_eq!(f.on_backlog(5), FlowletAction::None);
+        assert!(f.active());
+    }
+
+    #[test]
+    fn ends_only_after_threshold_idle() {
+        let mut f = FlowletTracker::new(T);
+        f.on_backlog(0);
+        f.on_drained(1_000);
+        assert_eq!(f.poll(1_000 + T - 1), FlowletAction::None);
+        assert_eq!(f.poll(1_000 + T), FlowletAction::Ended);
+        assert!(!f.active());
+    }
+
+    #[test]
+    fn refill_during_drain_continues_the_flowlet() {
+        let mut f = FlowletTracker::new(T);
+        f.on_backlog(0);
+        f.on_drained(1_000);
+        // New data arrives before the threshold: same flowlet.
+        assert_eq!(f.on_backlog(1_000 + T / 2), FlowletAction::None);
+        assert_eq!(f.poll(1_000 + 2 * T), FlowletAction::None, "backlogged");
+        // Drain again; only now does the clock restart.
+        f.on_drained(3 * T);
+        assert_eq!(f.poll(4 * T), FlowletAction::Ended);
+    }
+
+    #[test]
+    fn gap_longer_than_threshold_makes_two_flowlets() {
+        // §1 footnote: "long lived flows that send intermittently generate
+        // multiple flowlets".
+        let mut f = FlowletTracker::new(T);
+        assert_eq!(f.on_backlog(0), FlowletAction::Started);
+        f.on_drained(10);
+        assert_eq!(f.poll(10 + T), FlowletAction::Ended);
+        assert_eq!(f.on_backlog(10 + 2 * T), FlowletAction::Started);
+    }
+
+    #[test]
+    fn drained_while_idle_is_a_noop() {
+        let mut f = FlowletTracker::new(T);
+        assert_eq!(f.on_drained(5), FlowletAction::None);
+        assert_eq!(f.poll(5 + 2 * T), FlowletAction::None);
+        assert_eq!(f.state(), FlowletState::Idle);
+    }
+
+    #[test]
+    fn deadline_reflects_drain_time() {
+        let mut f = FlowletTracker::new(T);
+        assert_eq!(f.end_deadline_ps(), None);
+        f.on_backlog(0);
+        assert_eq!(f.end_deadline_ps(), None);
+        f.on_drained(7);
+        assert_eq!(f.end_deadline_ps(), Some(7 + T));
+    }
+
+    #[test]
+    fn poll_is_idempotent_after_end() {
+        let mut f = FlowletTracker::new(T);
+        f.on_backlog(0);
+        f.on_drained(0);
+        assert_eq!(f.poll(T), FlowletAction::Ended);
+        assert_eq!(f.poll(2 * T), FlowletAction::None);
+    }
+}

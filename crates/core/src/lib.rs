@@ -1,0 +1,64 @@
+//! # Flowtune: flowlet control for datacenter networks
+//!
+//! A from-scratch implementation of the system described in *"Flowtune:
+//! Flowlet Control for Datacenter Networks"* (Perry, Balakrishnan, Shah —
+//! MIT CSAIL TR 2016-011 / NSDI 2017).
+//!
+//! Flowtune makes congestion-control decisions at the granularity of a
+//! **flowlet** — a batch of packets backlogged at a sender — instead of a
+//! packet. Endpoints notify a logically centralized allocator when
+//! flowlets start and end; the allocator computes explicit, optimal rates
+//! for every flow in the network with the NED optimizer (network utility
+//! maximization with an exactly-computed Hessian diagonal), normalizes
+//! them with F-NORM so no link is over-allocated, and pushes rate updates
+//! back to the endpoints, which pace their traffic accordingly.
+//!
+//! ## Crate map
+//!
+//! This crate is the system façade; the machinery lives in focused crates:
+//!
+//! * [`flowtune_topo`] — two-tier Clos fabrics, paths, allocator blocks;
+//! * [`flowtune_num`] — NED and the baseline NUM optimizers, U/F-NORM;
+//! * [`flowtune_alloc`] — the §5 multicore engine (FlowBlock/LinkBlock);
+//! * [`flowtune_proto`] — the 16/4/6-byte control messages.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flowtune::{AllocatorService, EndpointAgent, FlowtuneConfig};
+//! use flowtune_topo::{ClosConfig, TwoTierClos};
+//!
+//! // The paper's evaluation fabric: 9 racks × 16 servers, 4 spines.
+//! let fabric = TwoTierClos::build(ClosConfig::paper_eval());
+//! let mut allocator = AllocatorService::new(&fabric, FlowtuneConfig::default());
+//! let mut agent = EndpointAgent::new(0, 144);
+//!
+//! // Server 0 gets a 1 MB backlog toward server 140: a flowlet starts.
+//! let start = agent.on_backlog(7, 140, 1_000_000, 0).unwrap();
+//! allocator.on_message(start.clone());
+//!
+//! // One allocator tick (the paper runs one every 10 µs) produces rate
+//! // updates for whoever changed by more than the threshold.
+//! let updates = allocator.tick();
+//! assert_eq!(updates.len(), 1);
+//! for (dst_server, msg) in updates {
+//!     assert_eq!(dst_server, 0);
+//!     agent.on_rate_update(&msg);
+//! }
+//! // The only flow in an idle network gets its access line rate, less
+//! // the 1% capacity headroom the update threshold reserves (§6.4).
+//! let rate = agent.pacing_rate_gbps(7).unwrap();
+//! assert!((rate - 9.9).abs() < 1e-2);
+//! ```
+
+pub mod config;
+pub mod endpoint;
+pub mod flowlet;
+pub mod service;
+pub mod token;
+
+pub use config::FlowtuneConfig;
+pub use endpoint::EndpointAgent;
+pub use flowlet::FlowletTracker;
+pub use service::{AllocatorService, ServiceStats};
+pub use token::TokenAllocator;

@@ -1,0 +1,298 @@
+//! The centralized allocator as a library.
+//!
+//! [`AllocatorService`] is the Figure-1 box: it consumes flowlet start/end
+//! notifications, maintains the flow set inside a block-partitioned NED
+//! engine, and on every tick produces threshold-filtered rate updates. It
+//! is sans-IO — the network simulator delivers the messages over simulated
+//! TCP, the examples call it directly.
+
+use std::collections::HashMap;
+
+use flowtune_alloc::{AllocConfig, SerialAllocator};
+use flowtune_proto::{Message, Rate16, ThresholdFilter, Token};
+use flowtune_topo::{FlowId, TwoTierClos};
+
+use crate::FlowtuneConfig;
+
+#[derive(Debug, Clone, Copy)]
+struct Registered {
+    internal: FlowId,
+    src: u16,
+}
+
+/// Operating counters, mostly for the overhead experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Flowlet starts accepted.
+    pub starts: u64,
+    /// Flowlet ends accepted.
+    pub ends: u64,
+    /// Rate updates emitted (post-filter).
+    pub updates_sent: u64,
+    /// Rate updates suppressed by the threshold filter.
+    pub updates_suppressed: u64,
+    /// Payload bytes received from endpoints.
+    pub bytes_in: u64,
+    /// Payload bytes sent to endpoints.
+    pub bytes_out: u64,
+    /// Allocator iterations run.
+    pub iterations: u64,
+}
+
+/// The centralized rate allocator (NED + F-NORM + update filtering).
+#[derive(Debug)]
+pub struct AllocatorService {
+    fabric: TwoTierClos,
+    engine: SerialAllocator,
+    cfg: FlowtuneConfig,
+    registry: HashMap<Token, Registered>,
+    filter: ThresholdFilter,
+    next_internal: u64,
+    stats: ServiceStats,
+}
+
+impl AllocatorService {
+    /// Builds the service over `fabric`. The §6.4 capacity headroom
+    /// (`1 − update_threshold`) is applied to every link.
+    pub fn new(fabric: &TwoTierClos, cfg: FlowtuneConfig) -> Self {
+        let alloc_cfg = AllocConfig {
+            gamma: cfg.gamma,
+            f_norm: cfg.f_norm,
+            capacity_fraction: cfg.capacity_fraction(),
+        };
+        Self {
+            fabric: fabric.clone(),
+            engine: SerialAllocator::new(fabric, alloc_cfg),
+            cfg,
+            registry: HashMap::new(),
+            filter: ThresholdFilter::new(cfg.update_threshold),
+            next_internal: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Handles an endpoint notification. `RateUpdate`s are allocator
+    /// output and are rejected. Unknown `FlowletEnd`s are ignored (the
+    /// flowlet may have been re-keyed by an endpoint restart).
+    ///
+    /// # Panics
+    /// Panics if a `FlowletStart` reuses a token that is still active —
+    /// endpoints mint unique tokens, so this indicates message corruption.
+    pub fn on_message(&mut self, msg: Message) {
+        self.stats.bytes_in += msg.encoded_len() as u64;
+        match msg {
+            Message::FlowletStart {
+                token,
+                src,
+                dst,
+                weight_q8,
+                spine,
+                ..
+            } => {
+                assert!(
+                    !self.registry.contains_key(&token),
+                    "token {token:?} already active"
+                );
+                let internal = FlowId(self.next_internal);
+                self.next_internal += 1;
+                let weight = if weight_q8 == 0 {
+                    self.cfg.default_weight
+                } else {
+                    weight_q8 as f64 / 256.0
+                };
+                let path = self
+                    .fabric
+                    .path_via_spine(src as usize, dst as usize, spine as usize);
+                self.engine
+                    .add_flow(internal, src as usize, dst as usize, weight, &path);
+                self.registry.insert(token, Registered { internal, src });
+                self.stats.starts += 1;
+            }
+            Message::FlowletEnd { token } => {
+                if let Some(reg) = self.registry.remove(&token) {
+                    self.engine.remove_flow(reg.internal);
+                    self.filter.forget(token);
+                    self.stats.ends += 1;
+                }
+            }
+            Message::RateUpdate { .. } => {
+                // Output, not input; receiving one indicates mis-wiring.
+                debug_assert!(false, "allocator received a RateUpdate");
+            }
+        }
+    }
+
+    /// One allocator tick (§6.2: every 10 µs): runs the configured number
+    /// of NED iterations + F-NORM and returns `(source server, update)`
+    /// pairs for every flow whose normalized rate moved beyond the
+    /// threshold.
+    pub fn tick(&mut self) -> Vec<(u16, Message)> {
+        for _ in 0..self.cfg.iterations_per_tick {
+            self.engine.iterate();
+        }
+        self.stats.iterations += self.cfg.iterations_per_tick as u64;
+        let mut out = Vec::new();
+        // Deterministic order: engine (FlowBlock, slot) order would churn
+        // under swap_remove; sort by token for stability.
+        let mut tokens: Vec<Token> = self.registry.keys().copied().collect();
+        tokens.sort_unstable();
+        for token in tokens {
+            let reg = self.registry[&token];
+            let rate = self
+                .engine
+                .flow_rate(reg.internal)
+                .expect("registered flow must be in the engine");
+            let gbps = rate.normalized;
+            if self.filter.should_send(token, gbps) {
+                let msg = Message::RateUpdate {
+                    token,
+                    rate: Rate16::encode(gbps),
+                };
+                self.stats.bytes_out += msg.encoded_len() as u64;
+                self.stats.updates_sent += 1;
+                out.push((reg.src, msg));
+            } else {
+                self.stats.updates_suppressed += 1;
+            }
+        }
+        out
+    }
+
+    /// Current normalized rate of an active flowlet, Gbit/s.
+    pub fn flow_rate_gbps(&self, token: Token) -> Option<f64> {
+        let reg = self.registry.get(&token)?;
+        Some(self.engine.flow_rate(reg.internal)?.normalized)
+    }
+
+    /// Number of active flowlets.
+    pub fn active_flows(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Operating counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// The fabric this allocator serves.
+    pub fn fabric(&self) -> &TwoTierClos {
+        &self.fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtune_topo::ClosConfig;
+
+    fn fabric() -> TwoTierClos {
+        TwoTierClos::build(ClosConfig::paper_eval())
+    }
+
+    fn start(token: u32, src: u16, dst: u16) -> Message {
+        Message::FlowletStart {
+            token: Token::new(token),
+            src,
+            dst,
+            size_hint: 100_000,
+            weight_q8: 256,
+            spine: 1,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_headroom_scaled_line_rate() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        svc.on_message(start(1, 0, 140));
+        // A handful of 10 µs ticks converge the only flow to line rate
+        // × 0.99 headroom.
+        let mut last = Vec::new();
+        for _ in 0..200 {
+            last = svc.tick();
+        }
+        let rate = svc.flow_rate_gbps(Token::new(1)).unwrap();
+        assert!((rate - 9.9).abs() < 0.05, "rate {rate}");
+        // Converged ⇒ the filter suppresses further updates.
+        assert!(last.is_empty(), "{last:?}");
+    }
+
+    #[test]
+    fn updates_route_to_the_source_server() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        svc.on_message(start(1, 17, 99));
+        let updates = svc.tick();
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].0, 17);
+    }
+
+    #[test]
+    fn two_flows_share_fairly_and_end_frees() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        svc.on_message(start(1, 0, 140));
+        svc.on_message(start(2, 1, 141)); // same rack 0 → shares nothing
+        for _ in 0..100 {
+            svc.tick();
+        }
+        // Different sources/destinations: both get full line rate.
+        assert!((svc.flow_rate_gbps(Token::new(1)).unwrap() - 9.9).abs() < 0.05);
+        assert!((svc.flow_rate_gbps(Token::new(2)).unwrap() - 9.9).abs() < 0.05);
+
+        // Now two flows from the same source share its access link.
+        svc.on_message(start(3, 0, 100));
+        for _ in 0..200 {
+            svc.tick();
+        }
+        let r1 = svc.flow_rate_gbps(Token::new(1)).unwrap();
+        let r3 = svc.flow_rate_gbps(Token::new(3)).unwrap();
+        assert!((r1 - 4.95).abs() < 0.1, "shared uplink: {r1}");
+        assert!((r3 - 4.95).abs() < 0.1, "shared uplink: {r3}");
+
+        svc.on_message(Message::FlowletEnd { token: Token::new(3) });
+        for _ in 0..200 {
+            svc.tick();
+        }
+        let r1 = svc.flow_rate_gbps(Token::new(1)).unwrap();
+        assert!((r1 - 9.9).abs() < 0.05, "back to line rate: {r1}");
+        assert_eq!(svc.active_flows(), 2);
+    }
+
+    #[test]
+    fn threshold_suppresses_steady_state_updates() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        svc.on_message(start(1, 0, 140));
+        for _ in 0..100 {
+            svc.tick();
+        }
+        let before = svc.stats().updates_sent;
+        for _ in 0..100 {
+            let updates = svc.tick();
+            assert!(updates.is_empty());
+        }
+        assert_eq!(svc.stats().updates_sent, before);
+        assert!(svc.stats().updates_suppressed > 0);
+    }
+
+    #[test]
+    fn unknown_end_is_ignored() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        svc.on_message(Message::FlowletEnd { token: Token::new(9) });
+        assert_eq!(svc.active_flows(), 0);
+        assert_eq!(svc.stats().ends, 0);
+    }
+
+    #[test]
+    fn byte_accounting_matches_wire_sizes() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        svc.on_message(start(1, 0, 140));
+        svc.on_message(Message::FlowletEnd { token: Token::new(1) });
+        assert_eq!(svc.stats().bytes_in, 16 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_active_token_rejected() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        svc.on_message(start(1, 0, 140));
+        svc.on_message(start(1, 2, 141));
+    }
+}

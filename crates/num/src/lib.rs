@@ -1,0 +1,43 @@
+//! Network Utility Maximization (NUM) solvers for Flowtune.
+//!
+//! The allocator's job (§3 of the paper) is to pick rates `x_s` maximizing
+//! `Σ_s U_s(x_s)` subject to `Σ_{s∈S(ℓ)} x_s ≤ c_ℓ` for every link ℓ. This
+//! crate implements the dual (price-based) machinery:
+//!
+//! * [`Utility`] — strictly concave utility functions (weighted log for
+//!   proportional fairness, α-fair as an extension),
+//! * [`NumProblem`] — a dynamic flow/link instance supporting online flowlet
+//!   arrival and departure,
+//! * [`Ned`] — the paper's contribution, **Newton-Exact-Diagonal**
+//!   (Algorithm 1), plus the real-time `f32` variant [`NedRt`],
+//! * baselines used in §6.6: [`Gradient`] projection (and [`GradientRt`]),
+//!   [`Fgm`] (Beck et al.'s fast weighted gradient), and the
+//!   measurement-based [`NewtonLike`] method of Athuraliya & Low,
+//! * [`normalize`] — U-NORM and F-NORM rate normalization (§4),
+//! * [`solver`] — a driver that runs any optimizer to convergence and
+//!   reports residuals.
+//!
+//! # Units
+//!
+//! The solvers are unit-agnostic, but dual methods warm-start from prices
+//! of 1 (§3: "link prices are all set to 1"), which converges fastest when
+//! capacities are O(1)–O(100). Throughout this repository capacities and
+//! rates are expressed in **Gbit/s** inside NUM instances; the system layer
+//! converts to bits/s at the boundary.
+
+pub mod fgm;
+pub mod gradient;
+pub mod ned;
+pub mod newton_like;
+pub mod normalize;
+pub mod problem;
+pub mod solver;
+pub mod utility;
+
+pub use fgm::Fgm;
+pub use gradient::{Gradient, GradientRt};
+pub use ned::{Ned, NedRt};
+pub use newton_like::NewtonLike;
+pub use problem::{FlowIdx, NumProblem};
+pub use solver::{solve, ConvergenceReport, Optimizer, SolverState};
+pub use utility::Utility;

@@ -1,0 +1,203 @@
+//! Flow utility functions.
+//!
+//! NED admits "any utility function U_s that is strictly concave,
+//! differentiable, and monotonically increasing" (§3). The quantities each
+//! algorithm needs are `U'`, its inverse `(U')⁻¹` (the demand function:
+//! given a path price, the selfishly optimal rate), and the derivative of
+//! the inverse (the flow's price sensitivity, which NED sums into the exact
+//! Hessian diagonal).
+
+/// A strictly concave, differentiable, monotonically increasing utility.
+///
+/// An enum rather than a trait so the optimizer inner loops are free of
+/// dynamic dispatch; different flows may still use different variants
+/// ("different flows can have different utility functions", §2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Utility {
+    /// `U(x) = w·log x` — weighted proportional fairness (the paper's
+    /// objective; §3: "the logarithmic utility function ... will optimize
+    /// weighted proportional fairness").
+    Log {
+        /// Weight `w > 0`.
+        weight: f64,
+    },
+    /// `U(x) = w·x^(1−α)/(1−α)`, `α > 0`, `α ≠ 1` — the α-fair family
+    /// (α→1 recovers `Log`; α=2 approximates minimum potential delay
+    /// fairness). An extension beyond the paper's experiments, exercised
+    /// by the ablation benches.
+    AlphaFair {
+        /// Weight `w > 0`.
+        weight: f64,
+        /// Fairness parameter `α`.
+        alpha: f64,
+    },
+}
+
+impl Utility {
+    /// Weighted-log utility with the given weight.
+    ///
+    /// # Panics
+    /// Panics unless `weight > 0` and finite.
+    pub fn log(weight: f64) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be > 0");
+        Utility::Log { weight }
+    }
+
+    /// α-fair utility.
+    ///
+    /// # Panics
+    /// Panics unless `weight > 0`, `alpha > 0`, `alpha ≠ 1` (use
+    /// [`Utility::log`] for α = 1).
+    pub fn alpha_fair(weight: f64, alpha: f64) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be > 0");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be > 0");
+        assert!(alpha != 1.0, "alpha = 1 is Utility::log");
+        Utility::AlphaFair { weight, alpha }
+    }
+
+    /// The weight `w`.
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        match *self {
+            Utility::Log { weight } | Utility::AlphaFair { weight, .. } => weight,
+        }
+    }
+
+    /// `U(x)`.
+    #[inline]
+    pub fn utility(&self, x: f64) -> f64 {
+        match *self {
+            Utility::Log { weight } => weight * x.ln(),
+            Utility::AlphaFair { weight, alpha } => weight * x.powf(1.0 - alpha) / (1.0 - alpha),
+        }
+    }
+
+    /// Marginal utility `U'(x)`.
+    #[inline]
+    pub fn marginal(&self, x: f64) -> f64 {
+        match *self {
+            Utility::Log { weight } => weight / x,
+            Utility::AlphaFair { weight, alpha } => weight * x.powf(-alpha),
+        }
+    }
+
+    /// Demand function `(U')⁻¹(λ)`: the rate a selfish flow picks when its
+    /// path price is `λ` (Algorithm 1's rate update, eq. 3).
+    #[inline]
+    pub fn demand(&self, lambda: f64) -> f64 {
+        match *self {
+            Utility::Log { weight } => weight / lambda,
+            Utility::AlphaFair { weight, alpha } => (lambda / weight).powf(-1.0 / alpha),
+        }
+    }
+
+    /// Price sensitivity `((U')⁻¹)'(λ) = ∂x/∂λ ≤ 0` — the flow's
+    /// contribution to the exact Hessian diagonal (Algorithm 1's
+    /// `∂x_s(p)/∂p_ℓ`).
+    #[inline]
+    pub fn demand_derivative(&self, lambda: f64) -> f64 {
+        match *self {
+            Utility::Log { weight } => -weight / (lambda * lambda),
+            Utility::AlphaFair { weight, alpha } => {
+                -(1.0 / alpha) * (lambda / weight).powf(-1.0 / alpha - 1.0) / weight
+            }
+        }
+    }
+
+    /// The path price at which the demand equals `x_max` — the "kink"
+    /// price below which a flow is capped by its bottleneck line rate. The
+    /// optimizers floor each flow's path price here, which is equivalent to
+    /// adding the (redundant) constraint `x_s ≤ x_max` to the program and
+    /// keeps the Hessian diagonal strictly negative on loaded links.
+    #[inline]
+    pub fn price_floor(&self, x_max: f64) -> f64 {
+        self.marginal(x_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn log_demand_inverts_marginal() {
+        let u = Utility::log(2.5);
+        for &x in &[0.01, 1.0, 7.3, 100.0] {
+            let lambda = u.marginal(x);
+            assert!((u.demand(lambda) - x).abs() < EPS * x);
+        }
+    }
+
+    #[test]
+    fn alpha_fair_demand_inverts_marginal() {
+        let u = Utility::alpha_fair(1.5, 2.0);
+        for &x in &[0.01, 1.0, 7.3, 100.0] {
+            let lambda = u.marginal(x);
+            assert!((u.demand(lambda) - x).abs() < 1e-7 * x);
+        }
+    }
+
+    #[test]
+    fn demand_derivative_matches_finite_difference() {
+        for u in [Utility::log(1.0), Utility::alpha_fair(2.0, 0.5)] {
+            for &lambda in &[0.1, 1.0, 10.0] {
+                let h = 1e-6 * lambda;
+                let fd = (u.demand(lambda + h) - u.demand(lambda - h)) / (2.0 * h);
+                let an = u.demand_derivative(lambda);
+                assert!(
+                    (fd - an).abs() < 1e-4 * an.abs(),
+                    "{u:?} λ={lambda}: fd={fd} an={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demand_is_decreasing_and_negative_derivative() {
+        for u in [Utility::log(1.0), Utility::alpha_fair(1.0, 3.0)] {
+            assert!(u.demand(1.0) > u.demand(2.0));
+            assert!(u.demand_derivative(1.0) < 0.0);
+        }
+    }
+
+    #[test]
+    fn utility_is_concave_increasing() {
+        for u in [Utility::log(1.0), Utility::alpha_fair(1.0, 2.0)] {
+            let (a, b, c) = (u.utility(1.0), u.utility(2.0), u.utility(3.0));
+            assert!(b > a && c > b, "increasing");
+            assert!(b - a > c - b, "concave (diminishing returns)");
+        }
+    }
+
+    #[test]
+    fn price_floor_caps_demand() {
+        let u = Utility::log(1.0);
+        let x_max = 10.0;
+        let floor = u.price_floor(x_max);
+        assert!((u.demand(floor) - x_max).abs() < EPS);
+        // Below the floor, demand would exceed the cap.
+        assert!(u.demand(floor * 0.5) > x_max);
+    }
+
+    #[test]
+    fn log_weight_scales_demand() {
+        let u1 = Utility::log(1.0);
+        let u3 = Utility::log(3.0);
+        assert!((u3.demand(0.5) - 3.0 * u1.demand(0.5)).abs() < EPS);
+        assert_eq!(u3.weight(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be > 0")]
+    fn zero_weight_rejected() {
+        let _ = Utility::log(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha = 1")]
+    fn alpha_one_rejected() {
+        let _ = Utility::alpha_fair(1.0, 1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Message definitions and the byte codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::rate16::Rate16;
+use crate::Token;
+
+/// A control-plane message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Message {
+    /// Endpoint → allocator: a flowlet became backlogged. 16 bytes.
+    FlowletStart {
+        /// Flowlet handle chosen by the endpoint.
+        token: Token,
+        /// Source server index.
+        src: u16,
+        /// Destination server index.
+        dst: u16,
+        /// Size hint in bytes (0 = unknown/open-ended), saturating.
+        size_hint: u32,
+        /// Proportional-fairness weight in 1/256 units (256 = weight 1.0).
+        weight_q8: u16,
+        /// ECMP spine the flow hashes to, so the allocator can reconstruct
+        /// the path (§7 path discovery).
+        spine: u8,
+    },
+    /// Endpoint → allocator: the flowlet's queue drained. 4 bytes.
+    FlowletEnd {
+        /// Handle from the matching start.
+        token: Token,
+    },
+    /// Allocator → endpoint: new paced rate for a flowlet. 6 bytes.
+    RateUpdate {
+        /// Handle from the matching start.
+        token: Token,
+        /// The allocated, normalized rate.
+        rate: Rate16,
+    },
+}
+
+const TAG_START: u8 = 1;
+const TAG_END: u8 = 2;
+const TAG_RATE: u8 = 3;
+
+/// Paper-specified encoded sizes (§6.2), tag byte included.
+pub const START_BYTES: usize = 16;
+/// Size of a `FlowletEnd` message.
+pub const END_BYTES: usize = 4;
+/// Size of a `RateUpdate` message.
+pub const RATE_BYTES: usize = 6;
+
+impl Message {
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::FlowletStart { .. } => START_BYTES,
+            Message::FlowletEnd { .. } => END_BYTES,
+            Message::RateUpdate { .. } => RATE_BYTES,
+        }
+    }
+}
+
+fn put_u24(buf: &mut BytesMut, v: u32) {
+    debug_assert!(v <= Token::MAX);
+    buf.put_u8((v >> 16) as u8);
+    buf.put_u16(v as u16);
+}
+
+fn get_u24(buf: &mut Bytes) -> u32 {
+    let hi = buf.get_u8() as u32;
+    let lo = buf.get_u16() as u32;
+    (hi << 16) | lo
+}
+
+/// Appends `msg` to `buf`.
+pub fn encode(msg: &Message, buf: &mut BytesMut) {
+    match *msg {
+        Message::FlowletStart {
+            token,
+            src,
+            dst,
+            size_hint,
+            weight_q8,
+            spine,
+        } => {
+            buf.put_u8(TAG_START);
+            put_u24(buf, token.get());
+            buf.put_u16(src);
+            buf.put_u16(dst);
+            buf.put_u32(size_hint);
+            buf.put_u16(weight_q8);
+            buf.put_u8(spine);
+            buf.put_u8(0); // padding to 16 bytes
+        }
+        Message::FlowletEnd { token } => {
+            buf.put_u8(TAG_END);
+            put_u24(buf, token.get());
+        }
+        Message::RateUpdate { token, rate } => {
+            buf.put_u8(TAG_RATE);
+            put_u24(buf, token.get());
+            buf.put_u16(rate.bits());
+        }
+    }
+}
+
+/// Decode error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer holds a partial message (need more bytes).
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated message"),
+            DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes one message from the front of `buf`, consuming its bytes.
+pub fn decode(buf: &mut Bytes) -> Result<Message, DecodeError> {
+    if buf.is_empty() {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf[0];
+    let need = match tag {
+        TAG_START => START_BYTES,
+        TAG_END => END_BYTES,
+        TAG_RATE => RATE_BYTES,
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    if buf.len() < need {
+        return Err(DecodeError::Truncated);
+    }
+    buf.advance(1);
+    Ok(match tag {
+        TAG_START => {
+            let token = Token::new(get_u24(buf));
+            let src = buf.get_u16();
+            let dst = buf.get_u16();
+            let size_hint = buf.get_u32();
+            let weight_q8 = buf.get_u16();
+            let spine = buf.get_u8();
+            let _pad = buf.get_u8();
+            Message::FlowletStart {
+                token,
+                src,
+                dst,
+                size_hint,
+                weight_q8,
+                spine,
+            }
+        }
+        TAG_END => Message::FlowletEnd {
+            token: Token::new(get_u24(buf)),
+        },
+        _ => Message::RateUpdate {
+            token: Token::new(get_u24(buf)),
+            rate: Rate16::from_bits(buf.get_u16()),
+        },
+    })
+}
+
+/// Decodes every complete message in `buf` (a TCP stream segment may end
+/// mid-message; the remainder stays in `buf` for the next call).
+pub fn decode_stream(buf: &mut Bytes) -> Result<Vec<Message>, DecodeError> {
+    let mut out = Vec::new();
+    loop {
+        match decode(buf) {
+            Ok(m) => out.push(m),
+            Err(DecodeError::Truncated) => return Ok(out),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> Message {
+        Message::FlowletStart {
+            token: Token::new(0x00AB_CDEF),
+            src: 17,
+            dst: 143,
+            size_hint: 1_000_000,
+            weight_q8: 256,
+            spine: 3,
+        }
+    }
+
+    #[test]
+    fn sizes_match_the_paper() {
+        let mut buf = BytesMut::new();
+        encode(&start(), &mut buf);
+        assert_eq!(buf.len(), 16);
+        buf.clear();
+        encode(&Message::FlowletEnd { token: Token::new(1) }, &mut buf);
+        assert_eq!(buf.len(), 4);
+        buf.clear();
+        encode(
+            &Message::RateUpdate {
+                token: Token::new(1),
+                rate: Rate16::encode(10.0),
+            },
+            &mut buf,
+        );
+        assert_eq!(buf.len(), 6);
+    }
+
+    #[test]
+    fn roundtrip_each_kind() {
+        for msg in [
+            start(),
+            Message::FlowletEnd {
+                token: Token::new(Token::MAX),
+            },
+            Message::RateUpdate {
+                token: Token::new(0),
+                rate: Rate16::encode(3.5),
+            },
+        ] {
+            let mut buf = BytesMut::new();
+            encode(&msg, &mut buf);
+            let mut bytes = buf.freeze();
+            assert_eq!(decode(&mut bytes).unwrap(), msg);
+            assert!(bytes.is_empty(), "no leftover bytes");
+        }
+    }
+
+    #[test]
+    fn stream_decoding_handles_partials() {
+        let mut buf = BytesMut::new();
+        encode(&start(), &mut buf);
+        encode(&Message::FlowletEnd { token: Token::new(7) }, &mut buf);
+        encode(
+            &Message::RateUpdate {
+                token: Token::new(9),
+                rate: Rate16::encode(1.0),
+            },
+            &mut buf,
+        );
+        let all = buf.freeze();
+        // Split mid-second-message.
+        let mut first = all.slice(0..18);
+        let msgs = decode_stream(&mut first).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(first.len(), 2, "partial tail retained");
+        // Feed the rest.
+        let mut rest = BytesMut::from(&first[..]);
+        rest.extend_from_slice(&all[18..]);
+        let mut rest = rest.freeze();
+        let msgs2 = decode_stream(&mut rest).unwrap();
+        assert_eq!(msgs2.len(), 2);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn bad_tag_is_an_error() {
+        let mut bytes = Bytes::from_static(&[0xFF, 0, 0, 0]);
+        assert_eq!(decode(&mut bytes), Err(DecodeError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn truncated_is_reported_without_consuming() {
+        let mut buf = BytesMut::new();
+        encode(&start(), &mut buf);
+        let mut partial = buf.freeze().slice(0..10);
+        assert_eq!(decode(&mut partial), Err(DecodeError::Truncated));
+        assert_eq!(partial.len(), 10, "nothing consumed");
+    }
+}

@@ -1,0 +1,125 @@
+//! `Rate16`: the 2-byte rate encoding carried by rate updates.
+//!
+//! Layout: 5-bit exponent `e` (biased by 16), 11-bit mantissa `m`;
+//! value = `(1 + m/2048) · 2^(e−16)` Gbit/s, with 0 encoded as all-zero.
+//! Covers ~15 µbit/s … ~64 Tbit/s with ≤ 2⁻¹² ≈ 0.024% relative error —
+//! two orders of magnitude below the 1% update threshold, so quantization
+//! is never the accuracy bottleneck.
+
+/// A rate quantized to 16 bits (unit: Gbit/s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rate16(u16);
+
+const MANTISSA_BITS: u32 = 11;
+const MANTISSA_DIV: f64 = (1u32 << MANTISSA_BITS) as f64;
+const BIAS: i32 = 16;
+
+impl Rate16 {
+    /// Encodes a non-negative rate in Gbit/s, rounding to the nearest
+    /// representable value and saturating at the format's limits.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn encode(gbps: f64) -> Self {
+        assert!(gbps >= 0.0 && gbps.is_finite(), "rate must be ≥ 0, finite");
+        if gbps == 0.0 {
+            return Rate16(0);
+        }
+        let e = gbps.log2().floor() as i32;
+        let e_clamped = e.clamp(-BIAS, 31 - BIAS - 1);
+        let frac = gbps / 2f64.powi(e_clamped) - 1.0;
+        let m = (frac * MANTISSA_DIV).round();
+        // Rounding can carry into the next exponent.
+        let (e_final, m_final) = if m >= MANTISSA_DIV {
+            (e_clamped + 1, 0.0)
+        } else {
+            (e_clamped, m)
+        };
+        if e_final + BIAS > 30 {
+            // Saturate at max.
+            return Rate16(((30u16) << MANTISSA_BITS) | ((1 << MANTISSA_BITS) - 1));
+        }
+        if e_final + BIAS < 0 {
+            return Rate16(0);
+        }
+        Rate16((((e_final + BIAS) as u16) << MANTISSA_BITS) | m_final as u16)
+    }
+
+    /// Decodes back to Gbit/s.
+    pub fn decode(self) -> f64 {
+        if self.0 == 0 {
+            return 0.0;
+        }
+        let e = (self.0 >> MANTISSA_BITS) as i32 - BIAS;
+        let m = (self.0 & ((1 << MANTISSA_BITS) - 1)) as f64;
+        (1.0 + m / MANTISSA_DIV) * 2f64.powi(e)
+    }
+
+    /// Raw wire representation.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// From raw wire representation.
+    pub fn from_bits(bits: u16) -> Self {
+        Rate16(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_roundtrips() {
+        assert_eq!(Rate16::encode(0.0).decode(), 0.0);
+    }
+
+    #[test]
+    fn relative_error_is_small() {
+        for &gbps in &[0.001, 0.01, 0.1, 1.0, 9.37, 10.0, 40.0, 100.0, 1234.5] {
+            let got = Rate16::encode(gbps).decode();
+            let rel = (got - gbps).abs() / gbps;
+            assert!(rel < 2.5e-4, "{gbps} → {got} ({rel})");
+        }
+    }
+
+    #[test]
+    fn wire_bits_roundtrip() {
+        let r = Rate16::encode(7.25);
+        assert_eq!(Rate16::from_bits(r.bits()), r);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let max = Rate16::encode(1e12);
+        assert!(max.decode() > 1e4, "saturated high: {}", max.decode());
+        let tiny = Rate16::encode(1e-12);
+        assert_eq!(tiny.decode(), 0.0, "underflow flushes to zero");
+    }
+
+    #[test]
+    fn rounding_carry_into_next_exponent() {
+        // A value a hair below a power of two must round up cleanly.
+        let v = 2.0 - 1e-9;
+        let got = Rate16::encode(v).decode();
+        assert!((got - 2.0).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn monotone_on_samples() {
+        let mut prev = -1.0;
+        for i in 1..1000 {
+            let v = i as f64 * 0.123;
+            let d = Rate16::encode(v).decode();
+            assert!(d >= prev, "non-monotone at {v}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_rejected() {
+        let _ = Rate16::encode(-1.0);
+    }
+}

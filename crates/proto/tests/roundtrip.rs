@@ -1,0 +1,77 @@
+//! Property tests: every message round-trips through the codec, and
+//! arbitrary byte splits of a message stream decode to the same sequence.
+
+use bytes::BytesMut;
+use flowtune_proto::codec::{decode_stream, encode, Message};
+use flowtune_proto::{Rate16, Token};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0u32..=Token::MAX, any::<u16>(), any::<u16>(), any::<u32>(), any::<u16>(), any::<u8>())
+            .prop_map(|(t, src, dst, size_hint, weight_q8, spine)| {
+                Message::FlowletStart {
+                    token: Token::new(t),
+                    src,
+                    dst,
+                    size_hint,
+                    weight_q8,
+                    spine,
+                }
+            }),
+        (0u32..=Token::MAX).prop_map(|t| Message::FlowletEnd { token: Token::new(t) }),
+        (0u32..=Token::MAX, 0.0f64..1e4).prop_map(|(t, r)| Message::RateUpdate {
+            token: Token::new(t),
+            rate: Rate16::encode(r),
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn stream_roundtrip(messages in proptest::collection::vec(arb_message(), 0..32)) {
+        let mut buf = BytesMut::new();
+        for m in &messages {
+            encode(m, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        let decoded = decode_stream(&mut bytes).unwrap();
+        prop_assert!(bytes.is_empty());
+        prop_assert_eq!(decoded, messages);
+    }
+
+    #[test]
+    fn split_stream_roundtrip(
+        messages in proptest::collection::vec(arb_message(), 1..16),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let mut buf = BytesMut::new();
+        for m in &messages {
+            encode(m, &mut buf);
+        }
+        let all = buf.freeze();
+        let cut = cut.index(all.len());
+        // First chunk: decode what's complete.
+        let mut head = all.slice(0..cut);
+        let mut decoded = decode_stream(&mut head).unwrap();
+        // Remainder of the stream = undecoded tail + rest.
+        let mut rest = BytesMut::from(&head[..]);
+        rest.extend_from_slice(&all[cut..]);
+        let mut rest = rest.freeze();
+        decoded.extend(decode_stream(&mut rest).unwrap());
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(decoded, messages);
+    }
+
+    #[test]
+    fn rate16_monotone(a in 0.0f64..1e4, b in 0.0f64..1e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Rate16::encode(lo).decode() <= Rate16::encode(hi).decode());
+    }
+
+    #[test]
+    fn rate16_relative_error_bounded(r in 1e-3f64..1e4) {
+        let d = Rate16::encode(r).decode();
+        prop_assert!(((d - r).abs() / r) < 2.5e-4, "{r} → {d}");
+    }
+}

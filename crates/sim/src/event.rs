@@ -1,0 +1,172 @@
+//! The event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use flowtune_topo::LinkId;
+
+use crate::packet::Packet;
+
+/// A scheduled occurrence.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// `pkt` finishes propagation over `link` and arrives at `link.dst`.
+    Arrive {
+        /// The link just traversed.
+        link: LinkId,
+        /// The packet (with `hop` already advanced past `link`).
+        pkt: Packet,
+    },
+    /// `link`'s serializer becomes free; dequeue the next packet.
+    PortFree {
+        /// The transmitting port's link.
+        link: LinkId,
+    },
+    /// A transport timer (RTO or pacer) for `flow` fires. Stale timers
+    /// are recognized by `generation` mismatches.
+    FlowTimer {
+        /// Flow id.
+        flow: u64,
+        /// Which timer: retransmission or pacing.
+        kind: TimerKind,
+        /// Generation stamp at arming time.
+        generation: u64,
+    },
+    /// The allocator's 10 µs iteration tick.
+    AllocTick,
+    /// Periodic endpoint poll for flowlet-end detection.
+    AgentPoll,
+    /// Periodic queue-length sampling for the delay metrics (§6.5:
+    /// "collected queue lengths, drops, and throughput from each queue
+    /// every 1 ms").
+    MetricsSample,
+    /// XCP routers recompute aggregate feedback each control interval.
+    XcpInterval,
+    /// A flow's application data becomes available at its source.
+    FlowArrival {
+        /// Index into the simulation's pending-arrival list.
+        index: usize,
+    },
+    /// Scheduled stop of a long-running flow (Figure 4's staircase).
+    FlowStop {
+        /// Flow id.
+        flow: u64,
+    },
+}
+
+/// Transport timer kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Retransmission timeout.
+    Rto,
+    /// Paced-send credit (Flowtune pacer).
+    Pace,
+}
+
+/// Deterministic time-ordered queue (FIFO among equal timestamps).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: Reverse<(u64, u64)>,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at_ps`.
+    pub fn push(&mut self, at_ps: u64, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((at_ps, seq)),
+            event,
+        });
+    }
+
+    /// Pops the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.event))
+    }
+
+    /// Next event time without popping.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::AllocTick);
+        q.push(10, Event::AgentPoll);
+        q.push(20, Event::MetricsSample);
+        assert_eq!(q.pop().unwrap().0, 10);
+        assert_eq!(q.pop().unwrap().0, 20);
+        assert_eq!(q.pop().unwrap().0, 30);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::FlowTimer { flow: 1, kind: TimerKind::Rto, generation: 0 });
+        q.push(5, Event::FlowTimer { flow: 2, kind: TimerKind::Rto, generation: 0 });
+        q.push(5, Event::FlowTimer { flow: 3, kind: TimerKind::Rto, generation: 0 });
+        let order: Vec<u64> = (0..3)
+            .map(|_| match q.pop().unwrap().1 {
+                Event::FlowTimer { flow, .. } => flow,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(7, Event::AllocTick);
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic discrete-event packet-level datacenter network simulator
+//! — the ns2 substitute for the paper's §6.2–§6.6 experiments.
+//!
+//! Design rules (what makes the comparisons meaningful):
+//!
+//! * **Everything traverses the network.** Data, ACKs, and Flowtune's
+//!   control messages are packets subject to queueing, drops and
+//!   retransmission, exactly as the paper models in ns2 ("All control
+//!   traffic shares the network with data traffic and experiences queuing
+//!   and packet drops").
+//! * **Determinism.** Time is integer picoseconds; ties break on a
+//!   monotone sequence number; all randomness comes from one seeded RNG.
+//!   The same seed and configuration replay the identical simulation.
+//! * **One simulator, five schemes.** DCTCP, pFabric, Cubic+sfqCoDel,
+//!   XCP and Flowtune differ only in queue discipline and endpoint
+//!   transport; topology, trace and measurement are shared.
+//!
+//! The entry point is [`Simulation`]; see `examples/datacenter_sim.rs` at
+//! the workspace root for typical usage.
+
+pub mod event;
+pub mod metrics;
+pub mod packet;
+pub mod queue;
+pub mod sim;
+pub mod time;
+pub mod transport;
+
+pub use metrics::{FctRecord, Metrics};
+pub use packet::{Packet, PktKind};
+pub use sim::{Scheme, SimConfig, Simulation};
+pub use time::{MS, PS_PER_SEC, US};

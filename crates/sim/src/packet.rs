@@ -1,0 +1,156 @@
+//! Packets.
+
+use flowtune_topo::LinkId;
+
+/// Maximum hops of any path in the fabric (host→ToR→spine→ToR→host).
+pub const MAX_HOPS: usize = 4;
+
+/// Ethernet MTU carried by data packets (headers included, as in ns2's
+/// byte accounting).
+pub const MTU: u32 = 1500;
+/// TCP/IP + Ethernet header bytes inside each data packet; the rest is
+/// application payload.
+pub const HEADER: u32 = 58;
+/// Maximum segment size: application bytes per full packet.
+pub const MSS: u32 = MTU - HEADER;
+/// ACK / minimum frame size.
+pub const ACK_SIZE: u32 = 64;
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PktKind {
+    /// Application data: `[seq, seq + payload)` of the flow's byte
+    /// stream.
+    Data,
+    /// Cumulative acknowledgment up to `seq`.
+    Ack,
+}
+
+/// A packet in flight. Kept `Copy`-cheap: the path is inlined (≤ 4 hops).
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// The flow (or control stream) this packet belongs to.
+    pub flow: u64,
+    /// Data: first byte offset. Ack: cumulative ack offset.
+    pub seq: u64,
+    /// Application payload bytes (0 for pure ACKs).
+    pub payload: u32,
+    /// Total size on the wire, headers included.
+    pub wire_bytes: u32,
+    /// Data or ACK.
+    pub kind: PktKind,
+    /// pFabric priority: remaining flow bytes at send time (lower =
+    /// higher priority). Unused by other schemes.
+    pub prio: u64,
+    /// ECN: Congestion Experienced mark (set by queues, echoed by ACKs).
+    pub ce: bool,
+    /// XCP: per-packet feedback field (Δ window in bytes, router-written
+    /// on data, echoed on ACKs).
+    pub xcp_feedback: f64,
+    /// XCP: sender's current cwnd (bytes) and RTT estimate (ps), read by
+    /// routers to compute fair per-packet feedback.
+    pub xcp_cwnd: f64,
+    /// XCP RTT estimate, ps.
+    pub xcp_rtt: u64,
+    /// When the packet left the sender host (for latency accounting).
+    pub sent_ps: u64,
+    /// When the packet entered the current queue (CoDel sojourn time).
+    pub enq_ps: u64,
+    /// The remaining route: `path[hop..path_len]` are still to traverse.
+    pub path: [LinkId; MAX_HOPS],
+    /// Number of valid entries in `path`.
+    pub path_len: u8,
+    /// Next hop index.
+    pub hop: u8,
+}
+
+impl Packet {
+    /// Builds a packet over `path` (1–4 links).
+    pub fn new(flow: u64, kind: PktKind, seq: u64, payload: u32, path: &[LinkId]) -> Self {
+        assert!(!path.is_empty() && path.len() <= MAX_HOPS, "bad path");
+        let mut p = [LinkId(u32::MAX); MAX_HOPS];
+        p[..path.len()].copy_from_slice(path);
+        let wire_bytes = match kind {
+            PktKind::Data => (payload + HEADER).max(ACK_SIZE),
+            PktKind::Ack => ACK_SIZE,
+        };
+        Self {
+            flow,
+            seq,
+            payload,
+            wire_bytes,
+            kind,
+            prio: u64::MAX,
+            ce: false,
+            xcp_feedback: 0.0,
+            xcp_cwnd: 0.0,
+            xcp_rtt: 0,
+            sent_ps: 0,
+            enq_ps: 0,
+            path: p,
+            path_len: path.len() as u8,
+            hop: 0,
+        }
+    }
+
+    /// The link this packet traverses next, or `None` at the destination.
+    pub fn next_link(&self) -> Option<LinkId> {
+        if self.hop < self.path_len {
+            Some(self.path[self.hop as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Advances to the next hop.
+    pub fn advance(&mut self) {
+        debug_assert!(self.hop < self.path_len);
+        self.hop += 1;
+    }
+
+    /// Whether the packet has reached its final node.
+    pub fn at_destination(&self) -> bool {
+        self.hop >= self.path_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn data_packet_sizes() {
+        let p = Packet::new(1, PktKind::Data, 0, MSS, &[l(0), l(1)]);
+        assert_eq!(p.wire_bytes, MTU);
+        let small = Packet::new(1, PktKind::Data, 0, 1, &[l(0)]);
+        assert_eq!(small.wire_bytes, ACK_SIZE, "min frame");
+    }
+
+    #[test]
+    fn ack_is_min_frame() {
+        let p = Packet::new(1, PktKind::Ack, 500, 0, &[l(0)]);
+        assert_eq!(p.wire_bytes, ACK_SIZE);
+    }
+
+    #[test]
+    fn hop_progression() {
+        let mut p = Packet::new(1, PktKind::Data, 0, 100, &[l(3), l(7), l(9)]);
+        assert_eq!(p.next_link(), Some(l(3)));
+        p.advance();
+        assert_eq!(p.next_link(), Some(l(7)));
+        p.advance();
+        p.advance();
+        assert!(p.at_destination());
+        assert_eq!(p.next_link(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad path")]
+    fn empty_path_rejected() {
+        let _ = Packet::new(1, PktKind::Data, 0, 0, &[]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests over the packet simulator: for random small topologies,
+//! flow sets and schemes, physical invariants must hold.
+
+use flowtune_sim::{Scheme, SimConfig, Simulation, MS};
+use flowtune_topo::ClosConfig;
+use proptest::prelude::*;
+
+fn pod(racks: usize, spr: usize) -> ClosConfig {
+    ClosConfig {
+        racks,
+        servers_per_rack: spr,
+        racks_per_block: racks,
+        ..ClosConfig::paper_eval()
+    }
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Flowtune),
+        Just(Scheme::Dctcp),
+        Just(Scheme::Pfabric),
+        Just(Scheme::SfqCodel),
+        Just(Scheme::Xcp),
+    ]
+}
+
+/// Up to 12 random flows on a 2×8 pod.
+fn flows_strategy() -> impl Strategy<Value = Vec<(u64, u16, u16, u64)>> {
+    proptest::collection::vec(
+        (0u64..2_000_000, 0u16..16, 0u16..16, 100u64..500_000),
+        1..12,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(at, src, dst, bytes)| {
+                let dst = if dst == src { (dst + 1) % 16 } else { dst };
+                (at * 1_000, src, dst, bytes) // ns-ish stagger → ps
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_flows_complete_and_slowdowns_are_sane(
+        scheme in scheme_strategy(),
+        flows in flows_strategy(),
+    ) {
+        let mut cfg = SimConfig::paper(scheme);
+        cfg.clos = pod(2, 8);
+        let mut sim = Simulation::new(cfg);
+        let ids: Vec<u64> = flows
+            .iter()
+            .map(|&(at, src, dst, bytes)| sim.add_flow(at, src, dst, bytes))
+            .collect();
+        sim.run_until(500 * MS);
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert!(
+                sim.flow_finished(*id),
+                "{}: flow {i} of {:?} unfinished",
+                scheme.name(),
+                flows[i]
+            );
+        }
+        let m = sim.metrics();
+        prop_assert_eq!(m.fcts.len(), flows.len());
+        for r in &m.fcts {
+            prop_assert!(r.slowdown >= 0.99, "slowdown {} below ideal", r.slowdown);
+            prop_assert!(r.end_ps > r.start_ps);
+        }
+        // Conservation: delivered application bytes equal the offered sum
+        // exactly once everything completed.
+        let offered: u64 = flows.iter().map(|f| f.3).sum();
+        prop_assert_eq!(m.delivered_bytes, offered);
+    }
+
+    #[test]
+    fn drops_only_happen_for_lossy_schemes_at_tiny_scale(
+        flows in flows_strategy(),
+    ) {
+        // A lightly loaded pod: Flowtune must never drop data.
+        let mut cfg = SimConfig::paper(Scheme::Flowtune);
+        cfg.clos = pod(2, 8);
+        let mut sim = Simulation::new(cfg);
+        for &(at, src, dst, bytes) in &flows {
+            sim.add_flow(at, src, dst, bytes);
+        }
+        sim.run_until(500 * MS);
+        prop_assert_eq!(sim.metrics().dropped_data_bytes, 0);
+    }
+
+    #[test]
+    fn determinism_holds_for_any_flow_set(
+        scheme in scheme_strategy(),
+        flows in flows_strategy(),
+    ) {
+        let run = || {
+            let mut cfg = SimConfig::paper(scheme);
+            cfg.clos = pod(2, 8);
+            let mut sim = Simulation::new(cfg);
+            for &(at, src, dst, bytes) in &flows {
+                sim.add_flow(at, src, dst, bytes);
+            }
+            sim.run_until(200 * MS);
+            sim.metrics()
+                .fcts
+                .iter()
+                .map(|r| (r.flow, r.end_ps))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,92 @@
+//! Strongly-typed identifiers.
+//!
+//! All network entities are referred to by dense indices so hot paths (the
+//! NED inner loop, the simulator event loop) can use flat `Vec` storage.
+//! Newtypes keep the index spaces from being mixed up.
+
+use std::fmt;
+
+/// Identifies a node (server, ToR switch, spine switch, or the allocator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// Identifies a rack (equivalently, its ToR switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId(pub u16);
+
+/// Identifies a block: a group of racks that the multicore allocator treats
+/// as one unit (§5, Figure 2 — "Groups of network racks form blocks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u16);
+
+/// Identifies a flow (a five-tuple in a real deployment). Flowlets of the
+/// same flow reuse the flow's id; the allocator tracks whichever flowlets
+/// are currently active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+macro_rules! impl_id {
+    ($name:ident, $inner:ty) => {
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v as $inner)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, u32);
+impl_id!(LinkId, u32);
+impl_id!(RackId, u16);
+impl_id!(BlockId, u16);
+impl_id!(FlowId, u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(NodeId::from(42usize).index(), 42);
+        assert_eq!(LinkId(7).index(), 7);
+        assert_eq!(RackId::from(3u16).index(), 3);
+        assert_eq!(BlockId(1).index(), 1);
+        assert_eq!(FlowId(9).index(), 9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(NodeId(5).to_string(), "NodeId(5)");
+        assert_eq!(FlowId(11).to_string(), "FlowId(11)");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(LinkId(1) < LinkId(2));
+        assert!(NodeId(0) < NodeId(10));
+    }
+}

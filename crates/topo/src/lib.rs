@@ -1,0 +1,103 @@
+//! Datacenter topology substrate for the Flowtune reproduction.
+//!
+//! The paper (§5, §6.2) evaluates Flowtune on two-tier full-bisection Clos
+//! fabrics: racks of servers, one ToR switch per rack, and a layer of spine
+//! switches with every ToR connected to every spine. This crate provides:
+//!
+//! * strongly-typed identifiers ([`NodeId`], [`LinkId`], [`RackId`],
+//!   [`BlockId`], [`FlowId`]),
+//! * a generic directed [`Topology`] graph of nodes and capacitated links,
+//! * a [`TwoTierClos`](clos::TwoTierClos) builder matching the paper's
+//!   evaluation topology (9 racks × 16 servers × 4 spines at 10 Gbit/s),
+//! * deterministic hash-based ECMP path resolution ([`clos::TwoTierClos::path`]),
+//! * the rack→block grouping and upward/downward LinkBlock membership used
+//!   by the multicore allocator (§5, Figure 2).
+//!
+//! Everything is deterministic: the same inputs always produce the same
+//! paths, which the simulator and the allocator both rely on.
+
+pub mod clos;
+pub mod ids;
+pub mod link;
+pub mod topology;
+
+pub use clos::{ClosConfig, TwoTierClos};
+pub use ids::{BlockId, FlowId, LinkId, NodeId, RackId};
+pub use link::{Link, LinkDir};
+pub use topology::{Node, NodeKind, Topology};
+
+/// A loop-free path through the network: the ordered list of links a packet
+/// traverses from source host to destination host.
+///
+/// Paths in a two-tier Clos have at most 4 links (host→ToR, ToR→spine,
+/// spine→ToR, ToR→host), but the type supports arbitrary lengths so the NUM
+/// solvers can also be exercised on synthetic topologies (parking-lot
+/// chains, random graphs) in tests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Creates a path from an ordered list of links.
+    ///
+    /// # Panics
+    /// Panics if `links` is empty: every flow traverses at least one link
+    /// (§3: "Each flow passes through at least one link").
+    pub fn new(links: Vec<LinkId>) -> Self {
+        assert!(!links.is_empty(), "a path must traverse at least one link");
+        Self { links }
+    }
+
+    /// The links of the path, in traversal order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Number of links (hops) in the path.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Paths are never empty; provided for clippy-completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the links of the path.
+    pub fn iter(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.links.iter().copied()
+    }
+}
+
+impl<'a> IntoIterator for &'a Path {
+    type Item = LinkId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, LinkId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.links.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_basic_accessors() {
+        let p = Path::new(vec![LinkId(3), LinkId(7)]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.links(), &[LinkId(3), LinkId(7)]);
+        let collected: Vec<LinkId> = p.iter().collect();
+        assert_eq!(collected, vec![LinkId(3), LinkId(7)]);
+        let collected2: Vec<LinkId> = (&p).into_iter().collect();
+        assert_eq!(collected2, collected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_path_rejected() {
+        let _ = Path::new(vec![]);
+    }
+}

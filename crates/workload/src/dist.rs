@@ -1,0 +1,171 @@
+//! Empirical CDFs with inverse-transform sampling.
+
+use rand::{Rng, RngExt};
+
+/// A distribution over flow sizes (bytes) given as CDF points
+/// `(size, P[X ≤ size])`, linearly interpolated between points.
+///
+/// Linear interpolation is used for both sampling and the analytic mean so
+/// the two are exactly consistent — the load calibration in the paper
+/// ("100% load is when the rate equals link capacity divided by the mean
+/// flow size") depends on that consistency.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    points: Vec<(f64, f64)>,
+    mean: f64,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from `(size_bytes, cumulative_probability)` points.
+    ///
+    /// # Panics
+    /// Panics unless sizes are strictly increasing and positive,
+    /// probabilities are non-decreasing in [0, 1], and the last
+    /// probability is 1.
+    pub fn new(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must be strictly increasing");
+            assert!(w[0].1 <= w[1].1, "probabilities must be non-decreasing");
+        }
+        assert!(points[0].0 > 0.0, "sizes must be positive");
+        assert!((0.0..=1.0).contains(&points[0].1));
+        assert!(
+            (points.last().unwrap().1 - 1.0).abs() < 1e-12,
+            "last probability must be 1"
+        );
+        // Mean of the piecewise-linear CDF: each segment contributes
+        // Δp · midpoint; mass below the first point sits at the first
+        // point (treated as an atom, as in published CDF reconstructions).
+        let mut mean = points[0].0 * points[0].1;
+        for w in points.windows(2) {
+            let dp = w[1].1 - w[0].1;
+            mean += dp * 0.5 * (w[0].0 + w[1].0);
+        }
+        Self {
+            points: points.to_vec(),
+            mean,
+        }
+    }
+
+    /// The distribution mean in bytes.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Inverse-transform sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        self.quantile(u)
+    }
+
+    /// The `u`-quantile (`0 ≤ u ≤ 1`), linearly interpolated.
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        if u <= self.points[0].1 {
+            return self.points[0].0;
+        }
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if u <= p1 {
+                if p1 == p0 {
+                    return x1;
+                }
+                let f = (u - p0) / (p1 - p0);
+                return x0 + f * (x1 - x0);
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// `P[X ≤ x]`, the CDF itself (inverse of [`EmpiricalCdf::quantile`]).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < self.points[0].0 {
+            return 0.0;
+        }
+        for w in self.points.windows(2) {
+            let (x0, p0) = w[0];
+            let (x1, p1) = w[1];
+            if x <= x1 {
+                let f = (x - x0) / (x1 - x0);
+                return p0 + f * (p1 - p0);
+            }
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_1k_2k() -> EmpiricalCdf {
+        EmpiricalCdf::new(&[(1000.0, 0.0), (2000.0, 1.0)])
+    }
+
+    #[test]
+    fn mean_of_uniform_segment() {
+        assert!((uniform_1k_2k().mean() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let d = uniform_1k_2k();
+        assert_eq!(d.quantile(0.0), 1000.0);
+        assert_eq!(d.quantile(0.5), 1500.0);
+        assert_eq!(d.quantile(1.0), 2000.0);
+    }
+
+    #[test]
+    fn cdf_inverts_quantile() {
+        let d = EmpiricalCdf::new(&[(100.0, 0.1), (1000.0, 0.6), (50_000.0, 1.0)]);
+        for &u in &[0.15, 0.3, 0.6, 0.8, 0.99] {
+            let x = d.quantile(u);
+            assert!((d.cdf(x) - u).abs() < 1e-9, "u={u}");
+        }
+    }
+
+    #[test]
+    fn atom_at_first_point() {
+        let d = EmpiricalCdf::new(&[(100.0, 0.5), (200.0, 1.0)]);
+        assert_eq!(d.quantile(0.25), 100.0);
+        // mean = 0.5·100 (atom) + 0.5·150 (segment)
+        assert!((d.mean() - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_mean_approaches_analytic_mean() {
+        let d = EmpiricalCdf::new(&[(100.0, 0.2), (1000.0, 0.7), (100_000.0, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let sample_mean = total / n as f64;
+        let rel = (sample_mean - d.mean()).abs() / d.mean();
+        assert!(rel < 0.02, "sample {sample_mean} vs analytic {}", d.mean());
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let d = EmpiricalCdf::new(&[(50.0, 0.0), (500.0, 0.9), (5000.0, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((50.0..=5000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_points_rejected() {
+        let _ = EmpiricalCdf::new(&[(10.0, 0.0), (5.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last probability")]
+    fn incomplete_cdf_rejected() {
+        let _ = EmpiricalCdf::new(&[(10.0, 0.0), (20.0, 0.9)]);
+    }
+}

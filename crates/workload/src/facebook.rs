@@ -1,0 +1,132 @@
+//! Approximations of the Facebook production flow-size distributions
+//! (Roy et al., "Inside the social network's (datacenter) network",
+//! SIGCOMM 2015) used by the paper's simulations.
+//!
+//! The SIGCOMM paper publishes the distributions only as plotted CDFs, so
+//! these are piecewise-linear reconstructions. What matters for the
+//! Flowtune evaluation (and what these preserve):
+//!
+//! * **Web** — dominated by tiny responses (most flows under a few kB),
+//!   smallest mean ⇒ highest flowlet arrival rate at a given load ⇒ "the
+//!   highest rate of changes and hence stresses Flowtune the most" (§6.2)
+//!   and the largest allocator update traffic (Figure 5).
+//! * **Cache** — follower/leader object traffic, mostly 1–100 kB objects,
+//!   intermediate mean.
+//! * **Hadoop** — many small control transfers plus a heavy shuffle tail
+//!   into the hundreds of MB, the largest mean ⇒ fewest flowlets/s ⇒ the
+//!   least update traffic.
+
+use crate::dist::EmpiricalCdf;
+
+/// A named workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Web servers.
+    Web,
+    /// Cache leaders/followers.
+    Cache,
+    /// Hadoop cluster.
+    Hadoop,
+}
+
+impl Workload {
+    /// All three workloads, in the paper's order.
+    pub const ALL: [Workload; 3] = [Workload::Web, Workload::Cache, Workload::Hadoop];
+
+    /// The flow-size distribution.
+    pub fn cdf(self) -> EmpiricalCdf {
+        let points: &[(f64, f64)] = match self {
+            Workload::Web => WEB,
+            Workload::Cache => CACHE,
+            Workload::Hadoop => HADOOP,
+        };
+        EmpiricalCdf::new(points)
+    }
+
+    /// Display name (lower case, as in the figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Web => "web",
+            Workload::Cache => "cache",
+            Workload::Hadoop => "hadoop",
+        }
+    }
+}
+
+/// Web workload CDF points `(bytes, P[X ≤ bytes])`.
+pub const WEB: &[(f64, f64)] = &[
+    (250.0, 0.05),
+    (500.0, 0.15),
+    (1_000.0, 0.30),
+    (2_000.0, 0.45),
+    (5_000.0, 0.60),
+    (10_000.0, 0.70),
+    (30_000.0, 0.80),
+    (100_000.0, 0.88),
+    (500_000.0, 0.95),
+    (2_000_000.0, 0.99),
+    (10_000_000.0, 1.0),
+];
+
+/// Cache workload CDF points.
+pub const CACHE: &[(f64, f64)] = &[
+    (500.0, 0.05),
+    (2_000.0, 0.15),
+    (10_000.0, 0.40),
+    (50_000.0, 0.70),
+    (100_000.0, 0.80),
+    (500_000.0, 0.93),
+    (2_000_000.0, 0.98),
+    (20_000_000.0, 1.0),
+];
+
+/// Hadoop workload CDF points.
+pub const HADOOP: &[(f64, f64)] = &[
+    (300.0, 0.10),
+    (1_000.0, 0.40),
+    (10_000.0, 0.63),
+    (100_000.0, 0.77),
+    (1_000_000.0, 0.86),
+    (10_000_000.0, 0.93),
+    (100_000_000.0, 0.98),
+    (400_000_000.0, 1.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_are_ordered_web_cache_hadoop() {
+        // The §6.4 result ordering (update traffic: web > cache > hadoop)
+        // follows from mean sizes hadoop > cache > web.
+        let web = Workload::Web.cdf().mean();
+        let cache = Workload::Cache.cdf().mean();
+        let hadoop = Workload::Hadoop.cdf().mean();
+        assert!(web < cache, "web {web} < cache {cache}");
+        assert!(cache < hadoop, "cache {cache} < hadoop {hadoop}");
+    }
+
+    #[test]
+    fn web_is_mostly_small_flows() {
+        // [11]-style observation: "the majority of flows are under 10
+        // packets" (15 kB at 1500 B MTU).
+        let web = Workload::Web.cdf();
+        assert!(web.cdf(15_000.0) > 0.5);
+    }
+
+    #[test]
+    fn hadoop_has_a_heavy_tail() {
+        let hadoop = Workload::Hadoop.cdf();
+        assert!(hadoop.cdf(1_000_000.0) < 0.9, "≥10% of flows above 1 MB");
+        assert!(hadoop.mean() > 5_000_000.0, "mean dominated by the tail");
+    }
+
+    #[test]
+    fn all_workloads_build_and_name() {
+        for w in Workload::ALL {
+            let _ = w.cdf();
+            assert!(!w.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Flowlet trace generation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::facebook::Workload;
+use crate::poisson::PoissonArrivals;
+
+/// One generated flowlet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowletEvent {
+    /// Arrival time, picoseconds from trace start.
+    pub at_ps: u64,
+    /// Source server index.
+    pub src: u32,
+    /// Destination server index (≠ src).
+    pub dst: u32,
+    /// Flowlet size in bytes.
+    pub bytes: u64,
+    /// Sequential flowlet id (unique within the trace).
+    pub id: u64,
+}
+
+/// Trace parameters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Which flow-size distribution to draw from.
+    pub workload: Workload,
+    /// Average server load in (0, 1].
+    pub load: f64,
+    /// Number of servers; sources and destinations are uniform.
+    pub servers: usize,
+    /// Server access-link capacity (bits/s) for the load calibration.
+    pub server_link_bps: u64,
+    /// RNG seed — traces are fully reproducible.
+    pub seed: u64,
+}
+
+/// An infinite, lazily-generated Poisson flowlet trace.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cfg: TraceConfig,
+    arrivals: PoissonArrivals,
+    cdf: crate::dist::EmpiricalCdf,
+    rng: StdRng,
+    clock_ps: u64,
+    next_id: u64,
+}
+
+impl TraceGenerator {
+    /// Builds a generator.
+    ///
+    /// # Panics
+    /// Panics if `servers < 2` (flows need distinct endpoints) or the load
+    /// is not positive.
+    pub fn new(cfg: TraceConfig) -> Self {
+        assert!(cfg.servers >= 2, "need at least two servers");
+        let cdf = cfg.workload.cdf();
+        let arrivals =
+            PoissonArrivals::for_load(cfg.load, cfg.servers, cfg.server_link_bps, cdf.mean());
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            arrivals,
+            cdf,
+            rng,
+            clock_ps: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Aggregate flowlet arrival rate (per second).
+    pub fn rate_per_sec(&self) -> f64 {
+        self.arrivals.rate_per_sec()
+    }
+
+    /// Mean flowlet size of the configured workload (bytes).
+    pub fn mean_bytes(&self) -> f64 {
+        self.cdf.mean()
+    }
+
+    /// Generates the next flowlet (arrival times strictly increase).
+    pub fn next_event(&mut self) -> FlowletEvent {
+        self.clock_ps += self.arrivals.next_gap_ps(&mut self.rng).max(1);
+        let src = self.rng.random_range(0..self.cfg.servers) as u32;
+        let mut dst = self.rng.random_range(0..self.cfg.servers) as u32;
+        if dst == src {
+            dst = (dst + 1) % self.cfg.servers as u32;
+        }
+        let bytes = self.cdf.sample(&mut self.rng).max(1.0) as u64;
+        let id = self.next_id;
+        self.next_id += 1;
+        FlowletEvent {
+            at_ps: self.clock_ps,
+            src,
+            dst,
+            bytes,
+            id,
+        }
+    }
+
+    /// Collects every flowlet arriving before `horizon_ps`.
+    pub fn events_until(&mut self, horizon_ps: u64) -> Vec<FlowletEvent> {
+        let mut out = Vec::new();
+        loop {
+            let e = self.next_event();
+            if e.at_ps >= horizon_ps {
+                // The generator's clock has passed the horizon; the event
+                // is discarded (the trace is a prefix, not a stream with
+                // push-back), which is fine for fixed-horizon experiments.
+                return out;
+            }
+            out.push(e);
+        }
+    }
+}
+
+/// The §6.3 convergence experiment: five senders to one receiver, one
+/// long-running flow starting every 10 ms, then one stopping every 10 ms.
+#[derive(Debug, Clone)]
+pub struct ConvergenceScenario {
+    /// Sender server indices (5 in the paper).
+    pub senders: Vec<u32>,
+    /// Receiver server index.
+    pub receiver: u32,
+    /// Gap between consecutive starts/stops, ps (10 ms in the paper).
+    pub stagger_ps: u64,
+}
+
+impl ConvergenceScenario {
+    /// The paper's configuration on a 144-server fabric: senders 0–4
+    /// (picked in different racks by the caller if desired), receiver 5,
+    /// 10 ms stagger.
+    pub fn paper_default() -> Self {
+        Self {
+            senders: vec![0, 16, 32, 48, 64],
+            receiver: 5,
+            stagger_ps: 10_000_000_000, // 10 ms
+        }
+    }
+
+    /// `(start_ps, stop_ps)` for each sender: sender `k` starts at
+    /// `k·stagger` and stops at `(N+k)·stagger`, so the active set ramps
+    /// 1,2,…,N then N−1,…,0 — exactly Figure 4's staircase.
+    pub fn schedule(&self) -> Vec<(u64, u64)> {
+        let n = self.senders.len() as u64;
+        (0..n)
+            .map(|k| (k * self.stagger_ps, (n + k) * self.stagger_ps))
+            .collect()
+    }
+
+    /// Total experiment duration (when the last flow stops).
+    pub fn duration_ps(&self) -> u64 {
+        2 * self.senders.len() as u64 * self.stagger_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(load: f64, seed: u64) -> TraceConfig {
+        TraceConfig {
+            workload: Workload::Web,
+            load,
+            servers: 144,
+            server_link_bps: 10_000_000_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn trace_is_reproducible() {
+        let mut a = TraceGenerator::new(cfg(0.5, 42));
+        let mut b = TraceGenerator::new(cfg(0.5, 42));
+        for _ in 0..100 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TraceGenerator::new(cfg(0.5, 1));
+        let mut b = TraceGenerator::new(cfg(0.5, 2));
+        let ea: Vec<_> = (0..10).map(|_| a.next_event()).collect();
+        let eb: Vec<_> = (0..10).map(|_| b.next_event()).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn times_strictly_increase_and_ids_are_sequential() {
+        let mut g = TraceGenerator::new(cfg(0.8, 3));
+        let mut last = 0;
+        for i in 0..1000 {
+            let e = g.next_event();
+            assert!(e.at_ps > last);
+            assert_eq!(e.id, i);
+            assert_ne!(e.src, e.dst);
+            assert!(e.bytes >= 1);
+            last = e.at_ps;
+        }
+    }
+
+    #[test]
+    fn offered_load_matches_target() {
+        // Generate 200 ms of trace and check total offered bytes/s per
+        // server ≈ load × capacity.
+        let load = 0.6;
+        let mut g = TraceGenerator::new(cfg(load, 9));
+        let horizon_ps: u64 = 200_000_000_000; // 200 ms
+        let events = g.events_until(horizon_ps);
+        let total_bytes: u64 = events.iter().map(|e| e.bytes).sum();
+        let secs = horizon_ps as f64 / 1e12;
+        let offered_bps = total_bytes as f64 * 8.0 / secs / 144.0;
+        let target = load * 1e10;
+        let rel = (offered_bps - target).abs() / target;
+        assert!(rel < 0.1, "offered {offered_bps:.3e} vs target {target:.3e}");
+    }
+
+    #[test]
+    fn doubling_load_doubles_rate() {
+        let a = TraceGenerator::new(cfg(0.3, 1)).rate_per_sec();
+        let b = TraceGenerator::new(cfg(0.6, 1)).rate_per_sec();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convergence_schedule_staircase() {
+        let s = ConvergenceScenario::paper_default();
+        let sched = s.schedule();
+        assert_eq!(sched.len(), 5);
+        assert_eq!(sched[0], (0, 50_000_000_000));
+        assert_eq!(sched[4], (40_000_000_000, 90_000_000_000));
+        assert_eq!(s.duration_ps(), 100_000_000_000);
+        // At t = 45 ms: started 0..4 (all 5), stopped senders with stop <
+        // 45 ms: none (first stop at 50 ms) → 5 active.
+        let t = 45_000_000_000u64;
+        let active = sched
+            .iter()
+            .filter(|&&(a, b)| a <= t && t < b)
+            .count();
+        assert_eq!(active, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two servers")]
+    fn one_server_rejected() {
+        let mut c = cfg(0.5, 1);
+        c.servers = 1;
+        let _ = TraceGenerator::new(c);
+    }
+}

@@ -1,0 +1,96 @@
+//! Poisson flowlet arrivals and the paper's load calibration.
+
+use rand::{Rng, RngExt};
+
+/// A Poisson arrival process over the whole cluster.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    /// Aggregate arrival rate, flowlets per second.
+    rate_per_sec: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with an explicit aggregate rate (flowlets/s).
+    ///
+    /// # Panics
+    /// Panics unless the rate is positive and finite.
+    pub fn with_rate(rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive"
+        );
+        Self { rate_per_sec }
+    }
+
+    /// The paper's calibration (§6.2): "100% load is when the rate equals
+    /// server link capacity divided by the mean flow size", summed over
+    /// `servers` senders.
+    pub fn for_load(
+        load: f64,
+        servers: usize,
+        server_link_bps: u64,
+        mean_flow_bytes: f64,
+    ) -> Self {
+        assert!(load > 0.0 && load.is_finite(), "load must be positive");
+        assert!(servers > 0 && mean_flow_bytes > 0.0);
+        let per_server = load * server_link_bps as f64 / (8.0 * mean_flow_bytes);
+        Self::with_rate(per_server * servers as f64)
+    }
+
+    /// Aggregate rate in flowlets per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Samples the next inter-arrival gap, in picoseconds.
+    pub fn next_gap_ps<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Exponential via inverse transform; 1−u avoids ln(0).
+        let u: f64 = rng.random();
+        let secs = -(1.0 - u).ln() / self.rate_per_sec;
+        (secs * 1e12) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn load_calibration_matches_definition() {
+        // 10 Gbit/s links, 1.25 MB mean ⇒ 1000 flows/s/server at 100%.
+        let p = PoissonArrivals::for_load(1.0, 1, 10_000_000_000, 1_250_000.0);
+        assert!((p.rate_per_sec() - 1000.0).abs() < 1e-9);
+        // Half load, 144 servers.
+        let p = PoissonArrivals::for_load(0.5, 144, 10_000_000_000, 1_250_000.0);
+        assert!((p.rate_per_sec() - 72_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gaps_average_to_inverse_rate() {
+        let p = PoissonArrivals::with_rate(10_000.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| p.next_gap_ps(&mut rng)).sum();
+        let mean_ps = total as f64 / n as f64;
+        let expect = 1e12 / 10_000.0; // 100 µs
+        assert!((mean_ps - expect).abs() / expect < 0.02, "{mean_ps}");
+    }
+
+    #[test]
+    fn gaps_are_nonnegative_and_varied() {
+        let p = PoissonArrivals::with_rate(1e6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let gaps: Vec<u64> = (0..100).map(|_| p.next_gap_ps(&mut rng)).collect();
+        assert!(gaps.iter().any(|&g| g > 0));
+        let first = gaps[0];
+        assert!(gaps.iter().any(|&g| g != first), "not constant");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = PoissonArrivals::with_rate(0.0);
+    }
+}

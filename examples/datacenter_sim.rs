@@ -1,0 +1,61 @@
+//! Packet-level shoot-out: run the same Facebook-web trace under Flowtune
+//! and DCTCP on a 48-server leaf-spine pod and compare tail FCTs, queueing
+//! and drops — a miniature of the paper's §6.5 comparison.
+//!
+//! Run with: `cargo run --release --example datacenter_sim`
+
+use flowtune_sim::{Scheme, SimConfig, Simulation, MS};
+use flowtune_topo::ClosConfig;
+use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
+
+fn main() {
+    let servers = 48;
+    let load = 0.6;
+    let horizon = 8 * MS;
+
+    println!("web workload, {servers} servers, load {load}, {} ms of arrivals", horizon / MS);
+    println!("scheme     | flows | p99 slowdown (1pkt) | p99 qdelay 4hop | dropped");
+    for scheme in [Scheme::Flowtune, Scheme::Dctcp, Scheme::Pfabric] {
+        let mut cfg = SimConfig::paper(scheme);
+        cfg.clos = ClosConfig {
+            racks: servers / 16,
+            servers_per_rack: 16,
+            racks_per_block: servers / 16,
+            ..ClosConfig::paper_eval()
+        };
+        cfg.sample_interval_ps = 100_000_000; // 100 µs sampling for a short run
+        let mut sim = Simulation::new(cfg);
+        let mut gen = TraceGenerator::new(TraceConfig {
+            workload: Workload::Web,
+            load,
+            servers,
+            server_link_bps: 10_000_000_000,
+            seed: 42,
+        });
+        for e in gen.events_until(horizon) {
+            sim.add_flow(e.at_ps, e.src as u16, e.dst as u16, e.bytes);
+        }
+        sim.run_until(horizon + 40 * MS);
+        let m = sim.metrics();
+        println!(
+            "{:<10} | {:>5} | {:>19} | {:>12} µs | {:>6.2} Gbit/s",
+            scheme.name(),
+            m.fcts.len(),
+            m.p_slowdown("1 packet", 99.0)
+                .map_or("n/a".into(), |v| format!("{v:.2}x")),
+            m.p_queue_delay(4, 99.0).unwrap_or(0) / 1_000_000,
+            m.drop_gbps(horizon + 40 * MS),
+        );
+        if scheme == Scheme::Flowtune {
+            let s = sim.allocator_stats().unwrap();
+            println!(
+                "           | allocator: {} flowlet starts, {} rate updates, {:.3}% ctrl overhead",
+                s.starts,
+                s.updates_sent,
+                100.0 * (m.ctrl_bytes_to_alloc + m.ctrl_bytes_from_alloc) as f64 * 8.0
+                    / ((horizon + 40 * MS) as f64 / 1e12)
+                    / (servers as f64 * 1e10)
+            );
+        }
+    }
+}

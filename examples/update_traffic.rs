@@ -1,0 +1,44 @@
+//! How much does centralized flowlet control cost on the wire? Runs the
+//! fluid control-plane model (the Figure 5–6 harness) on one workload and
+//! prints the overhead budget, including the §7 batching arithmetic.
+//!
+//! Run with: `cargo run --release --example update_traffic`
+
+use flowtune::FlowtuneConfig;
+use flowtune_bench::FluidDriver;
+use flowtune_proto::wire;
+use flowtune_workload::Workload;
+
+fn main() {
+    let servers = 144;
+    let load = 0.8;
+    println!("cache workload, {servers} servers, load {load}, 20 ms measured window\n");
+    println!("threshold | updates/s | from-alloc wire | capacity fraction");
+    for threshold in [0.01, 0.02, 0.05] {
+        let cfg = FlowtuneConfig {
+            update_threshold: threshold,
+            ..FlowtuneConfig::default()
+        };
+        let mut driver = FluidDriver::new(Workload::Cache, load, servers, cfg, 42);
+        let stats = driver.run(5_000_000_000, 20_000_000_000);
+        let secs = stats.duration_ps as f64 / 1e12;
+        println!(
+            "{threshold:>9} | {:>9.0} | {:>12.1} kB/s | {:.4}%",
+            stats.updates_sent as f64 / secs,
+            stats.wire_from_alloc as f64 / secs / 1e3,
+            100.0 * stats.from_alloc_fraction(servers, 10_000_000_000),
+        );
+    }
+
+    // §7's observation: tiny updates pay the 64-byte minimum frame.
+    println!("\nwire cost of one 6-byte rate update: {} bytes ({}x overhead)",
+        wire::segment_wire_bytes(6),
+        wire::segment_wire_bytes(6) / 6
+    );
+    let n = 200;
+    println!(
+        "batched through an intermediary, {n} updates cost {} bytes ({:.1} B each)",
+        wire::batched_wire_bytes(n * 6),
+        wire::batched_wire_bytes(n * 6) as f64 / n as f64
+    );
+}

@@ -1,0 +1,7 @@
+//! Workspace root crate.
+//!
+//! This crate exists only to host the repository-level `examples/` and
+//! `tests/` directories; all functionality lives in the `crates/` members.
+//! See [`flowtune`] for the main library entry point.
+
+pub use flowtune as core;

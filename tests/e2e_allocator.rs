@@ -1,0 +1,140 @@
+//! End-to-end allocator tests spanning flowtune (service + agents),
+//! flowtune-proto and flowtune-topo — the control loop without the packet
+//! simulator in between.
+
+use flowtune::{AllocatorService, EndpointAgent, FlowtuneConfig};
+use flowtune_proto::Message;
+use flowtune_topo::{ClosConfig, TwoTierClos};
+
+fn setup() -> (TwoTierClos, AllocatorService, Vec<EndpointAgent>) {
+    let fabric = TwoTierClos::build(ClosConfig::paper_eval());
+    let servers = fabric.config().server_count();
+    let svc = AllocatorService::new(&fabric, FlowtuneConfig::default());
+    let agents = (0..servers)
+        .map(|s| EndpointAgent::new(s as u16, servers))
+        .collect();
+    (fabric, svc, agents)
+}
+
+/// Delivers all pending updates to the right agents.
+fn pump(svc: &mut AllocatorService, agents: &mut [EndpointAgent], ticks: usize) {
+    for _ in 0..ticks {
+        for (server, msg) in svc.tick() {
+            agents[server as usize].on_rate_update(&msg);
+        }
+    }
+}
+
+#[test]
+fn many_flows_converge_to_proportional_fairness() {
+    let (_, mut svc, mut agents) = setup();
+    // 16 servers of rack 0 each send one flow to the same rack-8 server's
+    // 10 G downlink: proportional fairness gives each ≈ 9.9/16 Gbit/s.
+    for s in 0..16u16 {
+        let msg = agents[s as usize].on_backlog(s as u64, 143, 10_000_000, 0).unwrap();
+        svc.on_message(msg);
+    }
+    pump(&mut svc, &mut agents, 300);
+    for s in 0..16u16 {
+        let rate = agents[s as usize].pacing_rate_gbps(s as u64).unwrap();
+        assert!(
+            (rate - 9.9 / 16.0).abs() < 0.03,
+            "server {s} got {rate} Gbit/s"
+        );
+    }
+}
+
+#[test]
+fn weighted_flows_get_weighted_shares_end_to_end() {
+    let (_, mut svc, mut agents) = setup();
+    let m1 = agents[0]
+        .on_backlog_weighted(1, 143, 1_000_000, 3.0, 0)
+        .unwrap();
+    let m2 = agents[16]
+        .on_backlog_weighted(2, 143, 1_000_000, 1.0, 0)
+        .unwrap();
+    svc.on_message(m1);
+    svc.on_message(m2);
+    pump(&mut svc, &mut agents, 400);
+    let r1 = agents[0].pacing_rate_gbps(1).unwrap();
+    let r2 = agents[16].pacing_rate_gbps(2).unwrap();
+    assert!((r1 / r2 - 3.0).abs() < 0.05, "ratio {}", r1 / r2);
+}
+
+#[test]
+fn flowlet_lifecycle_start_end_restart() {
+    let (_, mut svc, mut agents) = setup();
+    let start = agents[5].on_backlog(9, 99, 50_000, 0).unwrap();
+    svc.on_message(start);
+    assert_eq!(svc.active_flows(), 1);
+    pump(&mut svc, &mut agents, 50);
+
+    // Queue drains; after the 30 µs idle threshold the agent reports an
+    // end, freeing allocator state.
+    agents[5].on_drained(9, 1_000_000_000);
+    let ends = agents[5].poll(1_000_000_000 + 30_000_000);
+    assert_eq!(ends.len(), 1);
+    svc.on_message(ends[0]);
+    assert_eq!(svc.active_flows(), 0);
+
+    // The same flow becomes backlogged again: a *new* flowlet (new
+    // token), and the allocator accepts it.
+    let restart = agents[5].on_backlog(9, 99, 50_000, 2_000_000_000).unwrap();
+    let Message::FlowletStart { token, .. } = restart else {
+        panic!("expected start");
+    };
+    svc.on_message(restart);
+    assert_eq!(svc.active_flows(), 1);
+    pump(&mut svc, &mut agents, 50);
+    assert!(svc.flow_rate_gbps(token).unwrap() > 9.0);
+}
+
+#[test]
+fn fault_tolerance_rates_survive_allocator_restart() {
+    // §2: "if the allocator fails, the rates expire and endpoint
+    // congestion control takes over, using the previously allocated rates
+    // as a starting point" — and a fresh allocator can be rebuilt from
+    // new notifications without replication.
+    let (fabric, mut svc, mut agents) = setup();
+    let start = agents[0].on_backlog(1, 99, 1_000_000, 0).unwrap();
+    svc.on_message(start);
+    pump(&mut svc, &mut agents, 100);
+    let before = agents[0].pacing_rate_gbps(1).unwrap();
+    assert!(before > 9.0);
+
+    // Allocator crashes; endpoints keep their last rate.
+    drop(svc);
+    assert_eq!(agents[0].pacing_rate_gbps(1), Some(before));
+
+    // A replacement allocator starts empty; the endpoint's *next* flowlet
+    // re-registers and gets allocated again.
+    let mut svc2 = AllocatorService::new(&fabric, FlowtuneConfig::default());
+    agents[0].on_drained(1, 1_000_000_000);
+    for m in agents[0].poll(2_000_000_000) {
+        // The end notification goes to the new allocator, which ignores
+        // the unknown token gracefully.
+        svc2.on_message(m);
+    }
+    let restart = agents[0].on_backlog(1, 99, 1_000_000, 3_000_000_000).unwrap();
+    svc2.on_message(restart);
+    pump(&mut svc2, &mut agents, 100);
+    assert!(agents[0].pacing_rate_gbps(1).unwrap() > 9.0);
+}
+
+#[test]
+fn update_traffic_is_quiet_at_steady_state() {
+    let (_, mut svc, mut agents) = setup();
+    for s in 0..32u16 {
+        let dst = (s + 64) % 144;
+        let msg = agents[s as usize].on_backlog(s as u64, dst, 1_000_000, 0).unwrap();
+        svc.on_message(msg);
+    }
+    pump(&mut svc, &mut agents, 200);
+    let sent_before = svc.stats().updates_sent;
+    pump(&mut svc, &mut agents, 100);
+    let new_updates = svc.stats().updates_sent - sent_before;
+    assert_eq!(
+        new_updates, 0,
+        "converged allocation must be silent under the threshold filter"
+    );
+}

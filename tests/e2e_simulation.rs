@@ -1,0 +1,125 @@
+//! Cross-crate integration tests of the packet simulator: every scheme on
+//! a real (small) trace, plus scheme-differentiating behaviours from the
+//! paper's evaluation.
+
+use flowtune_sim::{Scheme, SimConfig, Simulation, MS};
+use flowtune_topo::ClosConfig;
+use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
+
+fn pod(racks: usize) -> ClosConfig {
+    ClosConfig {
+        racks,
+        servers_per_rack: 16,
+        racks_per_block: racks,
+        ..ClosConfig::paper_eval()
+    }
+}
+
+fn run_trace(scheme: Scheme, load: f64, horizon_ms: u64, seed: u64) -> Simulation {
+    let mut cfg = SimConfig::paper(scheme);
+    cfg.clos = pod(2);
+    cfg.sample_interval_ps = 200_000_000;
+    let mut sim = Simulation::new(cfg);
+    let mut gen = TraceGenerator::new(TraceConfig {
+        workload: Workload::Web,
+        load,
+        servers: 32,
+        server_link_bps: 10_000_000_000,
+        seed,
+    });
+    for e in gen.events_until(horizon_ms * MS) {
+        sim.add_flow(e.at_ps, e.src as u16, e.dst as u16, e.bytes);
+    }
+    sim.run_until(horizon_ms * MS + 50 * MS);
+    sim
+}
+
+#[test]
+fn every_scheme_completes_a_real_trace() {
+    for scheme in Scheme::ALL {
+        let sim = run_trace(scheme, 0.4, 4, 1);
+        let m = sim.metrics();
+        let completed = m.fcts.len();
+        assert!(completed > 20, "{}: only {completed} flows", scheme.name());
+        // All slowdowns are ≥ ~1 (can dip a hair below 1 because the
+        // ideal time charges the whole size at the bottleneck rate while
+        // the first packets overlap propagation).
+        for r in &m.fcts {
+            assert!(r.slowdown > 0.9, "{}: slowdown {}", scheme.name(), r.slowdown);
+        }
+    }
+}
+
+#[test]
+fn flowtune_beats_dctcp_on_small_flow_tails_under_load() {
+    let ft = run_trace(Scheme::Flowtune, 0.7, 5, 3);
+    let dc = run_trace(Scheme::Dctcp, 0.7, 5, 3);
+    let ft_p99 = ft.metrics().p_slowdown("1-10 packets", 99.0).unwrap();
+    let dc_p99 = dc.metrics().p_slowdown("1-10 packets", 99.0).unwrap();
+    assert!(
+        ft_p99 < dc_p99,
+        "Flowtune p99 {ft_p99} should beat DCTCP {dc_p99}"
+    );
+}
+
+#[test]
+fn flowtune_keeps_queues_shorter_than_dctcp() {
+    let ft = run_trace(Scheme::Flowtune, 0.7, 5, 3);
+    let dc = run_trace(Scheme::Dctcp, 0.7, 5, 3);
+    let ft_q = ft.metrics().p_queue_delay(4, 99.0).unwrap_or(0);
+    let dc_q = dc.metrics().p_queue_delay(4, 99.0).unwrap_or(0);
+    assert!(
+        ft_q < dc_q,
+        "Flowtune 4-hop p99 queue {ft_q} ps should be below DCTCP {dc_q} ps"
+    );
+}
+
+#[test]
+fn flowtune_and_dctcp_drop_negligibly_pfabric_drops() {
+    let ft = run_trace(Scheme::Flowtune, 0.6, 4, 7);
+    let pf = run_trace(Scheme::Pfabric, 0.6, 4, 7);
+    assert_eq!(ft.metrics().dropped_data_bytes, 0, "Flowtune drops");
+    assert!(
+        pf.metrics().dropped_data_bytes > 0,
+        "pFabric's tiny buffers must drop under load"
+    );
+}
+
+#[test]
+fn control_overhead_is_a_small_fraction() {
+    let sim = run_trace(Scheme::Flowtune, 0.6, 5, 11);
+    let m = sim.metrics();
+    let secs = 55.0 * 1e-3;
+    let frac =
+        (m.ctrl_bytes_to_alloc + m.ctrl_bytes_from_alloc) as f64 * 8.0 / secs / (32.0 * 1e10);
+    assert!(frac < 0.05, "control overhead {frac} too high");
+    assert!(frac > 0.0, "control traffic must exist");
+    let stats = sim.allocator_stats().unwrap();
+    assert!(stats.starts > 20);
+    assert!(stats.ends > 0, "flowlet ends must flow back");
+}
+
+#[test]
+fn conservation_no_scheme_invents_bytes() {
+    for scheme in Scheme::ALL {
+        let sim = run_trace(scheme, 0.5, 3, 13);
+        let m = sim.metrics();
+        let offered: u64 = m.fcts.iter().map(|r| r.bytes).sum();
+        assert!(
+            m.delivered_bytes >= offered,
+            "{}: delivered {} < completed-flow bytes {}",
+            scheme.name(),
+            m.delivered_bytes,
+            offered
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run_trace(Scheme::Flowtune, 0.5, 3, 17);
+    let b = run_trace(Scheme::Flowtune, 0.5, 3, 17);
+    let fa: Vec<_> = a.metrics().fcts.iter().map(|r| (r.flow, r.end_ps)).collect();
+    let fb: Vec<_> = b.metrics().fcts.iter().map(|r| (r.flow, r.end_ps)).collect();
+    assert_eq!(fa, fb);
+}

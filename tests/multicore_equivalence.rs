@@ -1,0 +1,126 @@
+//! Cross-crate check of the §5 parallelization claim: the multicore
+//! engine computes exactly what single-threaded NED computes, across
+//! block counts, under churn, with and without F-NORM.
+
+use flowtune_alloc::{AllocConfig, MulticoreAllocator, SerialAllocator};
+use flowtune_topo::{ClosConfig, FlowId, TwoTierClos};
+use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
+
+fn trace_flows(fabric: &TwoTierClos, n: usize, seed: u64) -> Vec<(FlowId, usize, usize)> {
+    let servers = fabric.config().server_count();
+    let mut gen = TraceGenerator::new(TraceConfig {
+        workload: Workload::Cache,
+        load: 0.5,
+        servers,
+        server_link_bps: 40_000_000_000,
+        seed,
+    });
+    (0..n)
+        .map(|_| {
+            let e = gen.next_event();
+            (FlowId(e.id), e.src as usize, e.dst as usize)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_equals_serial_under_churn_all_block_counts() {
+    for blocks in [1usize, 2, 4] {
+        let fabric = TwoTierClos::build(ClosConfig::multicore(blocks, 2, 8));
+        let cfg = AllocConfig::default();
+        let mut serial = SerialAllocator::new(&fabric, cfg);
+        let mut parallel = MulticoreAllocator::new(&fabric, cfg);
+        let flows = trace_flows(&fabric, 96, 5);
+        // Interleave adds, iterations, and removals.
+        for (round, chunk) in flows.chunks(24).enumerate() {
+            for &(id, src, dst) in chunk {
+                let path = fabric.path(src, dst, id);
+                serial.add_flow(id, src, dst, 1.0, &path);
+                parallel.add_flow(id, src, dst, 1.0, &path);
+            }
+            serial.run_iterations(13);
+            parallel.run_iterations(13);
+            if round > 0 {
+                let victim = flows[(round - 1) * 24].0;
+                assert!(serial.remove_flow(victim));
+                assert!(parallel.remove_flow(victim));
+            }
+        }
+        serial.run_iterations(7);
+        parallel.run_iterations(7);
+
+        let a = serial.rates();
+        let b = parallel.rates();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(
+                x.rate.to_bits(),
+                y.rate.to_bits(),
+                "blocks={blocks} flow {:?}",
+                x.id
+            );
+            assert_eq!(x.normalized.to_bits(), y.normalized.to_bits());
+        }
+    }
+}
+
+#[test]
+fn f_norm_off_matches_too() {
+    let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 8));
+    let cfg = AllocConfig {
+        f_norm: false,
+        ..AllocConfig::default()
+    };
+    let mut serial = SerialAllocator::new(&fabric, cfg);
+    let mut parallel = MulticoreAllocator::new(&fabric, cfg);
+    for (id, src, dst) in trace_flows(&fabric, 40, 9) {
+        let path = fabric.path(src, dst, id);
+        serial.add_flow(id, src, dst, 1.0, &path);
+        parallel.add_flow(id, src, dst, 1.0, &path);
+    }
+    serial.run_iterations(25);
+    parallel.run_iterations(25);
+    for (x, y) in serial.rates().iter().zip(&parallel.rates()) {
+        assert_eq!(x.rate.to_bits(), y.rate.to_bits());
+        assert_eq!(
+            x.rate.to_bits(),
+            x.normalized.to_bits(),
+            "f_norm off ⇒ normalized == raw"
+        );
+        let _ = y;
+    }
+}
+
+#[test]
+fn normalized_rates_never_overallocate_fabric_links() {
+    // Feasibility of F-NORM output on the real fabric: per-link sums of
+    // normalized rates stay within (scaled) capacity even mid-convergence.
+    let fabric = TwoTierClos::build(ClosConfig::multicore(4, 2, 8));
+    let cfg = AllocConfig::default();
+    let mut alloc = SerialAllocator::new(&fabric, cfg);
+    let flows = trace_flows(&fabric, 120, 21);
+    let mut paths = std::collections::HashMap::new();
+    for &(id, src, dst) in &flows {
+        let path = fabric.path(src, dst, id);
+        alloc.add_flow(id, src, dst, 1.0, &path);
+        paths.insert(id, path);
+    }
+    for _ in 0..5 {
+        alloc.iterate();
+        let mut load = vec![0.0f64; fabric.topology().link_count()];
+        for fr in alloc.rates() {
+            for link in paths[&fr.id].iter() {
+                load[link.index()] += fr.normalized;
+            }
+        }
+        for (l, link) in fabric.topology().links().iter().enumerate() {
+            let cap = link.capacity_bps as f64 / 1e9;
+            assert!(
+                load[l] <= cap * (1.0 + 1e-9),
+                "link {l} over-allocated: {} > {cap}",
+                load[l]
+            );
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The pluggable allocation-engine interface.
+//!
+//! [`RateAllocator`] is the contract between the control-plane service
+//! (`flowtune::AllocatorService`) and whatever computes per-flow rates
+//! behind it. Three engines implement it today:
+//!
+//! * [`SerialAllocator`](crate::SerialAllocator) — the single-threaded
+//!   reference NED engine;
+//! * [`MulticoreAllocator`](crate::MulticoreAllocator) — the §5
+//!   FlowBlock/LinkBlock parallel engine (bit-for-bit equal to serial);
+//! * `flowtune_fastpass::FastpassAdapter` — a Fastpass-style per-packet
+//!   timeslot arbiter exposed through the same interface, the baseline
+//!   the paper's §6.1 comparison is made against.
+//!
+//! The trait is object safe, so services that choose their engine at run
+//! time hold a [`BoxEngine`].
+
+use flowtune_topo::{FlowId, Path};
+
+use crate::flowblock::FlowRate;
+
+/// A rate-allocation engine: maintains a set of weighted flows over a
+/// fixed fabric and, on every iteration, refreshes each flow's allocated
+/// (and normalized) rate.
+pub trait RateAllocator: std::fmt::Debug + Send {
+    /// Registers a flow. `path` must come from the fabric the engine was
+    /// built over.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids, non-positive weights, or paths that do
+    /// not belong to the engine's fabric.
+    fn add_flow(
+        &mut self,
+        id: FlowId,
+        src_server: usize,
+        dst_server: usize,
+        weight: f64,
+        path: &Path,
+    );
+
+    /// Deregisters a flow; returns whether it existed.
+    fn remove_flow(&mut self, id: FlowId) -> bool;
+
+    /// Runs one allocation iteration (for NED engines: rate pass →
+    /// aggregate → price update → distribute → normalize; for the
+    /// Fastpass adapter: a batch of timeslot matchings).
+    fn iterate(&mut self);
+
+    /// Runs `n` iterations. Engines with per-call setup cost (thread
+    /// spawns) override this with an amortized implementation.
+    fn run_iterations(&mut self, n: usize) {
+        for _ in 0..n {
+            self.iterate();
+        }
+    }
+
+    /// Number of registered flows.
+    fn flow_count(&self) -> usize;
+
+    /// All flows' current allocations (Gbit/s), in an engine-defined but
+    /// deterministic order.
+    fn rates(&self) -> Vec<FlowRate>;
+
+    /// One flow's current allocation, if registered.
+    fn flow_rate(&self, id: FlowId) -> Option<FlowRate>;
+
+    /// Short engine name for logs and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// A run-time-chosen engine.
+pub type BoxEngine = Box<dyn RateAllocator>;
+
+impl RateAllocator for BoxEngine {
+    fn add_flow(
+        &mut self,
+        id: FlowId,
+        src_server: usize,
+        dst_server: usize,
+        weight: f64,
+        path: &Path,
+    ) {
+        (**self).add_flow(id, src_server, dst_server, weight, path);
+    }
+
+    fn remove_flow(&mut self, id: FlowId) -> bool {
+        (**self).remove_flow(id)
+    }
+
+    fn iterate(&mut self) {
+        (**self).iterate();
+    }
+
+    fn run_iterations(&mut self, n: usize) {
+        (**self).run_iterations(n);
+    }
+
+    fn flow_count(&self) -> usize {
+        (**self).flow_count()
+    }
+
+    fn rates(&self) -> Vec<FlowRate> {
+        (**self).rates()
+    }
+
+    fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
+        (**self).flow_rate(id)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl RateAllocator for crate::SerialAllocator {
+    fn add_flow(
+        &mut self,
+        id: FlowId,
+        src_server: usize,
+        dst_server: usize,
+        weight: f64,
+        path: &Path,
+    ) {
+        crate::SerialAllocator::add_flow(self, id, src_server, dst_server, weight, path);
+    }
+
+    fn remove_flow(&mut self, id: FlowId) -> bool {
+        crate::SerialAllocator::remove_flow(self, id)
+    }
+
+    fn iterate(&mut self) {
+        crate::SerialAllocator::iterate(self);
+    }
+
+    fn run_iterations(&mut self, n: usize) {
+        crate::SerialAllocator::run_iterations(self, n);
+    }
+
+    fn flow_count(&self) -> usize {
+        crate::SerialAllocator::flow_count(self)
+    }
+
+    fn rates(&self) -> Vec<FlowRate> {
+        crate::SerialAllocator::rates(self)
+    }
+
+    fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
+        crate::SerialAllocator::flow_rate(self, id)
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+impl RateAllocator for crate::MulticoreAllocator {
+    fn add_flow(
+        &mut self,
+        id: FlowId,
+        src_server: usize,
+        dst_server: usize,
+        weight: f64,
+        path: &Path,
+    ) {
+        crate::MulticoreAllocator::add_flow(self, id, src_server, dst_server, weight, path);
+    }
+
+    fn remove_flow(&mut self, id: FlowId) -> bool {
+        crate::MulticoreAllocator::remove_flow(self, id)
+    }
+
+    fn iterate(&mut self) {
+        // One parallel round; the Duration the inherent method returns is
+        // a benchmarking aid the service interface does not need.
+        let _ = crate::MulticoreAllocator::run_iterations(self, 1);
+    }
+
+    fn run_iterations(&mut self, n: usize) {
+        let _ = crate::MulticoreAllocator::run_iterations(self, n);
+    }
+
+    fn flow_count(&self) -> usize {
+        crate::MulticoreAllocator::flow_count(self)
+    }
+
+    fn rates(&self) -> Vec<FlowRate> {
+        crate::MulticoreAllocator::rates(self)
+    }
+
+    fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
+        crate::MulticoreAllocator::flow_rate(self, id)
+    }
+
+    fn name(&self) -> &'static str {
+        "multicore"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AllocConfig, MulticoreAllocator, SerialAllocator};
+    use flowtune_topo::{ClosConfig, TwoTierClos};
+
+    fn engines(fabric: &TwoTierClos) -> Vec<BoxEngine> {
+        vec![
+            Box::new(SerialAllocator::new(fabric, AllocConfig::default())),
+            Box::new(MulticoreAllocator::new(fabric, AllocConfig::default())),
+        ]
+    }
+
+    #[test]
+    fn trait_objects_drive_both_ned_engines() {
+        let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 4));
+        for mut engine in engines(&fabric) {
+            let p = fabric.path(3, 13, FlowId(7));
+            engine.add_flow(FlowId(7), 3, 13, 1.0, &p);
+            engine.run_iterations(300);
+            let r = engine.flow_rate(FlowId(7)).unwrap();
+            assert!((r.rate - 40.0).abs() < 1e-4, "{}: {r:?}", engine.name());
+            assert_eq!(engine.flow_count(), 1);
+            assert!(engine.remove_flow(FlowId(7)));
+            assert_eq!(engine.rates().len(), 0);
+        }
+    }
+
+    #[test]
+    fn engine_names_are_distinct() {
+        let fabric = TwoTierClos::build(ClosConfig::multicore(1, 2, 4));
+        let names: Vec<&str> = engines(&fabric).iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["serial", "multicore"]);
+    }
+}

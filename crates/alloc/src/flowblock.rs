@@ -232,7 +232,11 @@ pub fn normalize_pass(
         for &o in flow.down_offsets() {
             worst = worst.max(view.down_ratio[o as usize]);
         }
-        normalized[i] = if worst > 0.0 { rates[i] / worst } else { rates[i] };
+        normalized[i] = if worst > 0.0 {
+            rates[i] / worst
+        } else {
+            rates[i]
+        };
     }
 }
 

@@ -217,8 +217,7 @@ mod tests {
         let src = 0usize;
         let dst = f.config().server_count() - 1;
         let path = f.path(src, dst, FlowId(9));
-        let (up, down) =
-            layout.split_path(&path, f.block_of_server(src), f.block_of_server(dst));
+        let (up, down) = layout.split_path(&path, f.block_of_server(src), f.block_of_server(dst));
         assert_eq!(up.len(), 2);
         assert_eq!(down.len(), 2);
         // Offsets must point back at the path's links.

@@ -18,21 +18,27 @@
 //! results — prices plus the per-link utilization ratios F-NORM needs —
 //! are distributed back along the reverse pattern.
 //!
-//! Two interchangeable engines implement this:
+//! Two interchangeable engines implement this, behind the
+//! [`RateAllocator`] trait the control-plane service is generic over:
 //!
 //! * [`SerialAllocator`] — one thread, same arithmetic, same summation
 //!   order; the reference the parallel engine is tested against
-//!   (bit-for-bit) and the engine the network simulator embeds.
+//!   (bit-for-bit) and the default engine of the network simulator.
 //! * [`MulticoreAllocator`] — one OS thread per FlowBlock with barrier
 //!   synchronization and mutex-protected buffer exchange; the engine the
 //!   §6.1 throughput benchmarks run.
+//!
+//! (`flowtune_fastpass::FastpassAdapter` is the third [`RateAllocator`],
+//! wrapping the per-packet timeslot arbiter as a comparison baseline.)
 
+pub mod engine;
 pub mod flowblock;
 pub mod layout;
 pub mod parallel;
 pub mod reduce;
 pub mod serial;
 
+pub use engine::{BoxEngine, RateAllocator};
 pub use flowblock::{BlockFlow, FlowRate};
 pub use layout::BlockLayout;
 pub use parallel::MulticoreAllocator;

@@ -44,15 +44,35 @@ use crate::AllocConfig;
 #[derive(Debug)]
 pub struct MulticoreAllocator {
     grid: GridState,
+    /// Worker-thread cap; `None` sizes to the host (cores, max 16).
+    workers: Option<usize>,
 }
 
 impl MulticoreAllocator {
     /// Builds an allocator over `fabric`; the block count must be a power
-    /// of two.
+    /// of two. Threads are sized to the host; see
+    /// [`MulticoreAllocator::with_workers`] for an explicit count.
     pub fn new(fabric: &TwoTierClos, cfg: AllocConfig) -> Self {
         Self {
             grid: GridState::new(fabric, cfg),
+            workers: None,
         }
+    }
+
+    /// Builds an allocator that runs on exactly `workers` OS threads
+    /// (clamped to the B² logical workers; `0` means size to the host).
+    /// The thread count never changes the arithmetic — phases stay
+    /// globally barrier-synchronized — only the parallelism.
+    pub fn with_workers(fabric: &TwoTierClos, cfg: AllocConfig, workers: usize) -> Self {
+        Self {
+            grid: GridState::new(fabric, cfg),
+            workers: (workers > 0).then_some(workers),
+        }
+    }
+
+    /// The configured worker-thread cap, if one was set.
+    pub fn worker_cap(&self) -> Option<usize> {
+        self.workers
     }
 
     /// Registers a flow (see [`crate::SerialAllocator::add_flow`]).
@@ -91,6 +111,9 @@ impl MulticoreAllocator {
     /// spent *inside* the iteration loop (thread spawn/join excluded), so
     /// `elapsed / n` is the per-iteration allocator latency the §6.1 table
     /// reports.
+    // Worker loops index `cells[w]` because `w` also names the grid cell
+    // in the tree-role lookups; an iterator would obscure that.
+    #[allow(clippy::needless_range_loop)]
     pub fn run_iterations(&mut self, n: usize) -> Duration {
         let b = self.grid.layout.blocks();
         let n_workers = b * b;
@@ -107,16 +130,13 @@ impl MulticoreAllocator {
         // CPUs in the aggregate and distribute steps took more than half
         // of the runtime in all experiments").
         let cores = std::thread::available_parallelism().map_or(8, |c| c.get());
-        let n_threads = n_workers.min(cores).min(16);
+        let cap = self.workers.unwrap_or_else(|| cores.min(16));
+        let n_threads = n_workers.min(cap).max(1);
         let chunk = n_workers.div_ceil(n_threads);
 
         // Move every worker's state under a mutex for the parallel phase.
-        let cells: Vec<Mutex<crate::serial::WorkerCore>> = self
-            .grid
-            .workers
-            .drain(..)
-            .map(Mutex::new)
-            .collect();
+        let cells: Vec<Mutex<crate::serial::WorkerCore>> =
+            self.grid.workers.drain(..).map(Mutex::new).collect();
         let barrier = SpinBarrier::new(n_threads);
         let elapsed = Mutex::new(Duration::ZERO);
 
@@ -270,7 +290,6 @@ impl MulticoreAllocator {
     }
 }
 
-
 /// Sense-reversing spin barrier: threads busy-wait (with periodic yields,
 /// for oversubscribed grids) instead of parking on a condvar, keeping
 /// phase-boundary latency in the sub-microsecond range the §6.1 numbers
@@ -343,7 +362,9 @@ mod tests {
         let cfg = AllocConfig::default();
         let mut serial = SerialAllocator::new(&fabric, cfg);
         let mut parallel = MulticoreAllocator::new(&fabric, cfg);
-        spray_flows(&fabric, 64, |id, s, d, w, p| serial.add_flow(id, s, d, w, p));
+        spray_flows(&fabric, 64, |id, s, d, w, p| {
+            serial.add_flow(id, s, d, w, p)
+        });
         spray_flows(&fabric, 64, |id, s, d, w, p| {
             parallel.add_flow(id, s, d, w, p)
         });

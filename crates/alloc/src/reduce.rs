@@ -65,7 +65,7 @@ pub fn down_worker(j: usize, k: usize, b: usize) -> usize {
 fn tree_role(k: usize, s: usize) -> TreeRole {
     let span = 1usize << (s + 1);
     let half = 1usize << s;
-    if k % span == 0 {
+    if k.is_multiple_of(span) {
         TreeRole::Root
     } else if k % span == half {
         TreeRole::Leaf
@@ -193,7 +193,11 @@ mod tests {
             }
         }
         for block in 0..b {
-            let root = if up { up_root(block, b) } else { down_root(block, b) };
+            let root = if up {
+                up_root(block, b)
+            } else {
+                down_root(block, b)
+            };
             let members: Vec<usize> = if up {
                 (0..b).map(|j| block * b + j).collect()
             } else {
@@ -233,17 +237,11 @@ mod tests {
                 for j in 0..b {
                     if let Role::Recv { from } = up_aggregate(i, j, b, s) {
                         let (fi, fj) = (from / b, from % b);
-                        assert_eq!(
-                            up_aggregate(fi, fj, b, s),
-                            Role::Peer { to: i * b + j }
-                        );
+                        assert_eq!(up_aggregate(fi, fj, b, s), Role::Peer { to: i * b + j });
                     }
                     if let Role::Recv { from } = down_aggregate(i, j, b, s) {
                         let (fi, fj) = (from / b, from % b);
-                        assert_eq!(
-                            down_aggregate(fi, fj, b, s),
-                            Role::Peer { to: i * b + j }
-                        );
+                        assert_eq!(down_aggregate(fi, fj, b, s), Role::Peer { to: i * b + j });
                     }
                 }
             }
@@ -272,7 +270,10 @@ mod tests {
                 has_up[to] = true;
             }
         }
-        assert!(has_up.iter().all(|&x| x), "some worker missed the broadcast");
+        assert!(
+            has_up.iter().all(|&x| x),
+            "some worker missed the broadcast"
+        );
     }
 
     #[test]

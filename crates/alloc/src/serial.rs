@@ -11,7 +11,9 @@ use std::collections::HashMap;
 
 use flowtune_topo::{BlockId, FlowId, Path, TwoTierClos};
 
-use crate::flowblock::{normalize_pass, price_update, rate_pass, Accums, BlockFlow, FlowRate, PriceView};
+use crate::flowblock::{
+    normalize_pass, price_update, rate_pass, Accums, BlockFlow, FlowRate, PriceView,
+};
 use crate::layout::BlockLayout;
 use crate::reduce::{binomial_reduce_in_order, down_root, down_worker, up_root, up_worker};
 use crate::AllocConfig;
@@ -101,7 +103,9 @@ impl GridState {
             .fold(f64::INFINITY, f64::min);
         let w = src_block.index() * b + dst_block.index();
         let worker = &mut self.workers[w];
-        worker.flows.push(BlockFlow::new(id, weight, &up, &down, x_max));
+        worker
+            .flows
+            .push(BlockFlow::new(id, weight, &up, &down, x_max));
         worker.rates.push(0.0);
         worker.normalized.push(0.0);
         self.index.insert(id, (w, worker.flows.len() - 1));
@@ -214,7 +218,12 @@ impl SerialAllocator {
         // Phase A: per-FlowBlock rate pass on private LinkBlock copies.
         for worker in &mut grid.workers {
             worker.acc.clear();
-            rate_pass(&worker.flows, &worker.view, &mut worker.acc, &mut worker.rates);
+            rate_pass(
+                &worker.flows,
+                &worker.view,
+                &mut worker.acc,
+                &mut worker.rates,
+            );
         }
 
         // Phase B+C: aggregate each LinkBlock along the binomial tree (in
@@ -312,7 +321,12 @@ impl SerialAllocator {
         // Phase E: F-NORM per FlowBlock.
         if grid.cfg.f_norm {
             for worker in &mut grid.workers {
-                normalize_pass(&worker.flows, &worker.view, &worker.rates, &mut worker.normalized);
+                normalize_pass(
+                    &worker.flows,
+                    &worker.view,
+                    &worker.rates,
+                    &mut worker.normalized,
+                );
             }
         } else {
             for worker in &mut grid.workers {
@@ -344,7 +358,6 @@ impl SerialAllocator {
             view.down_prices[slot.offset as usize]
         })
     }
-
 }
 
 #[cfg(test)]

@@ -1,8 +1,12 @@
 //! Criterion: Fastpass-style arbiter slot throughput — the per-packet
-//! work the §6.1 comparison charges Fastpass for.
+//! work the §6.1 comparison charges Fastpass for — plus the allocator
+//! service's steady-state tick (the other side of the comparison).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowtune::{AllocatorService, Engine, FlowtuneConfig};
 use flowtune_fastpass::Arbiter;
+use flowtune_proto::{Message, Token};
+use flowtune_topo::{ClosConfig, TwoTierClos};
 
 fn bench_arbiter(c: &mut Criterion) {
     let mut group = c.benchmark_group("arbiter");
@@ -28,5 +32,51 @@ fn bench_arbiter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_arbiter);
+/// Guard for the per-tick registry walk: the service's steady-state tick
+/// is `O(n)` over a sorted `BTreeMap` (it used to collect-and-sort every
+/// token, `O(n log n)` per 10 µs tick). A regression here shows up as a
+/// superlinear jump between the flow counts.
+fn bench_service_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_tick");
+    group.sample_size(10);
+    let fabric = TwoTierClos::build(ClosConfig::paper_eval());
+    let servers = fabric.config().server_count();
+    for flows in [512usize, 4096] {
+        let mut svc = AllocatorService::builder()
+            .fabric(&fabric)
+            .config(FlowtuneConfig::default())
+            .engine(Engine::Serial)
+            .build()
+            .expect("fabric is set");
+        for f in 0..flows {
+            let src = (f * 7919) % servers;
+            let mut dst = (f * 104_729 + 13) % servers;
+            if dst == src {
+                dst = (dst + 1) % servers;
+            }
+            let spine = fabric.ecmp_spine(src, dst, flowtune_topo::FlowId(f as u64));
+            svc.on_message(Message::FlowletStart {
+                token: Token::new(f as u32),
+                src: src as u16,
+                dst: dst as u16,
+                size_hint: 1_000_000,
+                weight_q8: 256,
+                spine: spine as u8,
+            })
+            .expect("unique tokens");
+        }
+        // Converge first so the bench measures the suppressed-steady-state
+        // walk, not transient update encoding.
+        for _ in 0..200 {
+            svc.tick();
+        }
+        group.throughput(Throughput::Elements(flows as u64));
+        group.bench_with_input(BenchmarkId::new("steady_state", flows), &flows, |b, _| {
+            b.iter(|| svc.tick())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiter, bench_service_tick);
 criterion_main!(benches);

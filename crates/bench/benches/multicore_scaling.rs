@@ -30,7 +30,9 @@ fn bench_scaling(c: &mut Criterion) {
     for blocks in [1usize, 2, 4] {
         let fabric = TwoTierClos::build(ClosConfig::multicore(blocks, 4, 16));
         let mut serial = SerialAllocator::new(&fabric, AllocConfig::default());
-        spray(&fabric, flows, |id, s, d, w, p| serial.add_flow(id, s, d, w, p));
+        spray(&fabric, flows, |id, s, d, w, p| {
+            serial.add_flow(id, s, d, w, p)
+        });
         group.bench_with_input(BenchmarkId::new("serial", blocks), &blocks, |b, _| {
             b.iter(|| serial.iterate());
         });

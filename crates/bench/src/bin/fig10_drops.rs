@@ -23,6 +23,7 @@ fn main() {
         for scheme in Scheme::ALL {
             let r = run_cell(&CellSpec {
                 scheme,
+                engine: opts.engine,
                 workload: Workload::Web,
                 load,
                 servers,

@@ -24,6 +24,7 @@ fn main() {
     for &load in loads {
         let spec = |scheme| CellSpec {
             scheme,
+            engine: opts.engine,
             workload: Workload::Web,
             load,
             servers,
@@ -33,7 +34,12 @@ fn main() {
         };
         let ft = run_cell(&spec(Scheme::Flowtune));
         println!("{load},Flowtune,{:.3},0.000", ft.fairness);
-        for scheme in [Scheme::Dctcp, Scheme::Pfabric, Scheme::SfqCodel, Scheme::Xcp] {
+        for scheme in [
+            Scheme::Dctcp,
+            Scheme::Pfabric,
+            Scheme::SfqCodel,
+            Scheme::Xcp,
+        ] {
             let r = run_cell(&spec(scheme));
             println!(
                 "{load},{},{:.3},{:.3}",

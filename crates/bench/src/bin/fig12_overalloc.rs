@@ -23,12 +23,16 @@ fn main() {
     };
     println!("# Figure 12 — mean over-capacity allocation (Gbit/s) without normalization");
     println!("algorithm,load,mean_overallocation_gbps,p99_overallocation_gbps");
-    let algos: Vec<(&str, Box<dyn Fn() -> Box<dyn Optimizer>>)> = vec![
+    type AlgoFactory = Box<dyn Fn() -> Box<dyn Optimizer>>;
+    let algos: Vec<(&str, AlgoFactory)> = vec![
         ("NED", Box::new(|| Box::new(Ned::new(0.4)))),
         ("NED-RT", Box::new(|| Box::new(NedRt::new(0.4)))),
         // Gradient step sized for ~10 G capacities, per §6.6's reference
         // implementations.
-        ("Gradient", Box::new(|| Box::new(Gradient::stable_for(10.0, 4.0, 1.0)))),
+        (
+            "Gradient",
+            Box::new(|| Box::new(Gradient::stable_for(10.0, 4.0, 1.0))),
+        ),
         ("Gradient-RT", Box::new(|| Box::new(GradientRt::new(0.02)))),
         ("FGM", Box::new(|| Box::new(Fgm::new()))),
     ];
@@ -45,8 +49,7 @@ fn main() {
                 }
             }
             let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            let p99 =
-                flowtune_sim::metrics::percentile(&mut samples, 99.0).unwrap_or(0.0);
+            let p99 = flowtune_sim::metrics::percentile(&mut samples, 99.0).unwrap_or(0.0);
             println!("{name},{load},{mean:.2},{p99:.2}");
         }
     }

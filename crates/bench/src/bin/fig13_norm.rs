@@ -25,9 +25,13 @@ fn main() {
     };
     println!("# Figure 13 — normalized throughput as fraction of the converged optimum");
     println!("algorithm,load,f_norm_fraction,u_norm_fraction");
-    let algos: Vec<(&str, Box<dyn Fn() -> Box<dyn Optimizer>>)> = vec![
+    type AlgoFactory = Box<dyn Fn() -> Box<dyn Optimizer>>;
+    let algos: Vec<(&str, AlgoFactory)> = vec![
         ("NED", Box::new(|| Box::new(Ned::new(0.4)))),
-        ("Gradient", Box::new(|| Box::new(Gradient::stable_for(10.0, 4.0, 1.0)))),
+        (
+            "Gradient",
+            Box::new(|| Box::new(Gradient::stable_for(10.0, 4.0, 1.0))),
+        ),
     ];
     for (name, mk) in &algos {
         for &load in loads {

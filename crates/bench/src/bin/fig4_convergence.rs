@@ -21,10 +21,14 @@ fn main() {
         ..scen
     };
     let bin = 100 * US;
-    println!("# Figure 4 — per-flow throughput (Gbit/s), {} µs bins", bin / US);
+    println!(
+        "# Figure 4 — per-flow throughput (Gbit/s), {} µs bins",
+        bin / US
+    );
     println!("scheme,time_ms,flow0,flow1,flow2,flow3,flow4");
     for scheme in Scheme::ALL {
         let mut cfg = SimConfig::paper(scheme);
+        cfg.engine = opts.engine;
         cfg.throughput_bin_ps = bin;
         let mut sim = Simulation::new(cfg);
         let mut ids = Vec::new();

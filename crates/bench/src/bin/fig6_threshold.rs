@@ -24,7 +24,8 @@ fn main() {
                     update_threshold: t,
                     ..FlowtuneConfig::default()
                 };
-                let mut d = FluidDriver::new(workload, load, servers, cfg, opts.seed);
+                let mut d =
+                    FluidDriver::with_engine(workload, load, servers, cfg, opts.seed, opts.engine);
                 let stats = d.run(warmup, window);
                 if t == 0.01 {
                     base = stats.wire_from_alloc;

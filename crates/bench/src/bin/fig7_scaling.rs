@@ -21,12 +21,13 @@ fn main() {
     println!("servers,load,from_alloc_fraction");
     for &servers in sizes {
         for load in [0.4, 0.6, 0.8] {
-            let mut d = FluidDriver::new(
+            let mut d = FluidDriver::with_engine(
                 Workload::Web,
                 load,
                 servers,
                 FlowtuneConfig::default(),
                 opts.seed,
+                opts.engine,
             );
             let stats = d.run(warmup, window);
             println!(

@@ -25,6 +25,7 @@ fn main() {
     for &load in loads {
         let spec = |scheme| CellSpec {
             scheme,
+            engine: opts.engine,
             workload: Workload::Web,
             load,
             servers,
@@ -33,15 +34,16 @@ fn main() {
             seed: opts.seed,
         };
         let ft = run_cell(&spec(Scheme::Flowtune));
-        for scheme in [Scheme::Dctcp, Scheme::Pfabric, Scheme::SfqCodel, Scheme::Xcp] {
+        for scheme in [
+            Scheme::Dctcp,
+            Scheme::Pfabric,
+            Scheme::SfqCodel,
+            Scheme::Xcp,
+        ] {
             let other = run_cell(&spec(scheme));
             for (i, bin) in BINS.iter().enumerate() {
                 if let (Some(f), Some(o)) = (ft.p99_by_bin[i], other.p99_by_bin[i]) {
-                    println!(
-                        "{load},{},{bin},{o:.2},{:.2}",
-                        other.scheme,
-                        o / f
-                    );
+                    println!("{load},{},{bin},{o:.2},{:.2}", other.scheme, o / f);
                 }
             }
         }

@@ -26,6 +26,7 @@ fn main() {
         for scheme in [Scheme::Flowtune, Scheme::Dctcp, Scheme::Xcp] {
             let r = run_cell(&CellSpec {
                 scheme,
+                engine: opts.engine,
                 workload: Workload::Web,
                 load,
                 servers,

@@ -26,10 +26,7 @@ fn run_row(row: &Row, iters: usize, seed: u64) -> (usize, usize, Duration) {
     let mut alloc = MulticoreAllocator::new(&fabric, AllocConfig::default());
     for f in 0..row.flows {
         let id = FlowId(f as u64);
-        let src = (f
-            .wrapping_mul(7919)
-            .wrapping_add(seed as usize))
-            % servers;
+        let src = (f.wrapping_mul(7919).wrapping_add(seed as usize)) % servers;
         let mut dst = (f.wrapping_mul(104_729).wrapping_add(13)) % servers;
         if dst == src {
             dst = (dst + 1) % servers;
@@ -48,15 +45,46 @@ fn main() {
     let iters = opts.scaled(1000, 100) as usize;
     // The paper's seven rows: (blocks → cores = B², racks/block, flows).
     let rows = [
-        Row { blocks: 2, racks_per_block: 4, flows: 3072 },
-        Row { blocks: 4, racks_per_block: 4, flows: 6144 },
-        Row { blocks: 8, racks_per_block: 4, flows: 12288 },
-        Row { blocks: 8, racks_per_block: 4, flows: 24576 },
-        Row { blocks: 8, racks_per_block: 4, flows: 49152 },
-        Row { blocks: 8, racks_per_block: 8, flows: 49152 },
-        Row { blocks: 8, racks_per_block: 12, flows: 49152 },
+        Row {
+            blocks: 2,
+            racks_per_block: 4,
+            flows: 3072,
+        },
+        Row {
+            blocks: 4,
+            racks_per_block: 4,
+            flows: 6144,
+        },
+        Row {
+            blocks: 8,
+            racks_per_block: 4,
+            flows: 12288,
+        },
+        Row {
+            blocks: 8,
+            racks_per_block: 4,
+            flows: 24576,
+        },
+        Row {
+            blocks: 8,
+            racks_per_block: 4,
+            flows: 49152,
+        },
+        Row {
+            blocks: 8,
+            racks_per_block: 8,
+            flows: 49152,
+        },
+        Row {
+            blocks: 8,
+            racks_per_block: 12,
+            flows: 49152,
+        },
     ];
-    println!("# §6.1 table — multicore allocator latency ({} iterations/row)", iters);
+    println!(
+        "# §6.1 table — multicore allocator latency ({} iterations/row)",
+        iters
+    );
     println!("# paper rows: 8.29 / 8.86 / 12.63 / 13.99 / 16.93 / 23.76 / 30.71 µs");
     println!("cores,nodes,flows,cycles@2.4GHz,time_us,alloc_tbps_40g");
     for row in &rows {

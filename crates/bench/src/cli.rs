@@ -1,5 +1,7 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
+use flowtune::Engine;
+
 /// Common experiment options.
 #[derive(Debug, Clone, Copy)]
 pub struct Opts {
@@ -7,6 +9,9 @@ pub struct Opts {
     pub quick: bool,
     /// Trace seed.
     pub seed: u64,
+    /// Allocation engine behind the `AllocatorService`
+    /// (`--engine serial|multicore|fastpass`).
+    pub engine: Engine,
 }
 
 impl Default for Opts {
@@ -14,15 +19,18 @@ impl Default for Opts {
         Self {
             quick: true,
             seed: 42,
+            engine: Engine::Serial,
         }
     }
 }
 
 impl Opts {
-    /// Parses `--quick`, `--full` and `--seed N` from `std::env::args`.
+    /// Parses `--quick`, `--full`, `--seed N`,
+    /// `--engine serial|multicore|fastpass` and `--workers N` (multicore
+    /// thread cap; 0 = size to the host) from `std::env::args`.
     ///
     /// # Panics
-    /// Panics with a usage message on unknown flags.
+    /// Panics with a usage message on unknown flags or engine names.
     pub fn parse() -> Self {
         Self::from_args(std::env::args().skip(1))
     }
@@ -30,6 +38,7 @@ impl Opts {
     /// Parses from an explicit iterator (testable).
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut opts = Self::default();
+        let mut workers: Option<usize> = None;
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -39,7 +48,25 @@ impl Opts {
                     let v = it.next().expect("--seed needs a value");
                     opts.seed = v.parse().expect("--seed needs an integer");
                 }
-                other => panic!("unknown flag {other}; use --quick|--full|--seed N"),
+                "--engine" => {
+                    let v = it.next().expect("--engine needs a value");
+                    opts.engine = Engine::parse(&v).unwrap_or_else(|| {
+                        panic!("unknown engine {v}; use serial|multicore|fastpass")
+                    });
+                }
+                "--workers" => {
+                    let v = it.next().expect("--workers needs a value");
+                    workers = Some(v.parse().expect("--workers needs an integer"));
+                }
+                other => panic!(
+                    "unknown flag {other}; use --quick|--full|--seed N|--engine E|--workers N"
+                ),
+            }
+        }
+        if let Some(w) = workers {
+            match &mut opts.engine {
+                Engine::Multicore { workers } => *workers = w,
+                _ => panic!("--workers only applies to --engine multicore"),
             }
         }
         opts
@@ -64,10 +91,11 @@ mod tests {
     }
 
     #[test]
-    fn defaults_are_quick() {
+    fn defaults_are_quick_serial() {
         let o = parse(&[]);
         assert!(o.quick);
         assert_eq!(o.seed, 42);
+        assert_eq!(o.engine, Engine::Serial);
     }
 
     #[test]
@@ -77,6 +105,37 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.scaled(100, 10), 100);
         assert_eq!(parse(&["--quick"]).scaled(100, 10), 10);
+    }
+
+    #[test]
+    fn engine_flags_parse() {
+        assert_eq!(parse(&["--engine", "serial"]).engine, Engine::Serial);
+        assert_eq!(parse(&["--engine", "fastpass"]).engine, Engine::Fastpass);
+        assert_eq!(
+            parse(&["--engine", "multicore"]).engine,
+            Engine::Multicore { workers: 0 }
+        );
+        // --workers composes with multicore, in either flag order.
+        assert_eq!(
+            parse(&["--engine", "multicore", "--workers", "4"]).engine,
+            Engine::Multicore { workers: 4 }
+        );
+        assert_eq!(
+            parse(&["--workers", "2", "--engine", "multicore"]).engine,
+            Engine::Multicore { workers: 2 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown engine")]
+    fn bad_engine_panics() {
+        let _ = parse(&["--engine", "quantum"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only applies to --engine multicore")]
+    fn workers_without_multicore_panics() {
+        let _ = parse(&["--engine", "serial", "--workers", "2"]);
     }
 
     #[test]

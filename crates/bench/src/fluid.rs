@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use flowtune::{AllocatorService, FlowtuneConfig};
+use flowtune::{AllocatorService, DynAllocatorService, Engine, FlowtuneConfig};
 use flowtune_proto::{codec, wire, Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
 use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
@@ -58,7 +58,7 @@ impl FluidStats {
 /// The fluid-model experiment driver.
 #[derive(Debug)]
 pub struct FluidDriver {
-    service: AllocatorService,
+    service: DynAllocatorService,
     trace: TraceGenerator,
     cfg: FlowtuneConfig,
     servers: usize,
@@ -71,7 +71,7 @@ pub struct FluidDriver {
 
 impl FluidDriver {
     /// Builds a driver over `servers` servers (racks of 16) running
-    /// `workload` at `load`.
+    /// `workload` at `load` with the serial reference engine.
     pub fn new(
         workload: Workload,
         load: f64,
@@ -79,7 +79,20 @@ impl FluidDriver {
         cfg: FlowtuneConfig,
         seed: u64,
     ) -> Self {
-        assert!(servers % 16 == 0, "whole racks of 16 expected");
+        Self::with_engine(workload, load, servers, cfg, seed, Engine::Serial)
+    }
+
+    /// [`FluidDriver::new`] with an explicit allocation engine (the
+    /// binaries' `--engine` flag lands here).
+    pub fn with_engine(
+        workload: Workload,
+        load: f64,
+        servers: usize,
+        cfg: FlowtuneConfig,
+        seed: u64,
+        engine: Engine,
+    ) -> Self {
+        assert!(servers.is_multiple_of(16), "whole racks of 16 expected");
         let clos = ClosConfig {
             racks: servers / 16,
             servers_per_rack: 16,
@@ -87,7 +100,12 @@ impl FluidDriver {
             ..ClosConfig::paper_eval()
         };
         let fabric = TwoTierClos::build(clos);
-        let service = AllocatorService::new(&fabric, cfg);
+        let service = AllocatorService::builder()
+            .fabric(&fabric)
+            .config(cfg)
+            .engine(engine)
+            .build()
+            .expect("fabric is set");
         let trace = TraceGenerator::new(TraceConfig {
             workload,
             load,
@@ -143,7 +161,9 @@ impl FluidDriver {
                     weight_q8: 256,
                     spine: spine as u8,
                 };
-                self.service.on_message(msg);
+                self.service
+                    .on_message(msg)
+                    .expect("fluid driver mints unique tokens");
                 self.remaining.insert(token, pending.bytes as f64);
                 tokens_of_flow.insert(pending.id, token);
                 if in_window {
@@ -177,7 +197,9 @@ impl FluidDriver {
             for token in ended {
                 self.remaining.remove(&token);
                 let msg = Message::FlowletEnd { token };
-                self.service.on_message(msg);
+                self.service
+                    .on_message(msg)
+                    .expect("flowlet ends are always accepted");
                 if in_window {
                     self.account_to_alloc(&msg);
                 }
@@ -218,19 +240,34 @@ mod tests {
 
     #[test]
     fn fluid_run_reaches_steady_state_and_accounts() {
-        let mut d = FluidDriver::new(
-            Workload::Web,
-            0.5,
-            32,
-            FlowtuneConfig::default(),
-            7,
-        );
+        let mut d = FluidDriver::new(Workload::Web, 0.5, 32, FlowtuneConfig::default(), 7);
         let stats = d.run(2_000_000_000, 10_000_000_000); // 2 ms warmup, 10 ms window
         assert!(stats.flowlets > 10, "flowlets {}", stats.flowlets);
         assert!(stats.updates_sent > 0);
         assert!(stats.wire_from_alloc > stats.payload_from_alloc);
         let frac = stats.from_alloc_fraction(32, 10_000_000_000);
         assert!(frac > 0.0 && frac < 0.2, "fraction {frac}");
+    }
+
+    #[test]
+    fn fluid_runs_under_every_engine() {
+        for engine in [
+            Engine::Serial,
+            Engine::Multicore { workers: 1 },
+            Engine::Fastpass,
+        ] {
+            let mut d = FluidDriver::with_engine(
+                Workload::Web,
+                0.4,
+                32,
+                FlowtuneConfig::default(),
+                5,
+                engine,
+            );
+            let stats = d.run(1_000_000_000, 4_000_000_000);
+            assert!(stats.flowlets > 0, "{}: no flowlets", engine.name());
+            assert!(stats.updates_sent > 0, "{}: no updates", engine.name());
+        }
     }
 
     #[test]
@@ -272,8 +309,12 @@ mod tests {
     #[test]
     fn payload_len_matches_encodings() {
         let msgs = [
-            Message::FlowletEnd { token: Token::new(1) },
-            Message::FlowletEnd { token: Token::new(2) },
+            Message::FlowletEnd {
+                token: Token::new(1),
+            },
+            Message::FlowletEnd {
+                token: Token::new(2),
+            },
         ];
         assert_eq!(payload_len(&msgs), 8);
     }

@@ -1,7 +1,7 @@
 //! Packet-simulation harness for the data-plane figures (4, 8, 9, 10,
 //! 11): one "cell" = one (scheme, workload, load) simulation.
 
-use flowtune_sim::{Scheme, SimConfig, Simulation, MS};
+use flowtune_sim::{Engine, Scheme, SimConfig, Simulation, MS};
 use flowtune_topo::ClosConfig;
 use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
 
@@ -10,6 +10,8 @@ use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
 pub struct CellSpec {
     /// Scheme under test.
     pub scheme: Scheme,
+    /// Allocation engine for Flowtune cells (ignored by other schemes).
+    pub engine: Engine,
     /// Flow-size distribution.
     pub workload: Workload,
     /// Average server load.
@@ -59,7 +61,7 @@ pub const BINS: [&str; 5] = [
 
 /// Runs one cell and summarizes it.
 pub fn run_cell(spec: &CellSpec) -> CellResult {
-    assert!(spec.servers % 16 == 0);
+    assert!(spec.servers.is_multiple_of(16));
     let clos = ClosConfig {
         racks: spec.servers / 16,
         servers_per_rack: 16,
@@ -68,8 +70,9 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
     };
     let mut cfg = SimConfig::paper(spec.scheme);
     cfg.clos = clos;
+    cfg.engine = spec.engine;
     // Sample queues fast enough to see short runs.
-    cfg.sample_interval_ps = (spec.horizon_ps / 200).max(100_000_000).min(MS);
+    cfg.sample_interval_ps = (spec.horizon_ps / 200).clamp(100_000_000, MS);
     let mut sim = Simulation::new(cfg);
 
     let mut gen = TraceGenerator::new(TraceConfig {
@@ -117,6 +120,7 @@ mod tests {
         for scheme in [Scheme::Flowtune, Scheme::Dctcp] {
             let r = run_cell(&CellSpec {
                 scheme,
+                engine: Engine::Serial,
                 workload: Workload::Web,
                 load: 0.4,
                 servers: 32,

@@ -1,0 +1,234 @@
+//! Minimal, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of `criterion` its benches use. There is
+//! no statistical machinery: each benchmark runs a short warmup plus a
+//! fixed number of timed iterations and prints the mean wall time (and
+//! derived throughput when one was declared). Good enough to spot the
+//! order-of-magnitude regressions the bench guards exist for; use real
+//! criterion for publication-grade numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export target of `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared workload size, echoed as derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's name: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// The bench context handed to measurement closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, called `iters` times after one warmup call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Lets `f` time `iters` iterations itself and report the total.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    samples: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!(" ({:.3e} elem/s)", n as f64 / per_iter),
+            Some(Throughput::Bytes(n)) => format!(" ({:.3e} B/s)", n as f64 / per_iter),
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: {:.3} µs/iter over {} iters{rate}",
+            self.name,
+            per_iter * 1e6,
+            b.iters
+        );
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The bench harness entry object.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples == 0 {
+            20
+        } else {
+            self.default_samples
+        };
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            samples,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(&name)
+            .sample_size(20)
+            .bench_function("", f);
+        self
+    }
+}
+
+/// Declares a bench group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("noop", 10), &10u64, |b, &n| {
+            b.iter(|| {
+                count += n;
+            })
+        });
+        group.finish();
+        assert!(count >= 50, "bench closure must actually run");
+    }
+
+    #[test]
+    fn iter_custom_records_reported_time() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("custom");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("x", 1), &(), |b, _| {
+            b.iter_custom(Duration::from_micros)
+        });
+        group.finish();
+    }
+}

@@ -69,9 +69,7 @@ impl EndpointAgent {
     /// reconstructs the true data path.
     pub fn spine_for(&self, flow: u64, dst: u16) -> u8 {
         let h = splitmix64(
-            splitmix64(flow ^ 0x9e37_79b9_7f4a_7c15)
-                ^ ((self.server as u64) << 32)
-                ^ dst as u64,
+            splitmix64(flow ^ 0x9e37_79b9_7f4a_7c15) ^ ((self.server as u64) << 32) ^ dst as u64,
         );
         (h % self.spines as u64) as u8
     }
@@ -201,7 +199,14 @@ mod tests {
     fn backlog_emits_start_once_per_flowlet() {
         let mut a = EndpointAgent::new(3, 144);
         let m1 = a.on_backlog(1, 100, 5000, 0);
-        assert!(matches!(m1, Some(Message::FlowletStart { src: 3, dst: 100, .. })));
+        assert!(matches!(
+            m1,
+            Some(Message::FlowletStart {
+                src: 3,
+                dst: 100,
+                ..
+            })
+        ));
         assert!(a.on_backlog(1, 100, 5000, 10).is_none(), "same flowlet");
         assert!(a.flowlet_active(1));
     }
@@ -278,7 +283,10 @@ mod tests {
         });
         a.on_drained(1, 0);
         a.poll(40 * US);
-        assert!(a.pacing_rate_gbps(1).is_some(), "kept as TCP starting point");
+        assert!(
+            a.pacing_rate_gbps(1).is_some(),
+            "kept as TCP starting point"
+        );
     }
 
     #[test]

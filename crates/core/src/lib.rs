@@ -18,24 +18,37 @@
 //! This crate is the system façade; the machinery lives in focused crates:
 //!
 //! * [`flowtune_topo`] — two-tier Clos fabrics, paths, allocator blocks;
-//! * [`flowtune_num`] — NED and the baseline NUM optimizers, U/F-NORM;
-//! * [`flowtune_alloc`] — the §5 multicore engine (FlowBlock/LinkBlock);
+//! * `flowtune_num` — NED and the baseline NUM optimizers, U/F-NORM;
+//! * [`flowtune_alloc`] — the [`RateAllocator`] engine interface and its
+//!   NED implementations: serial reference and the §5 multicore
+//!   FlowBlock/LinkBlock engine;
+//! * [`flowtune_fastpass`] — the per-packet timeslot arbiter and its
+//!   [`RateAllocator`] adapter (the §6.1 comparison baseline);
 //! * [`flowtune_proto`] — the 16/4/6-byte control messages.
 //!
 //! ## Quickstart
 //!
+//! The allocator is assembled with a builder; the engine — serial NED,
+//! multicore NED, or Fastpass-style arbitration — is a run-time choice
+//! behind one API:
+//!
 //! ```
-//! use flowtune::{AllocatorService, EndpointAgent, FlowtuneConfig};
+//! use flowtune::{AllocatorService, EndpointAgent, Engine, FlowtuneConfig};
 //! use flowtune_topo::{ClosConfig, TwoTierClos};
 //!
 //! // The paper's evaluation fabric: 9 racks × 16 servers, 4 spines.
 //! let fabric = TwoTierClos::build(ClosConfig::paper_eval());
-//! let mut allocator = AllocatorService::new(&fabric, FlowtuneConfig::default());
+//! let mut allocator = AllocatorService::builder()
+//!     .fabric(&fabric)
+//!     .config(FlowtuneConfig::default())
+//!     .engine(Engine::Serial) // or Multicore { workers } / Fastpass
+//!     .build()
+//!     .expect("fabric was supplied");
 //! let mut agent = EndpointAgent::new(0, 144);
 //!
 //! // Server 0 gets a 1 MB backlog toward server 140: a flowlet starts.
 //! let start = agent.on_backlog(7, 140, 1_000_000, 0).unwrap();
-//! allocator.on_message(start.clone());
+//! allocator.on_message(start).expect("token is fresh");
 //!
 //! // One allocator tick (the paper runs one every 10 µs) produces rate
 //! // updates for whoever changed by more than the threshold.
@@ -49,7 +62,14 @@
 //! // the 1% capacity headroom the update threshold reserves (§6.4).
 //! let rate = agent.pacing_rate_gbps(7).unwrap();
 //! assert!((rate - 9.9).abs() < 1e-2);
+//!
+//! // Corrupt control input is a reportable condition, not a crash:
+//! // replaying the same start is rejected and counted.
+//! assert!(allocator.on_message(start).is_err());
+//! assert_eq!(allocator.stats().rejected, 1);
 //! ```
+//!
+//! [`RateAllocator`]: flowtune_alloc::RateAllocator
 
 pub mod config;
 pub mod endpoint;
@@ -60,5 +80,7 @@ pub mod token;
 pub use config::FlowtuneConfig;
 pub use endpoint::EndpointAgent;
 pub use flowlet::FlowletTracker;
-pub use service::{AllocatorService, ServiceStats};
+pub use service::{
+    AllocatorService, DynAllocatorService, Engine, ServiceBuilder, ServiceError, ServiceStats,
+};
 pub use token::TokenAllocator;

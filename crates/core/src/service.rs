@@ -1,14 +1,29 @@
 //! The centralized allocator as a library.
 //!
 //! [`AllocatorService`] is the Figure-1 box: it consumes flowlet start/end
-//! notifications, maintains the flow set inside a block-partitioned NED
-//! engine, and on every tick produces threshold-filtered rate updates. It
-//! is sans-IO — the network simulator delivers the messages over simulated
-//! TCP, the examples call it directly.
+//! notifications, maintains the flow set inside a pluggable
+//! [`RateAllocator`] engine, and on every tick produces threshold-filtered
+//! rate updates. It is sans-IO — the network simulator delivers the
+//! messages over simulated TCP, the examples call it directly.
+//!
+//! The engine is chosen at construction through
+//! [`AllocatorService::builder`]:
+//!
+//! * [`Engine::Serial`] — the single-threaded reference NED engine;
+//! * [`Engine::Multicore`] — the §5 FlowBlock-parallel engine
+//!   (bit-for-bit equal rates, threaded iteration);
+//! * [`Engine::Fastpass`] — the per-packet timeslot-arbitration baseline
+//!   of the §6.1 comparison.
+//!
+//! Malformed or inconsistent control messages (duplicate live tokens,
+//! rate updates sent *to* the allocator) are reportable conditions, not
+//! crashes: [`AllocatorService::on_message`] returns a [`ServiceError`]
+//! and bumps [`ServiceStats::rejected`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use flowtune_alloc::{AllocConfig, SerialAllocator};
+use flowtune_alloc::{AllocConfig, BoxEngine, RateAllocator, SerialAllocator};
+use flowtune_fastpass::FastpassAdapter;
 use flowtune_proto::{Message, Rate16, ThresholdFilter, Token};
 use flowtune_topo::{FlowId, TwoTierClos};
 
@@ -37,48 +52,250 @@ pub struct ServiceStats {
     pub bytes_out: u64,
     /// Allocator iterations run.
     pub iterations: u64,
+    /// Messages rejected as corrupt or inconsistent (duplicate live
+    /// tokens, rate updates addressed to the allocator).
+    pub rejected: u64,
 }
 
-/// The centralized rate allocator (NED + F-NORM + update filtering).
-#[derive(Debug)]
-pub struct AllocatorService {
-    fabric: TwoTierClos,
-    engine: SerialAllocator,
+/// Why the allocator refused a control message or a build request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A `FlowletStart` reused a token that is still active. Endpoints
+    /// mint unique tokens, so this indicates corruption or a duplicated
+    /// segment; the start is dropped and the original flowlet keeps its
+    /// registration.
+    DuplicateToken(Token),
+    /// A `FlowletStart` named endpoints the fabric does not have —
+    /// src/dst out of range, src == dst, or an unknown spine. A
+    /// corrupted field, not a crash: the start is dropped.
+    MalformedStart(Token),
+    /// A `RateUpdate` arrived at the allocator; updates are allocator
+    /// *output*, so receiving one indicates mis-wiring.
+    UnexpectedRateUpdate,
+    /// [`ServiceBuilder::build`] was called without a fabric.
+    MissingFabric,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::DuplicateToken(t) => {
+                write!(f, "flowlet start reuses active token {t:?}")
+            }
+            ServiceError::MalformedStart(t) => {
+                write!(f, "flowlet start {t:?} names endpoints outside the fabric")
+            }
+            ServiceError::UnexpectedRateUpdate => {
+                write!(f, "allocator received a RateUpdate")
+            }
+            ServiceError::MissingFabric => {
+                write!(f, "allocator builder needs a fabric")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Which allocation engine a built service runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Single-threaded reference NED engine.
+    #[default]
+    Serial,
+    /// §5 FlowBlock-parallel NED engine. `workers` caps the OS threads
+    /// per iteration; `0` sizes to the host.
+    Multicore {
+        /// OS-thread cap (0 = auto).
+        workers: usize,
+    },
+    /// Fastpass-style per-packet timeslot arbitration (§6.1 baseline).
+    Fastpass,
+}
+
+impl Engine {
+    /// Parses an engine name as accepted by the experiment binaries'
+    /// `--engine` flag.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "serial" => Some(Engine::Serial),
+            "multicore" => Some(Engine::Multicore { workers: 0 }),
+            "fastpass" => Some(Engine::Fastpass),
+            _ => None,
+        }
+    }
+
+    /// The flag-style name (`serial` / `multicore` / `fastpass`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Serial => "serial",
+            Engine::Multicore { .. } => "multicore",
+            Engine::Fastpass => "fastpass",
+        }
+    }
+}
+
+/// Configures and constructs an [`AllocatorService`] with a run-time
+/// engine choice. Obtained from [`AllocatorService::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceBuilder {
+    fabric: Option<TwoTierClos>,
     cfg: FlowtuneConfig,
-    registry: HashMap<Token, Registered>,
+    engine: Engine,
+}
+
+impl ServiceBuilder {
+    /// The fabric the allocator serves (required).
+    pub fn fabric(mut self, fabric: &TwoTierClos) -> Self {
+        self.fabric = Some(fabric.clone());
+        self
+    }
+
+    /// Replaces the whole configuration (defaults to
+    /// [`FlowtuneConfig::default`]).
+    pub fn config(mut self, cfg: FlowtuneConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Selects the allocation engine (defaults to [`Engine::Serial`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the NED step size γ.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.cfg.gamma = gamma;
+        self
+    }
+
+    /// Overrides the §6.4 update-suppression threshold.
+    pub fn update_threshold(mut self, threshold: f64) -> Self {
+        self.cfg.update_threshold = threshold;
+        self
+    }
+
+    /// Overrides the engine iterations run per tick.
+    pub fn iterations_per_tick(mut self, n: usize) -> Self {
+        self.cfg.iterations_per_tick = n;
+        self
+    }
+
+    /// Enables or disables F-NORM.
+    pub fn f_norm(mut self, on: bool) -> Self {
+        self.cfg.f_norm = on;
+        self
+    }
+
+    /// Builds the service over the chosen engine.
+    ///
+    /// # Errors
+    /// [`ServiceError::MissingFabric`] if no fabric was supplied.
+    pub fn build(self) -> Result<AllocatorService<BoxEngine>, ServiceError> {
+        let fabric = self.fabric.ok_or(ServiceError::MissingFabric)?;
+        let alloc_cfg = alloc_config(&self.cfg);
+        let engine: BoxEngine = match self.engine {
+            Engine::Serial => Box::new(SerialAllocator::new(&fabric, alloc_cfg)),
+            Engine::Multicore { workers } => Box::new(
+                flowtune_alloc::MulticoreAllocator::with_workers(&fabric, alloc_cfg, workers),
+            ),
+            Engine::Fastpass => {
+                // NED engines interpret iterations-per-tick as extra
+                // optimization work inside the same 10 µs; the arbiter's
+                // iterations *are* fabric time, so split the tick across
+                // them to keep its clock honest.
+                let iteration_ps =
+                    self.cfg.tick_interval_ps / self.cfg.iterations_per_tick.max(1) as u64;
+                Box::new(
+                    FastpassAdapter::new(&fabric, alloc_cfg)
+                        .with_iteration_time_ps(iteration_ps, fabric.config().host_link_bps),
+                )
+            }
+        };
+        Ok(AllocatorService::from_parts(fabric, self.cfg, engine))
+    }
+}
+
+/// The §6.4 capacity/threshold coupling, shared by every engine path.
+fn alloc_config(cfg: &FlowtuneConfig) -> AllocConfig {
+    AllocConfig {
+        gamma: cfg.gamma,
+        f_norm: cfg.f_norm,
+        capacity_fraction: cfg.capacity_fraction(),
+    }
+}
+
+/// The centralized rate allocator (engine + F-NORM + update filtering),
+/// generic over its [`RateAllocator`] engine. `AllocatorService` without
+/// a type argument is the serial reference configuration;
+/// [`AllocatorService::builder`] yields the boxed, run-time-chosen form
+/// ([`DynAllocatorService`]).
+#[derive(Debug)]
+pub struct AllocatorService<E: RateAllocator = SerialAllocator> {
+    fabric: TwoTierClos,
+    engine: E,
+    cfg: FlowtuneConfig,
+    /// Token registry. A `BTreeMap` so `tick` walks tokens in sorted
+    /// order directly — the per-tick collect-and-sort of the `HashMap`
+    /// design cost `O(n log n)` per 10 µs tick at zero churn.
+    registry: BTreeMap<Token, Registered>,
     filter: ThresholdFilter,
     next_internal: u64,
     stats: ServiceStats,
 }
 
+/// An [`AllocatorService`] whose engine was chosen at run time.
+pub type DynAllocatorService = AllocatorService<BoxEngine>;
+
 impl AllocatorService {
-    /// Builds the service over `fabric`. The §6.4 capacity headroom
-    /// (`1 − update_threshold`) is applied to every link.
+    /// Builds the serial-engine service over `fabric` — the compile-time
+    /// shortcut the simulator's defaults and the unit tests use. The
+    /// §6.4 capacity headroom (`1 − update_threshold`) is applied to
+    /// every link.
     pub fn new(fabric: &TwoTierClos, cfg: FlowtuneConfig) -> Self {
-        let alloc_cfg = AllocConfig {
-            gamma: cfg.gamma,
-            f_norm: cfg.f_norm,
-            capacity_fraction: cfg.capacity_fraction(),
-        };
+        let engine = SerialAllocator::new(fabric, alloc_config(&cfg));
+        Self::with_engine(fabric, cfg, engine)
+    }
+}
+
+impl AllocatorService<BoxEngine> {
+    /// Starts configuring a service with a run-time engine choice.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+}
+
+impl<E: RateAllocator> AllocatorService<E> {
+    /// Builds the service around an already-constructed engine. The
+    /// engine must have been built over the same `fabric`.
+    pub fn with_engine(fabric: &TwoTierClos, cfg: FlowtuneConfig, engine: E) -> Self {
+        Self::from_parts(fabric.clone(), cfg, engine)
+    }
+
+    fn from_parts(fabric: TwoTierClos, cfg: FlowtuneConfig, engine: E) -> Self {
         Self {
-            fabric: fabric.clone(),
-            engine: SerialAllocator::new(fabric, alloc_cfg),
+            fabric,
+            engine,
             cfg,
-            registry: HashMap::new(),
+            registry: BTreeMap::new(),
             filter: ThresholdFilter::new(cfg.update_threshold),
             next_internal: 0,
             stats: ServiceStats::default(),
         }
     }
 
-    /// Handles an endpoint notification. `RateUpdate`s are allocator
-    /// output and are rejected. Unknown `FlowletEnd`s are ignored (the
-    /// flowlet may have been re-keyed by an endpoint restart).
+    /// Handles an endpoint notification. Unknown `FlowletEnd`s are
+    /// ignored (the flowlet may have been re-keyed by an endpoint
+    /// restart, or belong to a predecessor allocator).
     ///
-    /// # Panics
-    /// Panics if a `FlowletStart` reuses a token that is still active —
-    /// endpoints mint unique tokens, so this indicates message corruption.
-    pub fn on_message(&mut self, msg: Message) {
+    /// # Errors
+    /// [`ServiceError::DuplicateToken`] if a `FlowletStart` reuses a
+    /// token that is still active, [`ServiceError::UnexpectedRateUpdate`]
+    /// if a `RateUpdate` is delivered to the allocator. Either way the
+    /// message is dropped, [`ServiceStats::rejected`] is bumped, and the
+    /// service remains consistent — rejecting is not fatal.
+    pub fn on_message(&mut self, msg: Message) -> Result<(), ServiceError> {
         self.stats.bytes_in += msg.encoded_len() as u64;
         match msg {
             Message::FlowletStart {
@@ -89,10 +306,22 @@ impl AllocatorService {
                 spine,
                 ..
             } => {
-                assert!(
-                    !self.registry.contains_key(&token),
-                    "token {token:?} already active"
-                );
+                if self.registry.contains_key(&token) {
+                    self.stats.rejected += 1;
+                    return Err(ServiceError::DuplicateToken(token));
+                }
+                // Endpoint fields come off the wire too: a corrupted
+                // src/dst/spine must be a rejection, not an engine panic.
+                let clos = self.fabric.config();
+                let servers = clos.server_count();
+                if src as usize >= servers
+                    || dst as usize >= servers
+                    || src == dst
+                    || spine as usize >= clos.spines
+                {
+                    self.stats.rejected += 1;
+                    return Err(ServiceError::MalformedStart(token));
+                }
                 let internal = FlowId(self.next_internal);
                 self.next_internal += 1;
                 let weight = if weight_q8 == 0 {
@@ -107,6 +336,7 @@ impl AllocatorService {
                     .add_flow(internal, src as usize, dst as usize, weight, &path);
                 self.registry.insert(token, Registered { internal, src });
                 self.stats.starts += 1;
+                Ok(())
             }
             Message::FlowletEnd { token } => {
                 if let Some(reg) = self.registry.remove(&token) {
@@ -114,30 +344,24 @@ impl AllocatorService {
                     self.filter.forget(token);
                     self.stats.ends += 1;
                 }
+                Ok(())
             }
             Message::RateUpdate { .. } => {
-                // Output, not input; receiving one indicates mis-wiring.
-                debug_assert!(false, "allocator received a RateUpdate");
+                self.stats.rejected += 1;
+                Err(ServiceError::UnexpectedRateUpdate)
             }
         }
     }
 
     /// One allocator tick (§6.2: every 10 µs): runs the configured number
-    /// of NED iterations + F-NORM and returns `(source server, update)`
-    /// pairs for every flow whose normalized rate moved beyond the
-    /// threshold.
+    /// of engine iterations and returns `(source server, update)` pairs
+    /// for every flow whose normalized rate moved beyond the threshold.
+    /// Updates come out in token order (the registry iterates sorted).
     pub fn tick(&mut self) -> Vec<(u16, Message)> {
-        for _ in 0..self.cfg.iterations_per_tick {
-            self.engine.iterate();
-        }
+        self.engine.run_iterations(self.cfg.iterations_per_tick);
         self.stats.iterations += self.cfg.iterations_per_tick as u64;
         let mut out = Vec::new();
-        // Deterministic order: engine (FlowBlock, slot) order would churn
-        // under swap_remove; sort by token for stability.
-        let mut tokens: Vec<Token> = self.registry.keys().copied().collect();
-        tokens.sort_unstable();
-        for token in tokens {
-            let reg = self.registry[&token];
+        for (&token, reg) in &self.registry {
             let rate = self
                 .engine
                 .flow_rate(reg.internal)
@@ -178,6 +402,16 @@ impl AllocatorService {
     pub fn fabric(&self) -> &TwoTierClos {
         &self.fabric
     }
+
+    /// The engine's short name (`serial` / `multicore` / `fastpass`).
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Read access to the engine, for engine-specific telemetry.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
 }
 
 #[cfg(test)]
@@ -203,7 +437,7 @@ mod tests {
     #[test]
     fn single_flow_gets_headroom_scaled_line_rate() {
         let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
-        svc.on_message(start(1, 0, 140));
+        svc.on_message(start(1, 0, 140)).unwrap();
         // A handful of 10 µs ticks converge the only flow to line rate
         // × 0.99 headroom.
         let mut last = Vec::new();
@@ -219,7 +453,7 @@ mod tests {
     #[test]
     fn updates_route_to_the_source_server() {
         let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
-        svc.on_message(start(1, 17, 99));
+        svc.on_message(start(1, 17, 99)).unwrap();
         let updates = svc.tick();
         assert_eq!(updates.len(), 1);
         assert_eq!(updates[0].0, 17);
@@ -228,8 +462,8 @@ mod tests {
     #[test]
     fn two_flows_share_fairly_and_end_frees() {
         let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
-        svc.on_message(start(1, 0, 140));
-        svc.on_message(start(2, 1, 141)); // same rack 0 → shares nothing
+        svc.on_message(start(1, 0, 140)).unwrap();
+        svc.on_message(start(2, 1, 141)).unwrap(); // same rack 0 → shares nothing
         for _ in 0..100 {
             svc.tick();
         }
@@ -238,7 +472,7 @@ mod tests {
         assert!((svc.flow_rate_gbps(Token::new(2)).unwrap() - 9.9).abs() < 0.05);
 
         // Now two flows from the same source share its access link.
-        svc.on_message(start(3, 0, 100));
+        svc.on_message(start(3, 0, 100)).unwrap();
         for _ in 0..200 {
             svc.tick();
         }
@@ -247,7 +481,10 @@ mod tests {
         assert!((r1 - 4.95).abs() < 0.1, "shared uplink: {r1}");
         assert!((r3 - 4.95).abs() < 0.1, "shared uplink: {r3}");
 
-        svc.on_message(Message::FlowletEnd { token: Token::new(3) });
+        svc.on_message(Message::FlowletEnd {
+            token: Token::new(3),
+        })
+        .unwrap();
         for _ in 0..200 {
             svc.tick();
         }
@@ -259,7 +496,7 @@ mod tests {
     #[test]
     fn threshold_suppresses_steady_state_updates() {
         let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
-        svc.on_message(start(1, 0, 140));
+        svc.on_message(start(1, 0, 140)).unwrap();
         for _ in 0..100 {
             svc.tick();
         }
@@ -275,7 +512,10 @@ mod tests {
     #[test]
     fn unknown_end_is_ignored() {
         let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
-        svc.on_message(Message::FlowletEnd { token: Token::new(9) });
+        svc.on_message(Message::FlowletEnd {
+            token: Token::new(9),
+        })
+        .unwrap();
         assert_eq!(svc.active_flows(), 0);
         assert_eq!(svc.stats().ends, 0);
     }
@@ -283,16 +523,106 @@ mod tests {
     #[test]
     fn byte_accounting_matches_wire_sizes() {
         let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
-        svc.on_message(start(1, 0, 140));
-        svc.on_message(Message::FlowletEnd { token: Token::new(1) });
+        svc.on_message(start(1, 0, 140)).unwrap();
+        svc.on_message(Message::FlowletEnd {
+            token: Token::new(1),
+        })
+        .unwrap();
         assert_eq!(svc.stats().bytes_in, 16 + 4);
     }
 
     #[test]
-    #[should_panic(expected = "already active")]
-    fn duplicate_active_token_rejected() {
+    fn duplicate_active_token_is_rejected_not_fatal() {
         let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
-        svc.on_message(start(1, 0, 140));
-        svc.on_message(start(1, 2, 141));
+        svc.on_message(start(1, 0, 140)).unwrap();
+        let err = svc.on_message(start(1, 2, 141)).unwrap_err();
+        assert_eq!(err, ServiceError::DuplicateToken(Token::new(1)));
+        assert_eq!(svc.stats().rejected, 1);
+        assert_eq!(svc.stats().starts, 1, "original registration kept");
+        // The service still operates: the original flow converges.
+        for _ in 0..100 {
+            svc.tick();
+        }
+        assert!(svc.flow_rate_gbps(Token::new(1)).unwrap() > 9.0);
+    }
+
+    #[test]
+    fn corrupt_endpoint_fields_are_rejected_not_fatal() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        let mk = |token: u32, src: u16, dst: u16, spine: u8| Message::FlowletStart {
+            token: Token::new(token),
+            src,
+            dst,
+            size_hint: 1,
+            weight_q8: 256,
+            spine,
+        };
+        // src == dst, endpoint out of range, spine out of range: each a
+        // rejection, none a panic.
+        for (i, msg) in [
+            mk(1, 5, 5, 1),
+            mk(2, 9999, 0, 1),
+            mk(3, 0, 9999, 1),
+            mk(4, 0, 140, 200),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let err = svc.on_message(msg).unwrap_err();
+            assert!(matches!(err, ServiceError::MalformedStart(_)), "{err}");
+            assert_eq!(svc.stats().rejected, i as u64 + 1);
+        }
+        assert_eq!(svc.active_flows(), 0);
+        // The service is unharmed: a valid start still converges.
+        svc.on_message(start(5, 0, 140)).unwrap();
+        for _ in 0..100 {
+            svc.tick();
+        }
+        assert!(svc.flow_rate_gbps(Token::new(5)).unwrap() > 9.0);
+    }
+
+    #[test]
+    fn rate_update_to_allocator_is_rejected() {
+        let mut svc = AllocatorService::new(&fabric(), FlowtuneConfig::default());
+        let msg = Message::RateUpdate {
+            token: Token::new(5),
+            rate: Rate16::encode(1.0),
+        };
+        assert_eq!(svc.on_message(msg), Err(ServiceError::UnexpectedRateUpdate));
+        assert_eq!(svc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn builder_requires_a_fabric() {
+        let err = AllocatorService::builder().build().unwrap_err();
+        assert_eq!(err, ServiceError::MissingFabric);
+    }
+
+    #[test]
+    fn builder_overrides_reach_the_config() {
+        let svc = AllocatorService::builder()
+            .fabric(&fabric())
+            .gamma(0.7)
+            .update_threshold(0.02)
+            .iterations_per_tick(3)
+            .f_norm(true)
+            .build()
+            .unwrap();
+        assert_eq!(svc.cfg.gamma, 0.7);
+        assert_eq!(svc.cfg.update_threshold, 0.02);
+        assert_eq!(svc.cfg.iterations_per_tick, 3);
+        assert_eq!(svc.engine_name(), "serial");
+    }
+
+    #[test]
+    fn engine_parse_roundtrips_names() {
+        for engine in [
+            Engine::Serial,
+            Engine::Multicore { workers: 0 },
+            Engine::Fastpass,
+        ] {
+            assert_eq!(Engine::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(Engine::parse("warp-drive"), None);
     }
 }

@@ -85,6 +85,9 @@ impl Optimizer for Ned {
 
         // Price update (eq. 4).
         let capacities = problem.capacities();
+        // Indexing four parallel arrays by `l`; a zip chain would bury
+        // the equation.
+        #[allow(clippy::needless_range_loop)]
         for l in 0..n_links {
             let h = self.hdiag[l];
             if h < 0.0 {
@@ -188,6 +191,8 @@ impl Optimizer for NedRt {
         }
 
         let capacities = problem.capacities();
+        // Same four-array price update as `Ned`, single-precision.
+        #[allow(clippy::needless_range_loop)]
         for l in 0..n_links {
             let h = self.hdiag[l];
             if h < 0.0 {

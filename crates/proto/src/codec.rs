@@ -202,7 +202,12 @@ mod tests {
         encode(&start(), &mut buf);
         assert_eq!(buf.len(), 16);
         buf.clear();
-        encode(&Message::FlowletEnd { token: Token::new(1) }, &mut buf);
+        encode(
+            &Message::FlowletEnd {
+                token: Token::new(1),
+            },
+            &mut buf,
+        );
         assert_eq!(buf.len(), 4);
         buf.clear();
         encode(
@@ -239,7 +244,12 @@ mod tests {
     fn stream_decoding_handles_partials() {
         let mut buf = BytesMut::new();
         encode(&start(), &mut buf);
-        encode(&Message::FlowletEnd { token: Token::new(7) }, &mut buf);
+        encode(
+            &Message::FlowletEnd {
+                token: Token::new(7),
+            },
+            &mut buf,
+        );
         encode(
             &Message::RateUpdate {
                 token: Token::new(9),

@@ -109,7 +109,7 @@ mod tests {
         assert!(f.should_send(t(1), 1.0));
         assert!(!f.should_send(t(1), 1.005)); // +0.5%
         assert!(!f.should_send(t(1), 0.995)); // −0.5%
-        // Drift accumulates relative to the last *sent* value (1.0):
+                                              // Drift accumulates relative to the last *sent* value (1.0):
         assert!(f.should_send(t(1), 1.011)); // +1.1% vs 1.0 → send
         assert_eq!(f.suppressed(), 2);
         assert_eq!(f.sent(), 2);

@@ -8,7 +8,14 @@ use proptest::prelude::*;
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (0u32..=Token::MAX, any::<u16>(), any::<u16>(), any::<u32>(), any::<u16>(), any::<u8>())
+        (
+            0u32..=Token::MAX,
+            any::<u16>(),
+            any::<u16>(),
+            any::<u32>(),
+            any::<u16>(),
+            any::<u8>()
+        )
             .prop_map(|(t, src, dst, size_hint, weight_q8, spine)| {
                 Message::FlowletStart {
                     token: Token::new(t),
@@ -19,7 +26,9 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     spine,
                 }
             }),
-        (0u32..=Token::MAX).prop_map(|t| Message::FlowletEnd { token: Token::new(t) }),
+        (0u32..=Token::MAX).prop_map(|t| Message::FlowletEnd {
+            token: Token::new(t)
+        }),
         (0u32..=Token::MAX, 0.0f64..1e4).prop_map(|(t, r)| Message::RateUpdate {
             token: Token::new(t),
             rate: Rate16::encode(r),

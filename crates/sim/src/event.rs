@@ -149,9 +149,30 @@ mod tests {
     #[test]
     fn equal_times_are_fifo() {
         let mut q = EventQueue::new();
-        q.push(5, Event::FlowTimer { flow: 1, kind: TimerKind::Rto, generation: 0 });
-        q.push(5, Event::FlowTimer { flow: 2, kind: TimerKind::Rto, generation: 0 });
-        q.push(5, Event::FlowTimer { flow: 3, kind: TimerKind::Rto, generation: 0 });
+        q.push(
+            5,
+            Event::FlowTimer {
+                flow: 1,
+                kind: TimerKind::Rto,
+                generation: 0,
+            },
+        );
+        q.push(
+            5,
+            Event::FlowTimer {
+                flow: 2,
+                kind: TimerKind::Rto,
+                generation: 0,
+            },
+        );
+        q.push(
+            5,
+            Event::FlowTimer {
+                flow: 3,
+                kind: TimerKind::Rto,
+                generation: 0,
+            },
+        );
         let order: Vec<u64> = (0..3)
             .map(|_| match q.pop().unwrap().1 {
                 Event::FlowTimer { flow, .. } => flow,

@@ -26,6 +26,7 @@ pub mod sim;
 pub mod time;
 pub mod transport;
 
+pub use flowtune::Engine;
 pub use metrics::{FctRecord, Metrics};
 pub use packet::{Packet, PktKind};
 pub use sim::{Scheme, SimConfig, Simulation};

@@ -78,8 +78,8 @@ impl Metrics {
     /// enabled).
     pub fn on_delivered(&mut self, flow: u64, bytes: u64, now_ps: u64) {
         self.delivered_bytes += bytes;
-        if self.throughput_bin_ps > 0 {
-            let bin = (now_ps / self.throughput_bin_ps) as usize;
+        if let Some(bin) = now_ps.checked_div(self.throughput_bin_ps) {
+            let bin = bin as usize;
             let series = self.throughput_bins.entry(flow).or_default();
             if series.len() <= bin {
                 series.resize(bin + 1, 0);

@@ -533,7 +533,12 @@ mod tests {
 
     #[test]
     fn sfqcodel_separates_flows() {
-        let mut q = Queue::SfqCodel(SfqCodel::new(1024, 1 << 20, 500 * crate::time::US, 10 * crate::time::MS));
+        let mut q = Queue::SfqCodel(SfqCodel::new(
+            1024,
+            1 << 20,
+            500 * crate::time::US,
+            10 * crate::time::MS,
+        ));
         // Flow 1 dumps 10 packets, flow 2 one packet; DRR should serve
         // flow 2 within the first couple of dequeues, not after all of
         // flow 1.
@@ -545,13 +550,16 @@ mod tests {
         for _ in 0..2 {
             first_two.push(q.dequeue(1000).pkt.unwrap().flow);
         }
-        assert!(first_two.contains(&2), "fair queuing interleaves: {first_two:?}");
+        assert!(
+            first_two.contains(&2),
+            "fair queuing interleaves: {first_two:?}"
+        );
     }
 
     #[test]
     fn sfqcodel_codel_drops_persistent_queue() {
         let target = 100 * crate::time::US;
-        let interval = 1 * crate::time::MS;
+        let interval = crate::time::MS;
         let mut q = SfqCodel::new(16, 1 << 30, target, interval);
         // Keep a standing queue: enqueue at t=0, dequeue far later so
         // sojourn ≫ target for longer than interval.
@@ -600,6 +608,6 @@ mod tests {
 
     #[test]
     fn ack_size_constant_sane() {
-        assert!(ACK_SIZE >= 64);
+        const { assert!(ACK_SIZE >= 64) }
     }
 }

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use bytes_shim::ByteBuf;
-use flowtune::{AllocatorService, EndpointAgent, FlowtuneConfig};
+use flowtune::{AllocatorService, DynAllocatorService, EndpointAgent, Engine, FlowtuneConfig};
 use flowtune_proto::codec;
 use flowtune_topo::{ClosConfig, FlowId, LinkId, TwoTierClos};
 
@@ -82,6 +82,9 @@ pub struct SimConfig {
     pub clos: ClosConfig,
     /// Flowtune control-plane settings (ignored by other schemes).
     pub flowtune: FlowtuneConfig,
+    /// Which allocation engine the Flowtune control plane runs (ignored
+    /// by other schemes).
+    pub engine: Engine,
     /// Data-port buffer size, bytes (≈ 200 full packets).
     pub buffer_bytes: u64,
     /// DCTCP marking threshold K, bytes (≈ 65 packets at 10 G).
@@ -105,6 +108,7 @@ impl SimConfig {
             scheme,
             clos: ClosConfig::paper_eval(),
             flowtune: FlowtuneConfig::default(),
+            engine: Engine::Serial,
             buffer_bytes: 200 * MTU as u64,
             ecn_k_bytes: 65 * MTU as u64,
             pfabric_buffer_bytes: 24 * MTU as u64,
@@ -168,8 +172,9 @@ pub struct Simulation {
     arrivals: Vec<ArrivalSpec>,
     next_flow_id: u64,
     metrics: Metrics,
-    // Flowtune control plane (None for other schemes).
-    alloc: Option<AllocatorService>,
+    // Flowtune control plane (None for other schemes); the engine behind
+    // the service is whatever `SimConfig::engine` selected.
+    alloc: Option<DynAllocatorService>,
     agents: Vec<EndpointAgent>,
     ctrl_up_buf: Vec<ByteBuf>,
     ctrl_down_buf: Vec<ByteBuf>,
@@ -212,7 +217,12 @@ impl Simulation {
 
         let servers = fabric.config().server_count();
         let (alloc, agents, ctrl_up_buf, ctrl_down_buf) = if is_flowtune {
-            let alloc = AllocatorService::new(&fabric, cfg.flowtune);
+            let alloc = AllocatorService::builder()
+                .fabric(&fabric)
+                .config(cfg.flowtune)
+                .engine(cfg.engine)
+                .build()
+                .expect("fabric is set");
             let agents = (0..servers)
                 .map(|s| {
                     EndpointAgent::with_config(
@@ -248,7 +258,8 @@ impl Simulation {
 
         if is_flowtune {
             sim.create_ctrl_streams();
-            sim.queue.push(cfg.flowtune.tick_interval_ps, Event::AllocTick);
+            sim.queue
+                .push(cfg.flowtune.tick_interval_ps, Event::AllocTick);
             sim.queue.push(10 * US, Event::AgentPoll);
         }
         if cfg.scheme == Scheme::Xcp {
@@ -641,9 +652,16 @@ impl Simulation {
         }
         for msg in msgs {
             if is_up {
-                // Arrived at the allocator.
+                // Arrived at the allocator. In production a rejection is
+                // a counted, survivable condition — but the sim's control
+                // streams are reliable TCP, so any rejection here means
+                // the sim's own wiring broke; surface that in debug runs.
                 if let Some(alloc) = &mut self.alloc {
-                    alloc.on_message(msg);
+                    let verdict = alloc.on_message(msg);
+                    debug_assert!(
+                        verdict.is_ok(),
+                        "sim control stream delivered a message the allocator rejected: {verdict:?}"
+                    );
                 }
             } else {
                 // Arrived at a server: a rate update.
@@ -902,6 +920,30 @@ mod tests {
     }
 
     #[test]
+    fn flowtune_completes_under_every_engine() {
+        for engine in [
+            Engine::Serial,
+            Engine::Multicore { workers: 1 },
+            Engine::Fastpass,
+        ] {
+            let mut cfg = small_cfg(Scheme::Flowtune);
+            cfg.engine = engine;
+            let mut sim = Simulation::new(cfg);
+            let a = sim.add_flow(0, 0, 2, 1_000_000);
+            let b = sim.add_flow(0, 1, 2, 1_000_000);
+            sim.run_until(100 * MS);
+            assert!(
+                sim.flow_finished(a) && sim.flow_finished(b),
+                "{} engine left flows unfinished",
+                engine.name()
+            );
+            let stats = sim.allocator_stats().unwrap();
+            assert_eq!(stats.starts, 2, "{}", engine.name());
+            assert!(stats.updates_sent >= 2, "{}", engine.name());
+        }
+    }
+
+    #[test]
     fn flowtune_single_flow_gets_fast_rate_allocation() {
         let mut sim = Simulation::new(small_cfg(Scheme::Flowtune));
         let flow = sim.add_flow(0, 0, 5, 1_500_000);
@@ -922,12 +964,7 @@ mod tests {
         let short = sim.add_flow(2 * MS, 1, 2, 15_000);
         sim.run_until(200 * MS);
         assert!(sim.flow_finished(long) && sim.flow_finished(short));
-        let short_rec = sim
-            .metrics()
-            .fcts
-            .iter()
-            .find(|r| r.flow == short)
-            .unwrap();
+        let short_rec = sim.metrics().fcts.iter().find(|r| r.flow == short).unwrap();
         assert!(
             short_rec.slowdown < 3.0,
             "short flow should cut ahead: {}",

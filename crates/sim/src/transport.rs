@@ -185,7 +185,13 @@ impl Conn {
     /// Creates a connection over the given forward/reverse paths. `size`
     /// is the flow length if known (data flows); control streams pass
     /// `None` and feed [`Conn::on_app_data`] incrementally.
-    pub fn new(id: u64, cfg: TransportConfig, fwd: Vec<LinkId>, rev: Vec<LinkId>, size: Option<u64>) -> Self {
+    pub fn new(
+        id: u64,
+        cfg: TransportConfig,
+        fwd: Vec<LinkId>,
+        rev: Vec<LinkId>,
+        size: Option<u64>,
+    ) -> Self {
         Self {
             id,
             fwd,
@@ -835,7 +841,13 @@ mod tests {
 
     #[test]
     fn app_limited_stream_sends_increments() {
-        let mut c = Conn::new(9, TransportConfig::control_default(), vec![l(0)], vec![l(1)], None);
+        let mut c = Conn::new(
+            9,
+            TransportConfig::control_default(),
+            vec![l(0)],
+            vec![l(1)],
+            None,
+        );
         let mut out = Vec::new();
         c.on_app_data(16, 0, &mut out);
         let pkts = sent_packets(&out);

@@ -139,7 +139,7 @@ impl TwoTierClos {
     pub fn build(cfg: ClosConfig) -> Self {
         assert!(cfg.racks > 0 && cfg.servers_per_rack > 0 && cfg.spines > 0);
         assert!(
-            cfg.racks_per_block > 0 && cfg.racks % cfg.racks_per_block == 0,
+            cfg.racks_per_block > 0 && cfg.racks.is_multiple_of(cfg.racks_per_block),
             "racks_per_block must divide racks"
         );
         let mut topo = Topology::new();
@@ -209,7 +209,9 @@ impl TwoTierClos {
         if let Some(a) = &self.allocator {
             return a.node;
         }
-        let node = self.topo.add_node(NodeKind::Allocator, self.cfg.server_delay_ps);
+        let node = self
+            .topo
+            .add_node(NodeKind::Allocator, self.cfg.server_delay_ps);
         let mut to_spine = Vec::with_capacity(self.spines.len());
         let mut from_spine = Vec::with_capacity(self.spines.len());
         for &sp in &self.spines {
@@ -294,9 +296,7 @@ impl TwoTierClos {
     /// ECMP hash function").
     pub fn ecmp_spine(&self, src: usize, dst: usize, flow: FlowId) -> usize {
         let h = splitmix64(
-            splitmix64(flow.0 ^ 0x9e37_79b9_7f4a_7c15)
-                ^ ((src as u64) << 32)
-                ^ dst as u64,
+            splitmix64(flow.0 ^ 0x9e37_79b9_7f4a_7c15) ^ ((src as u64) << 32) ^ dst as u64,
         );
         (h % self.cfg.spines as u64) as usize
     }

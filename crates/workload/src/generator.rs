@@ -214,7 +214,10 @@ mod tests {
         let offered_bps = total_bytes as f64 * 8.0 / secs / 144.0;
         let target = load * 1e10;
         let rel = (offered_bps - target).abs() / target;
-        assert!(rel < 0.1, "offered {offered_bps:.3e} vs target {target:.3e}");
+        assert!(
+            rel < 0.1,
+            "offered {offered_bps:.3e} vs target {target:.3e}"
+        );
     }
 
     #[test]
@@ -235,10 +238,7 @@ mod tests {
         // At t = 45 ms: started 0..4 (all 5), stopped senders with stop <
         // 45 ms: none (first stop at 50 ms) → 5 active.
         let t = 45_000_000_000u64;
-        let active = sched
-            .iter()
-            .filter(|&&(a, b)| a <= t && t < b)
-            .count();
+        let active = sched.iter().filter(|&&(a, b)| a <= t && t < b).count();
         assert_eq!(active, 5);
     }
 

@@ -25,12 +25,7 @@ impl PoissonArrivals {
     /// The paper's calibration (§6.2): "100% load is when the rate equals
     /// server link capacity divided by the mean flow size", summed over
     /// `servers` senders.
-    pub fn for_load(
-        load: f64,
-        servers: usize,
-        server_link_bps: u64,
-        mean_flow_bytes: f64,
-    ) -> Self {
+    pub fn for_load(load: f64, servers: usize, server_link_bps: u64, mean_flow_bytes: f64) -> Self {
         assert!(load > 0.0 && load.is_finite(), "load must be positive");
         assert!(servers > 0 && mean_flow_bytes > 0.0);
         let per_server = load * server_link_bps as f64 / (8.0 * mean_flow_bytes);

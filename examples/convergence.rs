@@ -27,7 +27,10 @@ fn main() {
         sim.run_until(scen.duration_ps() + 2 * MS);
 
         println!("\n=== {} — Gbit/s per flow, 500 µs bins ===", scheme.name());
-        println!("{:>6} | {:>6} {:>6} {:>6} {:>6} {:>6} | sum", "t(ms)", "f0", "f1", "f2", "f3", "f4");
+        println!(
+            "{:>6} | {:>6} {:>6} {:>6} {:>6} {:>6} | sum",
+            "t(ms)", "f0", "f1", "f2", "f3", "f4"
+        );
         let m = sim.metrics();
         let bins = (scen.duration_ps() / bin) as usize;
         for b in (0..bins).step_by(2) {
@@ -44,7 +47,11 @@ fn main() {
             println!(
                 "{:>6.1} | {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2} | {:>5.2}",
                 (b as u64 * bin) as f64 / 1e9,
-                gbps[0], gbps[1], gbps[2], gbps[3], gbps[4],
+                gbps[0],
+                gbps[1],
+                gbps[2],
+                gbps[3],
+                gbps[4],
                 gbps.iter().sum::<f64>()
             );
         }

@@ -13,7 +13,10 @@ fn main() {
     let load = 0.6;
     let horizon = 8 * MS;
 
-    println!("web workload, {servers} servers, load {load}, {} ms of arrivals", horizon / MS);
+    println!(
+        "web workload, {servers} servers, load {load}, {} ms of arrivals",
+        horizon / MS
+    );
     println!("scheme     | flows | p99 slowdown (1pkt) | p99 qdelay 4hop | dropped");
     for scheme in [Scheme::Flowtune, Scheme::Dctcp, Scheme::Pfabric] {
         let mut cfg = SimConfig::paper(scheme);

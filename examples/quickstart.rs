@@ -2,32 +2,42 @@
 //! fabric, start a few flowlets, watch rates converge and churn re-settle.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! The allocator is built through `AllocatorService::builder()`; swap
+//! `Engine::Serial` for `Engine::Multicore { workers }` or
+//! `Engine::Fastpass` to run the same control loop over a different
+//! allocation engine.
 
-use flowtune::{AllocatorService, EndpointAgent, FlowtuneConfig};
-use flowtune_proto::Message;
+use flowtune::{AllocatorService, EndpointAgent, Engine, FlowtuneConfig};
 use flowtune_topo::{ClosConfig, TwoTierClos};
 
 fn main() {
     // 9 racks × 16 servers, 4 spines, 10 G hosts / 40 G fabric (§6.2).
     let fabric = TwoTierClos::build(ClosConfig::paper_eval());
     let servers = fabric.config().server_count();
-    let mut allocator = AllocatorService::new(&fabric, FlowtuneConfig::default());
+    let mut allocator = AllocatorService::builder()
+        .fabric(&fabric)
+        .config(FlowtuneConfig::default())
+        .engine(Engine::Serial)
+        .build()
+        .expect("fabric was supplied");
     let mut agents: Vec<EndpointAgent> = (0..servers)
         .map(|s| EndpointAgent::new(s as u16, servers))
         .collect();
 
-    println!("fabric: {servers} servers, {} links", fabric.topology().link_count());
+    println!(
+        "fabric: {servers} servers, {} links | engine: {}",
+        fabric.topology().link_count(),
+        allocator.engine_name()
+    );
 
     // Three flowlets: two from server 0 (they will share its 10 G
     // uplink), one from server 17.
     let mut notify = |agents: &mut Vec<EndpointAgent>, flow: u64, src: usize, dst: u16| {
         if let Some(msg) = agents[src].on_backlog(flow, dst, 5_000_000, 0) {
-            allocator_on(&mut allocator, &msg);
+            allocator.on_message(msg).expect("fresh token");
         }
     };
-    fn allocator_on(allocator: &mut AllocatorService, msg: &Message) {
-        allocator.on_message(*msg);
-    }
     notify(&mut agents, 1, 0, 140);
     notify(&mut agents, 2, 0, 70);
     notify(&mut agents, 3, 17, 99);
@@ -54,7 +64,7 @@ fn main() {
     // Flowlet 2 ends: the allocator reassigns the freed capacity.
     agents[0].on_drained(2, 400_000_000);
     for msg in agents[0].poll(400_000_000 + 30_000_000) {
-        allocator.on_message(msg);
+        allocator.on_message(msg).expect("end is always accepted");
     }
     for _ in 0..40 {
         for (server, msg) in allocator.tick() {
@@ -68,7 +78,11 @@ fn main() {
     let stats = allocator.stats();
     println!(
         "allocator stats: {} starts, {} ends, {} updates sent, {} suppressed, {} B in / {} B out",
-        stats.starts, stats.ends, stats.updates_sent, stats.updates_suppressed,
-        stats.bytes_in, stats.bytes_out
+        stats.starts,
+        stats.ends,
+        stats.updates_sent,
+        stats.updates_suppressed,
+        stats.bytes_in,
+        stats.bytes_out
     );
 }

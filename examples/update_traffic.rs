@@ -31,7 +31,8 @@ fn main() {
     }
 
     // §7's observation: tiny updates pay the 64-byte minimum frame.
-    println!("\nwire cost of one 6-byte rate update: {} bytes ({}x overhead)",
+    println!(
+        "\nwire cost of one 6-byte rate update: {} bytes ({}x overhead)",
         wire::segment_wire_bytes(6),
         wire::segment_wire_bytes(6) / 6
     );

@@ -1,23 +1,41 @@
 //! End-to-end allocator tests spanning flowtune (service + agents),
 //! flowtune-proto and flowtune-topo — the control loop without the packet
 //! simulator in between.
+//!
+//! The convergence tests run once per NED engine (serial and multicore)
+//! through the engine-agnostic builder API, which is exactly the claim of
+//! §5: the parallel engine is a drop-in replacement.
 
-use flowtune::{AllocatorService, EndpointAgent, FlowtuneConfig};
-use flowtune_proto::Message;
+use flowtune::{
+    AllocatorService, DynAllocatorService, EndpointAgent, Engine, FlowtuneConfig, ServiceError,
+};
+use flowtune_proto::{Message, Rate16, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
 
-fn setup() -> (TwoTierClos, AllocatorService, Vec<EndpointAgent>) {
+/// Both NED engines; every converging test must pass under each.
+const NED_ENGINES: [Engine; 2] = [Engine::Serial, Engine::Multicore { workers: 2 }];
+
+fn setup_with(engine: Engine) -> (TwoTierClos, DynAllocatorService, Vec<EndpointAgent>) {
     let fabric = TwoTierClos::build(ClosConfig::paper_eval());
     let servers = fabric.config().server_count();
-    let svc = AllocatorService::new(&fabric, FlowtuneConfig::default());
+    let svc = AllocatorService::builder()
+        .fabric(&fabric)
+        .config(FlowtuneConfig::default())
+        .engine(engine)
+        .build()
+        .expect("fabric is set");
     let agents = (0..servers)
         .map(|s| EndpointAgent::new(s as u16, servers))
         .collect();
     (fabric, svc, agents)
 }
 
+fn setup() -> (TwoTierClos, DynAllocatorService, Vec<EndpointAgent>) {
+    setup_with(Engine::Serial)
+}
+
 /// Delivers all pending updates to the right agents.
-fn pump(svc: &mut AllocatorService, agents: &mut [EndpointAgent], ticks: usize) {
+fn pump(svc: &mut DynAllocatorService, agents: &mut [EndpointAgent], ticks: usize) {
     for _ in 0..ticks {
         for (server, msg) in svc.tick() {
             agents[server as usize].on_rate_update(&msg);
@@ -26,46 +44,59 @@ fn pump(svc: &mut AllocatorService, agents: &mut [EndpointAgent], ticks: usize) 
 }
 
 #[test]
-fn many_flows_converge_to_proportional_fairness() {
-    let (_, mut svc, mut agents) = setup();
-    // 16 servers of rack 0 each send one flow to the same rack-8 server's
-    // 10 G downlink: proportional fairness gives each ≈ 9.9/16 Gbit/s.
-    for s in 0..16u16 {
-        let msg = agents[s as usize].on_backlog(s as u64, 143, 10_000_000, 0).unwrap();
-        svc.on_message(msg);
-    }
-    pump(&mut svc, &mut agents, 300);
-    for s in 0..16u16 {
-        let rate = agents[s as usize].pacing_rate_gbps(s as u64).unwrap();
-        assert!(
-            (rate - 9.9 / 16.0).abs() < 0.03,
-            "server {s} got {rate} Gbit/s"
-        );
+fn many_flows_converge_to_proportional_fairness_every_ned_engine() {
+    for engine in NED_ENGINES {
+        let (_, mut svc, mut agents) = setup_with(engine);
+        // 16 servers of rack 0 each send one flow to the same rack-8
+        // server's 10 G downlink: proportional fairness gives each
+        // ≈ 9.9/16 Gbit/s.
+        for s in 0..16u16 {
+            let msg = agents[s as usize]
+                .on_backlog(s as u64, 143, 10_000_000, 0)
+                .unwrap();
+            svc.on_message(msg).unwrap();
+        }
+        pump(&mut svc, &mut agents, 300);
+        for s in 0..16u16 {
+            let rate = agents[s as usize].pacing_rate_gbps(s as u64).unwrap();
+            assert!(
+                (rate - 9.9 / 16.0).abs() < 0.03,
+                "[{}] server {s} got {rate} Gbit/s",
+                svc.engine_name()
+            );
+        }
     }
 }
 
 #[test]
 fn weighted_flows_get_weighted_shares_end_to_end() {
-    let (_, mut svc, mut agents) = setup();
-    let m1 = agents[0]
-        .on_backlog_weighted(1, 143, 1_000_000, 3.0, 0)
-        .unwrap();
-    let m2 = agents[16]
-        .on_backlog_weighted(2, 143, 1_000_000, 1.0, 0)
-        .unwrap();
-    svc.on_message(m1);
-    svc.on_message(m2);
-    pump(&mut svc, &mut agents, 400);
-    let r1 = agents[0].pacing_rate_gbps(1).unwrap();
-    let r2 = agents[16].pacing_rate_gbps(2).unwrap();
-    assert!((r1 / r2 - 3.0).abs() < 0.05, "ratio {}", r1 / r2);
+    for engine in NED_ENGINES {
+        let (_, mut svc, mut agents) = setup_with(engine);
+        let m1 = agents[0]
+            .on_backlog_weighted(1, 143, 1_000_000, 3.0, 0)
+            .unwrap();
+        let m2 = agents[16]
+            .on_backlog_weighted(2, 143, 1_000_000, 1.0, 0)
+            .unwrap();
+        svc.on_message(m1).unwrap();
+        svc.on_message(m2).unwrap();
+        pump(&mut svc, &mut agents, 400);
+        let r1 = agents[0].pacing_rate_gbps(1).unwrap();
+        let r2 = agents[16].pacing_rate_gbps(2).unwrap();
+        assert!(
+            (r1 / r2 - 3.0).abs() < 0.05,
+            "[{}] ratio {}",
+            svc.engine_name(),
+            r1 / r2
+        );
+    }
 }
 
 #[test]
 fn flowlet_lifecycle_start_end_restart() {
     let (_, mut svc, mut agents) = setup();
     let start = agents[5].on_backlog(9, 99, 50_000, 0).unwrap();
-    svc.on_message(start);
+    svc.on_message(start).unwrap();
     assert_eq!(svc.active_flows(), 1);
     pump(&mut svc, &mut agents, 50);
 
@@ -74,7 +105,7 @@ fn flowlet_lifecycle_start_end_restart() {
     agents[5].on_drained(9, 1_000_000_000);
     let ends = agents[5].poll(1_000_000_000 + 30_000_000);
     assert_eq!(ends.len(), 1);
-    svc.on_message(ends[0]);
+    svc.on_message(ends[0]).unwrap();
     assert_eq!(svc.active_flows(), 0);
 
     // The same flow becomes backlogged again: a *new* flowlet (new
@@ -83,10 +114,109 @@ fn flowlet_lifecycle_start_end_restart() {
     let Message::FlowletStart { token, .. } = restart else {
         panic!("expected start");
     };
-    svc.on_message(restart);
+    svc.on_message(restart).unwrap();
     assert_eq!(svc.active_flows(), 1);
     pump(&mut svc, &mut agents, 50);
     assert!(svc.flow_rate_gbps(token).unwrap() > 9.0);
+}
+
+#[test]
+fn rekeyed_end_then_reused_token_start_roundtrip() {
+    // An endpoint restart can re-key its flowlets: the allocator then
+    // sees (1) a FlowletEnd for a token it never registered, and (2) a
+    // FlowletStart reusing a token that was freed moments ago. Both must
+    // flow through the Result path without disturbing service state.
+    let (_, mut svc, _) = setup();
+    let start = |token: u32, src: u16| Message::FlowletStart {
+        token: Token::new(token),
+        src,
+        dst: 143,
+        size_hint: 50_000,
+        weight_q8: 256,
+        spine: 1,
+    };
+
+    svc.on_message(start(7, 3)).unwrap();
+    // End for a token re-keyed out of existence: accepted (ignored).
+    svc.on_message(Message::FlowletEnd {
+        token: Token::new(999),
+    })
+    .unwrap();
+    assert_eq!(svc.active_flows(), 1);
+    assert_eq!(svc.stats().ends, 0);
+
+    // While token 7 is live, a duplicate start is a reportable rejection…
+    let err = svc.on_message(start(7, 4)).unwrap_err();
+    assert_eq!(err, ServiceError::DuplicateToken(Token::new(7)));
+    assert_eq!(svc.stats().rejected, 1);
+
+    // …but after the real end, the token may be reused by a new flowlet.
+    svc.on_message(Message::FlowletEnd {
+        token: Token::new(7),
+    })
+    .unwrap();
+    svc.on_message(start(7, 4)).unwrap();
+    assert_eq!(svc.active_flows(), 1);
+    assert_eq!(svc.stats().starts, 2);
+    assert_eq!(svc.stats().rejected, 1, "no further rejections");
+    for _ in 0..100 {
+        svc.tick();
+    }
+    assert!(svc.flow_rate_gbps(Token::new(7)).unwrap() > 9.0);
+}
+
+#[test]
+fn builder_constructs_every_engine_variant() {
+    let fabric = TwoTierClos::build(ClosConfig::paper_eval());
+    for engine in [
+        Engine::Serial,
+        Engine::Multicore { workers: 0 },
+        Engine::Multicore { workers: 2 },
+        Engine::Fastpass,
+    ] {
+        let mut svc = AllocatorService::builder()
+            .fabric(&fabric)
+            .engine(engine)
+            .build()
+            .unwrap();
+        assert_eq!(svc.engine_name(), engine.name());
+        svc.on_message(Message::FlowletStart {
+            token: Token::new(1),
+            src: 0,
+            dst: 140,
+            size_hint: 100_000,
+            weight_q8: 256,
+            spine: 1,
+        })
+        .unwrap();
+        let updates = svc.tick();
+        assert_eq!(
+            updates.len(),
+            1,
+            "{}: first tick reports a rate",
+            engine.name()
+        );
+        for _ in 0..120 {
+            svc.tick();
+        }
+        let rate = svc.flow_rate_gbps(Token::new(1)).unwrap();
+        assert!(
+            rate > 9.0,
+            "{}: lone flow should get ~line rate, got {rate}",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn misdelivered_rate_update_is_rejected_and_counted() {
+    let (_, mut svc, _) = setup();
+    let msg = Message::RateUpdate {
+        token: Token::new(1),
+        rate: Rate16::encode(5.0),
+    };
+    assert_eq!(svc.on_message(msg), Err(ServiceError::UnexpectedRateUpdate));
+    assert_eq!(svc.stats().rejected, 1);
 }
 
 #[test]
@@ -97,7 +227,7 @@ fn fault_tolerance_rates_survive_allocator_restart() {
     // new notifications without replication.
     let (fabric, mut svc, mut agents) = setup();
     let start = agents[0].on_backlog(1, 99, 1_000_000, 0).unwrap();
-    svc.on_message(start);
+    svc.on_message(start).unwrap();
     pump(&mut svc, &mut agents, 100);
     let before = agents[0].pacing_rate_gbps(1).unwrap();
     assert!(before > 9.0);
@@ -108,15 +238,20 @@ fn fault_tolerance_rates_survive_allocator_restart() {
 
     // A replacement allocator starts empty; the endpoint's *next* flowlet
     // re-registers and gets allocated again.
-    let mut svc2 = AllocatorService::new(&fabric, FlowtuneConfig::default());
+    let mut svc2 = AllocatorService::builder()
+        .fabric(&fabric)
+        .build()
+        .expect("fabric is set");
     agents[0].on_drained(1, 1_000_000_000);
     for m in agents[0].poll(2_000_000_000) {
         // The end notification goes to the new allocator, which ignores
         // the unknown token gracefully.
-        svc2.on_message(m);
+        svc2.on_message(m).unwrap();
     }
-    let restart = agents[0].on_backlog(1, 99, 1_000_000, 3_000_000_000).unwrap();
-    svc2.on_message(restart);
+    let restart = agents[0]
+        .on_backlog(1, 99, 1_000_000, 3_000_000_000)
+        .unwrap();
+    svc2.on_message(restart).unwrap();
     pump(&mut svc2, &mut agents, 100);
     assert!(agents[0].pacing_rate_gbps(1).unwrap() > 9.0);
 }
@@ -126,8 +261,10 @@ fn update_traffic_is_quiet_at_steady_state() {
     let (_, mut svc, mut agents) = setup();
     for s in 0..32u16 {
         let dst = (s + 64) % 144;
-        let msg = agents[s as usize].on_backlog(s as u64, dst, 1_000_000, 0).unwrap();
-        svc.on_message(msg);
+        let msg = agents[s as usize]
+            .on_backlog(s as u64, dst, 1_000_000, 0)
+            .unwrap();
+        svc.on_message(msg).unwrap();
     }
     pump(&mut svc, &mut agents, 200);
     let sent_before = svc.stats().updates_sent;

@@ -45,7 +45,12 @@ fn every_scheme_completes_a_real_trace() {
         // ideal time charges the whole size at the bottleneck rate while
         // the first packets overlap propagation).
         for r in &m.fcts {
-            assert!(r.slowdown > 0.9, "{}: slowdown {}", scheme.name(), r.slowdown);
+            assert!(
+                r.slowdown > 0.9,
+                "{}: slowdown {}",
+                scheme.name(),
+                r.slowdown
+            );
         }
     }
 }
@@ -119,7 +124,17 @@ fn conservation_no_scheme_invents_bytes() {
 fn deterministic_across_runs() {
     let a = run_trace(Scheme::Flowtune, 0.5, 3, 17);
     let b = run_trace(Scheme::Flowtune, 0.5, 3, 17);
-    let fa: Vec<_> = a.metrics().fcts.iter().map(|r| (r.flow, r.end_ps)).collect();
-    let fb: Vec<_> = b.metrics().fcts.iter().map(|r| (r.flow, r.end_ps)).collect();
+    let fa: Vec<_> = a
+        .metrics()
+        .fcts
+        .iter()
+        .map(|r| (r.flow, r.end_ps))
+        .collect();
+    let fb: Vec<_> = b
+        .metrics()
+        .fcts
+        .iter()
+        .map(|r| (r.flow, r.end_ps))
+        .collect();
     assert_eq!(fa, fb);
 }

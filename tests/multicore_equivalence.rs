@@ -1,8 +1,11 @@
 //! Cross-crate check of the §5 parallelization claim: the multicore
-//! engine computes exactly what single-threaded NED computes, across
-//! block counts, under churn, with and without F-NORM.
+//! engine computes exactly what single-threaded NED computes — asserted
+//! through the *public service API* (builder + messages + ticks), plus
+//! engine-level churn/feasibility checks.
 
-use flowtune_alloc::{AllocConfig, MulticoreAllocator, SerialAllocator};
+use flowtune::{AllocatorService, DynAllocatorService, Engine, FlowtuneConfig};
+use flowtune_alloc::{AllocConfig, MulticoreAllocator, RateAllocator, SerialAllocator};
+use flowtune_proto::{Message, Token};
 use flowtune_topo::{ClosConfig, FlowId, TwoTierClos};
 use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
 
@@ -23,45 +26,67 @@ fn trace_flows(fabric: &TwoTierClos, n: usize, seed: u64) -> Vec<(FlowId, usize,
         .collect()
 }
 
+fn service_on(fabric: &TwoTierClos, engine: Engine) -> DynAllocatorService {
+    AllocatorService::builder()
+        .fabric(fabric)
+        .config(FlowtuneConfig::default())
+        .engine(engine)
+        .build()
+        .expect("fabric is set")
+}
+
+/// The headline §5 equivalence, through the public control-plane API:
+/// identical message sequences into a serial-engine service and a
+/// multicore-engine service produce bit-for-bit identical rates and
+/// identical update streams, under churn, across block counts.
 #[test]
-fn parallel_equals_serial_under_churn_all_block_counts() {
+fn serial_and_multicore_services_agree_bit_for_bit() {
     for blocks in [1usize, 2, 4] {
         let fabric = TwoTierClos::build(ClosConfig::multicore(blocks, 2, 8));
-        let cfg = AllocConfig::default();
-        let mut serial = SerialAllocator::new(&fabric, cfg);
-        let mut parallel = MulticoreAllocator::new(&fabric, cfg);
-        let flows = trace_flows(&fabric, 96, 5);
-        // Interleave adds, iterations, and removals.
-        for (round, chunk) in flows.chunks(24).enumerate() {
-            for &(id, src, dst) in chunk {
-                let path = fabric.path(src, dst, id);
-                serial.add_flow(id, src, dst, 1.0, &path);
-                parallel.add_flow(id, src, dst, 1.0, &path);
-            }
-            serial.run_iterations(13);
-            parallel.run_iterations(13);
-            if round > 0 {
-                let victim = flows[(round - 1) * 24].0;
-                assert!(serial.remove_flow(victim));
-                assert!(parallel.remove_flow(victim));
-            }
-        }
-        serial.run_iterations(7);
-        parallel.run_iterations(7);
+        let mut serial = service_on(&fabric, Engine::Serial);
+        let mut multicore = service_on(&fabric, Engine::Multicore { workers: 2 });
 
-        let a = serial.rates();
-        let b = parallel.rates();
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.id, y.id);
-            assert_eq!(
-                x.rate.to_bits(),
-                y.rate.to_bits(),
-                "blocks={blocks} flow {:?}",
-                x.id
-            );
-            assert_eq!(x.normalized.to_bits(), y.normalized.to_bits());
+        let flows = trace_flows(&fabric, 72, 5);
+        let mut live: Vec<Token> = Vec::new();
+        for (round, chunk) in flows.chunks(18).enumerate() {
+            for (k, &(id, src, dst)) in chunk.iter().enumerate() {
+                let token = Token::new((round * 100 + k) as u32);
+                let spine = fabric.ecmp_spine(src, dst, id);
+                let msg = Message::FlowletStart {
+                    token,
+                    src: src as u16,
+                    dst: dst as u16,
+                    size_hint: 1_000_000,
+                    weight_q8: 256,
+                    spine: spine as u8,
+                };
+                serial.on_message(msg).unwrap();
+                multicore.on_message(msg).unwrap();
+                live.push(token);
+            }
+            for _ in 0..13 {
+                let a = serial.tick();
+                let b = multicore.tick();
+                assert_eq!(a, b, "blocks={blocks}: update streams diverged");
+            }
+            if round > 0 {
+                let victim = live.remove(0);
+                let end = Message::FlowletEnd { token: victim };
+                serial.on_message(end).unwrap();
+                multicore.on_message(end).unwrap();
+            }
+            for &token in &live {
+                let a = serial.flow_rate_gbps(token).unwrap();
+                let b = multicore.flow_rate_gbps(token).unwrap();
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "blocks={blocks} token {token:?}: {a} vs {b}"
+                );
+            }
         }
+        assert_eq!(serial.active_flows(), multicore.active_flows());
+        assert_eq!(serial.stats(), multicore.stats());
     }
 }
 
@@ -79,8 +104,8 @@ fn f_norm_off_matches_too() {
         serial.add_flow(id, src, dst, 1.0, &path);
         parallel.add_flow(id, src, dst, 1.0, &path);
     }
-    serial.run_iterations(25);
-    parallel.run_iterations(25);
+    RateAllocator::run_iterations(&mut serial, 25);
+    RateAllocator::run_iterations(&mut parallel, 25);
     for (x, y) in serial.rates().iter().zip(&parallel.rates()) {
         assert_eq!(x.rate.to_bits(), y.rate.to_bits());
         assert_eq!(

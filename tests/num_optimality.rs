@@ -82,7 +82,7 @@ fn block_allocator_agrees_with_analytic_shares_on_a_fabric() {
         },
     );
     let mut spine_of = Vec::new();
-    let mut collisions = vec![0u32; 4];
+    let mut collisions = [0u32; 4];
     for s in 0..16usize {
         let dst = 32 + s; // rack 2
         let id = FlowId(s as u64);
@@ -153,7 +153,10 @@ fn alpha_two_is_less_throughput_more_equal() {
     let mut s2 = SolverState::new(&p2);
     assert!(solve(&mut Ned::new(0.2), &p2, &mut s2, 100_000, 1e-9).converged);
 
-    assert!(s2.rates[long_2] > slog.rates[long_log], "α=2 favours the long flow");
+    assert!(
+        s2.rates[long_2] > slog.rates[long_log],
+        "α=2 favours the long flow"
+    );
     let total_log: f64 = slog.rates.iter().sum();
     let total_2: f64 = s2.rates.iter().sum();
     assert!(total_2 < total_log, "…at lower total throughput");

@@ -25,23 +25,31 @@
 //!   order; the reference the parallel engine is tested against
 //!   (bit-for-bit) and the default engine of the network simulator.
 //! * [`MulticoreAllocator`] — one OS thread per FlowBlock with barrier
-//!   synchronization and mutex-protected buffer exchange; the engine the
-//!   §6.1 throughput benchmarks run.
+//!   synchronization and mutex-protected buffer exchange, driven by a
+//!   persistent [`WorkerPool`] that parks between ticks (no spawn/join
+//!   on the 10 µs tick path); the engine the §6.1 throughput benchmarks
+//!   run.
 //!
-//! (`flowtune_fastpass::FastpassAdapter` is the third [`RateAllocator`],
-//! wrapping the per-packet timeslot arbiter as a comparison baseline.)
+//! Two more [`RateAllocator`]s serve as comparison baselines:
+//! [`GradientAllocator`] (first-order gradient projection, §6.6 /
+//! Figure 12) and `flowtune_fastpass::FastpassAdapter` (per-packet
+//! timeslot arbitration, §6.1).
 
 pub mod engine;
 pub mod flowblock;
+pub mod gradient;
 pub mod layout;
 pub mod parallel;
+pub mod pool;
 pub mod reduce;
 pub mod serial;
 
 pub use engine::{BoxEngine, RateAllocator};
 pub use flowblock::{BlockFlow, FlowRate};
+pub use gradient::GradientAllocator;
 pub use layout::BlockLayout;
 pub use parallel::MulticoreAllocator;
+pub use pool::WorkerPool;
 pub use serial::SerialAllocator;
 
 /// Configuration shared by both allocator engines.

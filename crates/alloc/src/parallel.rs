@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use flowtune_topo::{FlowId, Path, TwoTierClos};
 
 use crate::flowblock::{normalize_pass, price_update, rate_pass, FlowRate};
+use crate::pool::WorkerPool;
 use crate::reduce::{
     down_aggregate, down_distribute, down_root, steps, up_aggregate, up_distribute, up_root, Role,
 };
@@ -39,13 +40,19 @@ use crate::serial::GridState;
 use crate::AllocConfig;
 
 /// The parallel allocator engine. Construction, flow add/remove, and rate
-/// queries run on the caller's thread; [`MulticoreAllocator::run_iterations`]
-/// spins up the worker grid.
+/// queries run on the caller's thread;
+/// [`MulticoreAllocator::run_iterations`] drives the worker grid on a
+/// persistent [`WorkerPool`] that parks between calls, so a 10 µs tick
+/// cadence never pays thread spawn/join.
 #[derive(Debug)]
 pub struct MulticoreAllocator {
     grid: GridState,
     /// Worker-thread cap; `None` sizes to the host (cores, max 16).
     workers: Option<usize>,
+    /// Parked worker threads, created on the first `run_iterations` call
+    /// (the thread count depends on the grid and host) and reused for
+    /// every call after.
+    pool: Option<WorkerPool>,
 }
 
 impl MulticoreAllocator {
@@ -56,6 +63,7 @@ impl MulticoreAllocator {
         Self {
             grid: GridState::new(fabric, cfg),
             workers: None,
+            pool: None,
         }
     }
 
@@ -67,12 +75,19 @@ impl MulticoreAllocator {
         Self {
             grid: GridState::new(fabric, cfg),
             workers: (workers > 0).then_some(workers),
+            pool: None,
         }
     }
 
     /// The configured worker-thread cap, if one was set.
     pub fn worker_cap(&self) -> Option<usize> {
         self.workers
+    }
+
+    /// Number of OS threads the persistent pool holds (caller slot
+    /// included), once the first `run_iterations` call has sized it.
+    pub fn pool_size(&self) -> Option<usize> {
+        self.pool.as_ref().map(WorkerPool::size)
     }
 
     /// Registers a flow (see [`crate::SerialAllocator::add_flow`]).
@@ -107,10 +122,12 @@ impl MulticoreAllocator {
         self.grid.flow_rate(id)
     }
 
-    /// Runs `n` iterations on B² worker threads and returns the wall time
-    /// spent *inside* the iteration loop (thread spawn/join excluded), so
+    /// Runs `n` iterations across B² logical workers and returns the wall
+    /// time spent *inside* the iteration loop (pool handoff excluded), so
     /// `elapsed / n` is the per-iteration allocator latency the §6.1 table
-    /// reports.
+    /// reports. The OS threads come from a persistent [`WorkerPool`] that
+    /// parks between calls — the first call pays thread spawn, subsequent
+    /// ticks pay one lock + wakeup.
     // Worker loops index `cells[w]` because `w` also names the grid cell
     // in the tree-role lookups; an iterator would obscure that.
     #[allow(clippy::needless_range_loop)]
@@ -140,140 +157,140 @@ impl MulticoreAllocator {
         let barrier = SpinBarrier::new(n_threads);
         let elapsed = Mutex::new(Duration::ZERO);
 
-        std::thread::scope(|scope| {
-            for t in 0..n_threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n_workers);
-                let cells = &cells;
-                let barrier = &barrier;
-                let elapsed = &elapsed;
-                scope.spawn(move || {
+        // The grid shape is fixed at construction, so after the first call
+        // the pool is always the right size and is reused as-is.
+        if self.pool.as_ref().map(WorkerPool::size) != Some(n_threads) {
+            self.pool = Some(WorkerPool::new(n_threads));
+        }
+        let pool = self.pool.as_mut().expect("pool was just sized");
+
+        pool.run(&|t| {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n_workers);
+            barrier.wait();
+            let t0 = Instant::now();
+            // Scratch buffers for copy-out exchange.
+            let lpl = layout.links_per_lb();
+            let mut buf_a = vec![0.0f64; lpl];
+            let mut buf_b = vec![0.0f64; lpl];
+            for _ in 0..n {
+                // Phase 1: rate pass.
+                for w in lo..hi {
+                    let mut me = cells[w].lock();
+                    let me = &mut *me;
+                    me.acc.clear();
+                    rate_pass(&me.flows, &me.view, &mut me.acc, &mut me.rates);
+                }
+                barrier.wait();
+
+                // Phase 2: aggregation tree.
+                for s in 0..tree_steps {
+                    for w in lo..hi {
+                        let (i, j) = (w / b, w % b);
+                        if let Role::Recv { from } = up_aggregate(i, j, b, s) {
+                            {
+                                let peer = cells[from].lock();
+                                buf_a.copy_from_slice(&peer.acc.up_load);
+                                buf_b.copy_from_slice(&peer.acc.up_h);
+                            }
+                            let mut me = cells[w].lock();
+                            for (x, y) in me.acc.up_load.iter_mut().zip(&buf_a) {
+                                *x += y;
+                            }
+                            for (x, y) in me.acc.up_h.iter_mut().zip(&buf_b) {
+                                *x += y;
+                            }
+                        }
+                        if let Role::Recv { from } = down_aggregate(i, j, b, s) {
+                            {
+                                let peer = cells[from].lock();
+                                buf_a.copy_from_slice(&peer.acc.down_load);
+                                buf_b.copy_from_slice(&peer.acc.down_h);
+                            }
+                            let mut me = cells[w].lock();
+                            for (x, y) in me.acc.down_load.iter_mut().zip(&buf_a) {
+                                *x += y;
+                            }
+                            for (x, y) in me.acc.down_h.iter_mut().zip(&buf_b) {
+                                *x += y;
+                            }
+                        }
+                    }
                     barrier.wait();
-                    let t0 = Instant::now();
-                    // Scratch buffers for copy-out exchange.
-                    let lpl = layout.links_per_lb();
-                    let mut buf_a = vec![0.0f64; lpl];
-                    let mut buf_b = vec![0.0f64; lpl];
-                    for _ in 0..n {
-                        // Phase 1: rate pass.
-                        for w in lo..hi {
-                            let mut me = cells[w].lock();
-                            let me = &mut *me;
-                            me.acc.clear();
-                            rate_pass(&me.flows, &me.view, &mut me.acc, &mut me.rates);
-                        }
-                        barrier.wait();
+                }
 
-                        // Phase 2: aggregation tree.
-                        for s in 0..tree_steps {
-                            for w in lo..hi {
-                                let (i, j) = (w / b, w % b);
-                                if let Role::Recv { from } = up_aggregate(i, j, b, s) {
-                                    {
-                                        let peer = cells[from].lock();
-                                        buf_a.copy_from_slice(&peer.acc.up_load);
-                                        buf_b.copy_from_slice(&peer.acc.up_h);
-                                    }
-                                    let mut me = cells[w].lock();
-                                    for (x, y) in me.acc.up_load.iter_mut().zip(&buf_a) {
-                                        *x += y;
-                                    }
-                                    for (x, y) in me.acc.up_h.iter_mut().zip(&buf_b) {
-                                        *x += y;
-                                    }
-                                }
-                                if let Role::Recv { from } = down_aggregate(i, j, b, s) {
-                                    {
-                                        let peer = cells[from].lock();
-                                        buf_a.copy_from_slice(&peer.acc.down_load);
-                                        buf_b.copy_from_slice(&peer.acc.down_h);
-                                    }
-                                    let mut me = cells[w].lock();
-                                    for (x, y) in me.acc.down_load.iter_mut().zip(&buf_a) {
-                                        *x += y;
-                                    }
-                                    for (x, y) in me.acc.down_h.iter_mut().zip(&buf_b) {
-                                        *x += y;
-                                    }
-                                }
-                            }
-                            barrier.wait();
-                        }
-
-                        // Phase 3: price update on the diagonal owners.
-                        for w in lo..hi {
-                            let (i, j) = (w / b, w % b);
-                            if w == up_root(i, b) {
-                                let mut me = cells[w].lock();
-                                let me = &mut *me;
-                                price_update(
-                                    &me.acc.up_load,
-                                    &me.acc.up_h,
-                                    layout.up_capacity(i),
-                                    gamma,
-                                    &mut me.view.up_prices,
-                                    &mut me.view.up_ratio,
-                                );
-                            }
-                            if w == down_root(j, b) {
-                                let mut me = cells[w].lock();
-                                let me = &mut *me;
-                                price_update(
-                                    &me.acc.down_load,
-                                    &me.acc.down_h,
-                                    layout.down_capacity(j),
-                                    gamma,
-                                    &mut me.view.down_prices,
-                                    &mut me.view.down_ratio,
-                                );
-                            }
-                        }
-                        barrier.wait();
-
-                        // Phase 4: distribution (reverse tree).
-                        for s in (0..tree_steps).rev() {
-                            for w in lo..hi {
-                                let (i, j) = (w / b, w % b);
-                                if let Role::Recv { from } = up_distribute(i, j, b, s) {
-                                    {
-                                        let peer = cells[from].lock();
-                                        buf_a.copy_from_slice(&peer.view.up_prices);
-                                        buf_b.copy_from_slice(&peer.view.up_ratio);
-                                    }
-                                    let mut me = cells[w].lock();
-                                    me.view.up_prices.copy_from_slice(&buf_a);
-                                    me.view.up_ratio.copy_from_slice(&buf_b);
-                                }
-                                if let Role::Recv { from } = down_distribute(i, j, b, s) {
-                                    {
-                                        let peer = cells[from].lock();
-                                        buf_a.copy_from_slice(&peer.view.down_prices);
-                                        buf_b.copy_from_slice(&peer.view.down_ratio);
-                                    }
-                                    let mut me = cells[w].lock();
-                                    me.view.down_prices.copy_from_slice(&buf_a);
-                                    me.view.down_ratio.copy_from_slice(&buf_b);
-                                }
-                            }
-                            barrier.wait();
-                        }
-
-                        // Phase 5: normalization.
-                        for w in lo..hi {
-                            let mut me = cells[w].lock();
-                            let me = &mut *me;
-                            if f_norm {
-                                normalize_pass(&me.flows, &me.view, &me.rates, &mut me.normalized);
-                            } else {
-                                me.normalized.copy_from_slice(&me.rates);
-                            }
-                        }
-                        barrier.wait();
+                // Phase 3: price update on the diagonal owners.
+                for w in lo..hi {
+                    let (i, j) = (w / b, w % b);
+                    if w == up_root(i, b) {
+                        let mut me = cells[w].lock();
+                        let me = &mut *me;
+                        price_update(
+                            &me.acc.up_load,
+                            &me.acc.up_h,
+                            layout.up_capacity(i),
+                            gamma,
+                            &mut me.view.up_prices,
+                            &mut me.view.up_ratio,
+                        );
                     }
-                    if t == 0 {
-                        *elapsed.lock() = t0.elapsed();
+                    if w == down_root(j, b) {
+                        let mut me = cells[w].lock();
+                        let me = &mut *me;
+                        price_update(
+                            &me.acc.down_load,
+                            &me.acc.down_h,
+                            layout.down_capacity(j),
+                            gamma,
+                            &mut me.view.down_prices,
+                            &mut me.view.down_ratio,
+                        );
                     }
-                });
+                }
+                barrier.wait();
+
+                // Phase 4: distribution (reverse tree).
+                for s in (0..tree_steps).rev() {
+                    for w in lo..hi {
+                        let (i, j) = (w / b, w % b);
+                        if let Role::Recv { from } = up_distribute(i, j, b, s) {
+                            {
+                                let peer = cells[from].lock();
+                                buf_a.copy_from_slice(&peer.view.up_prices);
+                                buf_b.copy_from_slice(&peer.view.up_ratio);
+                            }
+                            let mut me = cells[w].lock();
+                            me.view.up_prices.copy_from_slice(&buf_a);
+                            me.view.up_ratio.copy_from_slice(&buf_b);
+                        }
+                        if let Role::Recv { from } = down_distribute(i, j, b, s) {
+                            {
+                                let peer = cells[from].lock();
+                                buf_a.copy_from_slice(&peer.view.down_prices);
+                                buf_b.copy_from_slice(&peer.view.down_ratio);
+                            }
+                            let mut me = cells[w].lock();
+                            me.view.down_prices.copy_from_slice(&buf_a);
+                            me.view.down_ratio.copy_from_slice(&buf_b);
+                        }
+                    }
+                    barrier.wait();
+                }
+
+                // Phase 5: normalization.
+                for w in lo..hi {
+                    let mut me = cells[w].lock();
+                    let me = &mut *me;
+                    if f_norm {
+                        normalize_pass(&me.flows, &me.view, &me.rates, &mut me.normalized);
+                    } else {
+                        me.normalized.copy_from_slice(&me.rates);
+                    }
+                }
+                barrier.wait();
+            }
+            if t == 0 {
+                *elapsed.lock() = t0.elapsed();
             }
         });
 
@@ -282,9 +299,8 @@ impl MulticoreAllocator {
         took
     }
 
-    /// Runs a single iteration (convenience wrapper; spawns and joins the
-    /// worker grid, so per-call overhead is high — prefer
-    /// [`MulticoreAllocator::run_iterations`] for timing).
+    /// Runs a single iteration (convenience wrapper; the persistent pool
+    /// makes per-call overhead one park/unpark, not a thread spawn).
     pub fn iterate(&mut self) {
         self.run_iterations(1);
     }

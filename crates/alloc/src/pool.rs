@@ -1,0 +1,280 @@
+//! A persistent worker pool for the multicore engine.
+//!
+//! The allocator ticks every 10 µs; spawning and joining OS threads on
+//! every [`MulticoreAllocator::run_iterations`](crate::MulticoreAllocator)
+//! call puts tens of microseconds of `clone(2)` on the tick path.
+//! [`WorkerPool`] instead keeps its threads alive between calls, parked on
+//! a condvar, and hands each call's work over with one lock + notify:
+//!
+//! * [`WorkerPool::run`] publishes a *scoped* task (`&dyn Fn(usize)`), wakes
+//!   every worker, runs slot 0 on the calling thread, and blocks until all
+//!   workers have finished — which is what makes the borrowed task sound:
+//!   the borrow cannot end before `run` returns.
+//! * Workers park again immediately after finishing; a pool that is never
+//!   run again costs nothing but memory.
+//! * Dropping the pool shuts the threads down and joins them.
+//!
+//! The pool intentionally knows nothing about FlowBlocks or barriers — the
+//! engine's phase barriers stay inside the task. It replaces only the
+//! spawn/join, which is precisely the part the §6.1 tick-latency numbers
+//! must not pay.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to the current scoped task. Soundness is
+/// provided by [`WorkerPool::run`], which does not return until every
+/// worker is done with the pointer.
+#[derive(Clone, Copy)]
+struct Task(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and `run` keeps the pointee alive for as long as any worker can use it.
+unsafe impl Send for Task {}
+
+struct PoolState {
+    /// The task of the current generation, if one is in flight.
+    task: Option<Task>,
+    /// Bumped once per `run` call; workers use it to run each task once.
+    generation: u64,
+    /// Workers still executing the current task.
+    remaining: usize,
+    /// The first panic payload caught in a worker this generation; `run`
+    /// re-raises it on the caller with the original message intact (the
+    /// diagnostics `std::thread::scope` used to give).
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new generation.
+    work: Condvar,
+    /// `run` waits here for `remaining == 0`.
+    done: Condvar,
+}
+
+/// A fixed-size pool of parked worker threads executing scoped tasks.
+///
+/// A pool of size `n` serves task slots `0..n`: slot 0 runs inline on the
+/// thread that calls [`WorkerPool::run`], slots `1..n` on the pool's
+/// `n - 1` persistent threads.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool serving `size` task slots (spawning `size - 1` OS
+    /// threads; a pool of size 1 spawns none and runs everything inline).
+    ///
+    /// # Panics
+    /// Panics if `size` is 0.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "a pool needs at least one slot");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                task: None,
+                generation: 0,
+                remaining: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..size)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("flowtune-worker-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("spawning an allocator worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            size,
+        }
+    }
+
+    /// Number of task slots (threads + the caller).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `task(slot)` for every slot in `0..size`, slot 0 on the
+    /// calling thread, and returns when all slots have finished.
+    ///
+    /// Takes `&mut self` so overlapping `run` calls on a shared pool are
+    /// impossible in safe code — an overlap would let a second call
+    /// overwrite the in-flight task slot and return while a worker still
+    /// holds the first call's borrowed task pointer.
+    ///
+    /// # Panics
+    /// Re-raises a panic if any slot's task panicked.
+    pub fn run(&mut self, task: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: the pointer is only dereferenced by workers between the
+        // notify below and the `remaining == 0` wait; we do not return
+        // (ending the borrow) until that wait completes, and `&mut self`
+        // excludes a concurrent `run` replacing the task meanwhile.
+        let erased = Task(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(task as *const _)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            debug_assert!(st.task.is_none(), "pool is not reentrant");
+            st.task = Some(erased);
+            st.generation += 1;
+            st.remaining = self.size - 1;
+            st.panic = None;
+            self.shared.work.notify_all();
+        }
+        let caller_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
+        let worker_panic = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.remaining > 0 {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.task = None;
+            st.panic.take()
+        };
+        if let Err(p) = caller_outcome {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(p) = worker_panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    if let Some(task) = st.task {
+                        seen = st.generation;
+                        break task;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        // SAFETY: `run` keeps the pointee alive until we decrement
+        // `remaining` below.
+        let f = unsafe { &*task.0 };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(slot)));
+        let mut st = shared.state.lock().unwrap();
+        if let Err(p) = outcome {
+            st.panic.get_or_insert(p);
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_slots_run_exactly_once_per_call() {
+        let mut pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..100 {
+            pool.run(&|slot| {
+                hits[slot].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn single_slot_pool_runs_inline() {
+        let mut pool = WorkerPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.run(&|slot| {
+            assert_eq!(slot, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scoped_borrows_are_visible_after_run() {
+        let mut pool = WorkerPool::new(3);
+        let sums: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(&|slot| {
+            sums[slot].store(slot * 10 + 1, Ordering::Relaxed);
+        });
+        let got: Vec<usize> = sums.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![1, 11, 21]);
+    }
+
+    #[test]
+    fn pool_survives_a_worker_panic() {
+        let mut pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|slot| {
+                if slot == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        let payload = r.expect_err("panic must propagate to the caller");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"boom"),
+            "original payload must survive the handoff"
+        );
+        // The pool is still usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_size_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+}

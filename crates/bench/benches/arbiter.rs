@@ -3,7 +3,7 @@
 //! service's steady-state tick (the other side of the comparison).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use flowtune::{AllocatorService, Engine, FlowtuneConfig};
+use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig};
 use flowtune_fastpass::Arbiter;
 use flowtune_proto::{Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
@@ -78,5 +78,72 @@ fn bench_service_tick(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_arbiter, bench_service_tick);
+/// Loads `flows` pseudo-random flowlets into a driver and converges it.
+fn loaded_driver(fabric: &TwoTierClos, engine: Engine, flows: usize) -> BoxTickDriver {
+    let servers = fabric.config().server_count();
+    let mut svc = AllocatorService::builder()
+        .fabric(fabric)
+        .config(FlowtuneConfig::default())
+        .engine(engine)
+        .build_driver()
+        .expect("fabric is set");
+    for f in 0..flows {
+        let src = (f * 7919) % servers;
+        let mut dst = (f * 104_729 + 13) % servers;
+        if dst == src {
+            dst = (dst + 1) % servers;
+        }
+        let spine = fabric.ecmp_spine(src, dst, flowtune_topo::FlowId(f as u64));
+        svc.on_message(Message::FlowletStart {
+            token: Token::new(f as u32),
+            src: src as u16,
+            dst: dst as u16,
+            size_hint: 1_000_000,
+            weight_q8: 256,
+            spine: spine as u8,
+        })
+        .expect("unique tokens");
+    }
+    for _ in 0..200 {
+        svc.tick();
+    }
+    svc
+}
+
+/// Per-engine steady-state tick latency through the service API, one row
+/// per engine so every engine's tick cost is tracked in one table. The
+/// multicore row is the §5 pool-backed engine — it must stay no worse
+/// than the old scoped-spawn-per-call numbers (the pool exists to remove
+/// spawn/join from this very path). The sharded row runs the real
+/// `ShardedService` (2 shards over the fabric's 2 blocks) including its
+/// k-way update merge.
+fn bench_service_tick_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_tick");
+    group.sample_size(10);
+    // Two blocks of two racks of 16: a fabric the multicore grid (B² = 4
+    // workers) and a 2-shard partition both map onto naturally.
+    let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 16));
+    let flows = 512usize;
+    for (label, engine) in [
+        ("serial", Engine::Serial),
+        ("multicore", Engine::Multicore { workers: 0 }),
+        ("fastpass", Engine::Fastpass),
+        ("gradient", Engine::Gradient),
+        ("sharded2", Engine::Serial.sharded(2)),
+    ] {
+        let mut svc = loaded_driver(&fabric, engine, flows);
+        group.throughput(Throughput::Elements(flows as u64));
+        group.bench_with_input(BenchmarkId::new(label, flows), &flows, |b, _| {
+            b.iter(|| svc.tick())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arbiter,
+    bench_service_tick,
+    bench_service_tick_engines
+);
 criterion_main!(benches);

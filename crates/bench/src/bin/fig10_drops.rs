@@ -23,7 +23,7 @@ fn main() {
         for scheme in Scheme::ALL {
             let r = run_cell(&CellSpec {
                 scheme,
-                engine: opts.engine,
+                engine: opts.engine.clone(),
                 workload: Workload::Web,
                 load,
                 servers,

@@ -24,7 +24,7 @@ fn main() {
     for &load in loads {
         let spec = |scheme| CellSpec {
             scheme,
-            engine: opts.engine,
+            engine: opts.engine.clone(),
             workload: Workload::Web,
             load,
             servers,

@@ -28,7 +28,7 @@ fn main() {
     println!("scheme,time_ms,flow0,flow1,flow2,flow3,flow4");
     for scheme in Scheme::ALL {
         let mut cfg = SimConfig::paper(scheme);
-        cfg.engine = opts.engine;
+        cfg.engine = opts.engine.clone();
         cfg.throughput_bin_ps = bin;
         let mut sim = Simulation::new(cfg);
         let mut ids = Vec::new();

@@ -24,7 +24,7 @@ fn main() {
                 servers,
                 FlowtuneConfig::default(),
                 opts.seed,
-                opts.engine,
+                opts.engine.clone(),
             );
             let stats = d.run(warmup, window);
             let secs = window as f64 / 1e12;

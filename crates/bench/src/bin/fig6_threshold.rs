@@ -24,8 +24,14 @@ fn main() {
                     update_threshold: t,
                     ..FlowtuneConfig::default()
                 };
-                let mut d =
-                    FluidDriver::with_engine(workload, load, servers, cfg, opts.seed, opts.engine);
+                let mut d = FluidDriver::with_engine(
+                    workload,
+                    load,
+                    servers,
+                    cfg,
+                    opts.seed,
+                    opts.engine.clone(),
+                );
                 let stats = d.run(warmup, window);
                 if t == 0.01 {
                     base = stats.wire_from_alloc;

@@ -27,7 +27,7 @@ fn main() {
                 servers,
                 FlowtuneConfig::default(),
                 opts.seed,
-                opts.engine,
+                opts.engine.clone(),
             );
             let stats = d.run(warmup, window);
             println!(

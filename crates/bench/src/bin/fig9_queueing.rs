@@ -26,7 +26,7 @@ fn main() {
         for scheme in [Scheme::Flowtune, Scheme::Dctcp, Scheme::Xcp] {
             let r = run_cell(&CellSpec {
                 scheme,
-                engine: opts.engine,
+                engine: opts.engine.clone(),
                 workload: Workload::Web,
                 load,
                 servers,

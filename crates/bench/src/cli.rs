@@ -3,14 +3,15 @@
 use flowtune::Engine;
 
 /// Common experiment options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Opts {
     /// Reduced scale (default) vs paper scale.
     pub quick: bool,
     /// Trace seed.
     pub seed: u64,
     /// Allocation engine behind the `AllocatorService`
-    /// (`--engine serial|multicore|fastpass`).
+    /// (`--engine serial|multicore|fastpass|gradient`, optionally wrapped
+    /// in `Engine::Sharded` by `--shards N`).
     pub engine: Engine,
 }
 
@@ -26,11 +27,14 @@ impl Default for Opts {
 
 impl Opts {
     /// Parses `--quick`, `--full`, `--seed N`,
-    /// `--engine serial|multicore|fastpass` and `--workers N` (multicore
-    /// thread cap; 0 = size to the host) from `std::env::args`.
+    /// `--engine serial|multicore|fastpass|gradient`, `--workers N`
+    /// (multicore thread cap; 0 = size to the host) and `--shards N`
+    /// (shard the service N ways over the chosen engine) from
+    /// `std::env::args`.
     ///
     /// # Panics
-    /// Panics with a usage message on unknown flags or engine names.
+    /// Panics with a usage message on unknown flags or engine names (the
+    /// engine message lists the valid names).
     pub fn parse() -> Self {
         Self::from_args(std::env::args().skip(1))
     }
@@ -39,6 +43,7 @@ impl Opts {
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut opts = Self::default();
         let mut workers: Option<usize> = None;
+        let mut shards: Option<usize> = None;
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -50,16 +55,18 @@ impl Opts {
                 }
                 "--engine" => {
                     let v = it.next().expect("--engine needs a value");
-                    opts.engine = Engine::parse(&v).unwrap_or_else(|| {
-                        panic!("unknown engine {v}; use serial|multicore|fastpass")
-                    });
+                    opts.engine = Engine::parse(&v).unwrap_or_else(|e| panic!("{e}"));
                 }
                 "--workers" => {
                     let v = it.next().expect("--workers needs a value");
                     workers = Some(v.parse().expect("--workers needs an integer"));
                 }
+                "--shards" => {
+                    let v = it.next().expect("--shards needs a value");
+                    shards = Some(v.parse().expect("--shards needs an integer"));
+                }
                 other => panic!(
-                    "unknown flag {other}; use --quick|--full|--seed N|--engine E|--workers N"
+                    "unknown flag {other}; use --quick|--full|--seed N|--engine E|--workers N|--shards N"
                 ),
             }
         }
@@ -68,6 +75,10 @@ impl Opts {
                 Engine::Multicore { workers } => *workers = w,
                 _ => panic!("--workers only applies to --engine multicore"),
             }
+        }
+        if let Some(n) = shards {
+            assert!(n >= 1, "--shards needs at least 1 shard");
+            opts.engine = opts.engine.sharded(n);
         }
         opts
     }
@@ -127,8 +138,35 @@ mod tests {
     }
 
     #[test]
+    fn shards_compose_over_any_engine() {
+        assert_eq!(
+            parse(&["--engine", "gradient", "--shards", "4"]).engine,
+            Engine::Gradient.sharded(4)
+        );
+        // Flag order doesn't matter, and --workers still reaches the
+        // inner multicore engine.
+        assert_eq!(
+            parse(&["--shards", "2", "--engine", "multicore", "--workers", "3"]).engine,
+            Engine::Multicore { workers: 3 }.sharded(2)
+        );
+        assert_eq!(parse(&["--shards", "1"]).engine, Engine::Serial.sharded(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 shard")]
+    fn zero_shards_panics() {
+        let _ = parse(&["--shards", "0"]);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown engine")]
     fn bad_engine_panics() {
+        let _ = parse(&["--engine", "quantum"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid engines: serial, multicore, fastpass, gradient")]
+    fn bad_engine_message_lists_valid_names() {
         let _ = parse(&["--engine", "quantum"]);
     }
 

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use flowtune::{AllocatorService, DynAllocatorService, Engine, FlowtuneConfig};
+use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig};
 use flowtune_proto::{codec, wire, Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
 use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
@@ -58,7 +58,7 @@ impl FluidStats {
 /// The fluid-model experiment driver.
 #[derive(Debug)]
 pub struct FluidDriver {
-    service: DynAllocatorService,
+    service: BoxTickDriver,
     trace: TraceGenerator,
     cfg: FlowtuneConfig,
     servers: usize,
@@ -83,7 +83,8 @@ impl FluidDriver {
     }
 
     /// [`FluidDriver::new`] with an explicit allocation engine (the
-    /// binaries' `--engine` flag lands here).
+    /// binaries' `--engine` / `--shards` flags land here; an
+    /// [`Engine::Sharded`] spec runs the real sharded control plane).
     pub fn with_engine(
         workload: Workload,
         load: f64,
@@ -104,8 +105,8 @@ impl FluidDriver {
             .fabric(&fabric)
             .config(cfg)
             .engine(engine)
-            .build()
-            .expect("fabric is set");
+            .build_driver()
+            .expect("fabric is set and the engine spec is sane");
         let trace = TraceGenerator::new(TraceConfig {
             workload,
             load,
@@ -255,6 +256,8 @@ mod tests {
             Engine::Serial,
             Engine::Multicore { workers: 1 },
             Engine::Fastpass,
+            Engine::Gradient,
+            Engine::Serial.sharded(2),
         ] {
             let mut d = FluidDriver::with_engine(
                 Workload::Web,
@@ -262,7 +265,7 @@ mod tests {
                 32,
                 FlowtuneConfig::default(),
                 5,
-                engine,
+                engine.clone(),
             );
             let stats = d.run(1_000_000_000, 4_000_000_000);
             assert!(stats.flowlets > 0, "{}: no flowlets", engine.name());

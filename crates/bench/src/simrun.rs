@@ -70,7 +70,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
     };
     let mut cfg = SimConfig::paper(spec.scheme);
     cfg.clos = clos;
-    cfg.engine = spec.engine;
+    cfg.engine = spec.engine.clone();
     // Sample queues fast enough to see short runs.
     cfg.sample_interval_ps = (spec.horizon_ps / 200).clamp(100_000_000, MS);
     let mut sim = Simulation::new(cfg);

@@ -1,0 +1,116 @@
+//! The tick-driver abstraction over allocator control planes.
+//!
+//! [`TickDriver`] is the contract embedders program against: something
+//! that consumes flowlet notifications and, on every 10 µs tick, produces
+//! `(source server, rate update)` pairs. Two implementations exist:
+//!
+//! * [`AllocatorService`] — one service, one engine (the Figure-1 box);
+//! * [`ShardedService`](crate::ShardedService) — N inner services, the
+//!   endpoint space partitioned across them.
+//!
+//! The network simulator, the fluid-model driver and the experiment
+//! binaries all hold a [`BoxTickDriver`] obtained from
+//! [`ServiceBuilder::build_driver`](crate::ServiceBuilder::build_driver),
+//! so "how many shards" is a run-time configuration like the engine
+//! choice, not a compile-time fork.
+
+use flowtune_alloc::RateAllocator;
+use flowtune_proto::{Message, Token};
+use flowtune_topo::TwoTierClos;
+
+use crate::service::{AllocatorService, ServiceError, ServiceStats};
+
+/// A control plane with an allocator tick: notifications in, rate updates
+/// out, behind either one [`AllocatorService`] or a
+/// [`ShardedService`](crate::ShardedService).
+pub trait TickDriver: std::fmt::Debug + Send {
+    /// Handles an endpoint notification (see
+    /// [`AllocatorService::on_message`]).
+    ///
+    /// # Errors
+    /// [`ServiceError`] when the message is corrupt or inconsistent; the
+    /// message is dropped and counted, the driver stays consistent.
+    fn on_message(&mut self, msg: Message) -> Result<(), ServiceError>;
+
+    /// One allocator tick (§6.2: every 10 µs): runs the engine(s) and
+    /// returns `(source server, update)` pairs in ascending token order.
+    fn tick(&mut self) -> Vec<(u16, Message)>;
+
+    /// Current normalized rate of an active flowlet, Gbit/s.
+    fn flow_rate_gbps(&self, token: Token) -> Option<f64>;
+
+    /// Number of active flowlets.
+    fn active_flows(&self) -> usize;
+
+    /// Operating counters (aggregated over shards, where applicable).
+    fn stats(&self) -> ServiceStats;
+
+    /// The fabric this control plane serves.
+    fn fabric(&self) -> &TwoTierClos;
+
+    /// Short engine name (`serial` / `multicore` / `fastpass` /
+    /// `gradient` / `sharded`).
+    fn engine_name(&self) -> &'static str;
+}
+
+/// A run-time-chosen control plane (plain or sharded, any engine).
+pub type BoxTickDriver = Box<dyn TickDriver>;
+
+impl<E: RateAllocator> TickDriver for AllocatorService<E> {
+    fn on_message(&mut self, msg: Message) -> Result<(), ServiceError> {
+        AllocatorService::on_message(self, msg)
+    }
+
+    fn tick(&mut self) -> Vec<(u16, Message)> {
+        AllocatorService::tick(self)
+    }
+
+    fn flow_rate_gbps(&self, token: Token) -> Option<f64> {
+        AllocatorService::flow_rate_gbps(self, token)
+    }
+
+    fn active_flows(&self) -> usize {
+        AllocatorService::active_flows(self)
+    }
+
+    fn stats(&self) -> ServiceStats {
+        AllocatorService::stats(self)
+    }
+
+    fn fabric(&self) -> &TwoTierClos {
+        AllocatorService::fabric(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        AllocatorService::engine_name(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowtuneConfig;
+    use flowtune_topo::ClosConfig;
+
+    #[test]
+    fn allocator_service_is_a_tick_driver() {
+        let fabric = TwoTierClos::build(ClosConfig::paper_eval());
+        let svc = AllocatorService::new(&fabric, FlowtuneConfig::default());
+        let mut drv: BoxTickDriver = Box::new(svc);
+        drv.on_message(Message::FlowletStart {
+            token: Token::new(1),
+            src: 0,
+            dst: 140,
+            size_hint: 1,
+            weight_q8: 256,
+            spine: 1,
+        })
+        .unwrap();
+        assert_eq!(drv.active_flows(), 1);
+        assert_eq!(drv.tick().len(), 1);
+        assert!(drv.flow_rate_gbps(Token::new(1)).unwrap() > 0.0);
+        assert_eq!(drv.engine_name(), "serial");
+        assert_eq!(drv.fabric().config().server_count(), 144);
+        assert_eq!(drv.stats().starts, 1);
+    }
+}

@@ -20,8 +20,9 @@
 //! * [`flowtune_topo`] — two-tier Clos fabrics, paths, allocator blocks;
 //! * `flowtune_num` — NED and the baseline NUM optimizers, U/F-NORM;
 //! * [`flowtune_alloc`] — the [`RateAllocator`] engine interface and its
-//!   NED implementations: serial reference and the §5 multicore
-//!   FlowBlock/LinkBlock engine;
+//!   implementations: serial reference NED, the §5 multicore
+//!   FlowBlock/LinkBlock engine (pool-backed), and the gradient
+//!   baseline;
 //! * [`flowtune_fastpass`] — the per-packet timeslot arbiter and its
 //!   [`RateAllocator`] adapter (the §6.1 comparison baseline);
 //! * [`flowtune_proto`] — the 16/4/6-byte control messages.
@@ -29,8 +30,11 @@
 //! ## Quickstart
 //!
 //! The allocator is assembled with a builder; the engine — serial NED,
-//! multicore NED, or Fastpass-style arbitration — is a run-time choice
-//! behind one API:
+//! multicore NED, Fastpass-style arbitration, or gradient projection —
+//! is a run-time choice behind one API, and
+//! [`ServiceBuilder::build_driver`] additionally shards the whole
+//! control plane ([`Engine::Sharded`] → [`ShardedService`]) behind the
+//! [`TickDriver`] interface:
 //!
 //! ```
 //! use flowtune::{AllocatorService, EndpointAgent, Engine, FlowtuneConfig};
@@ -72,15 +76,20 @@
 //! [`RateAllocator`]: flowtune_alloc::RateAllocator
 
 pub mod config;
+pub mod driver;
 pub mod endpoint;
 pub mod flowlet;
 pub mod service;
+pub mod sharded;
 pub mod token;
 
 pub use config::FlowtuneConfig;
+pub use driver::{BoxTickDriver, TickDriver};
 pub use endpoint::EndpointAgent;
 pub use flowlet::FlowletTracker;
 pub use service::{
-    AllocatorService, DynAllocatorService, Engine, ServiceBuilder, ServiceError, ServiceStats,
+    AllocatorService, DynAllocatorService, Engine, ParseEngineError, ServiceBuilder, ServiceError,
+    ServiceStats, ENGINE_NAMES,
 };
+pub use sharded::ShardedService;
 pub use token::TokenAllocator;

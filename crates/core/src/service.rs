@@ -1,19 +1,34 @@
 //! The centralized allocator as a library.
 //!
-//! [`AllocatorService`] is the Figure-1 box: it consumes flowlet start/end
-//! notifications, maintains the flow set inside a pluggable
-//! [`RateAllocator`] engine, and on every tick produces threshold-filtered
-//! rate updates. It is sans-IO — the network simulator delivers the
-//! messages over simulated TCP, the examples call it directly.
+//! # Layering: engines, services, drivers
 //!
-//! The engine is chosen at construction through
-//! [`AllocatorService::builder`]:
+//! The control plane is built from three layers, each swappable
+//! independently of the others:
 //!
-//! * [`Engine::Serial`] — the single-threaded reference NED engine;
-//! * [`Engine::Multicore`] — the §5 FlowBlock-parallel engine
-//!   (bit-for-bit equal rates, threaded iteration);
-//! * [`Engine::Fastpass`] — the per-packet timeslot-arbitration baseline
-//!   of the §6.1 comparison.
+//! 1. **[`RateAllocator`] engines** compute per-flow rates over a fixed
+//!    fabric. [`Engine`] names them: [`Engine::Serial`] (the reference
+//!    NED optimizer), [`Engine::Multicore`] (the §5 FlowBlock-parallel
+//!    engine, bit-for-bit equal rates, persistent worker pool),
+//!    [`Engine::Fastpass`] (per-packet timeslot arbitration, the §6.1
+//!    baseline) and [`Engine::Gradient`] (first-order gradient
+//!    projection, the §6.6/Figure-12 baseline).
+//! 2. **[`AllocatorService`]** is the Figure-1 box around one engine: it
+//!    consumes flowlet start/end notifications, keeps the token registry,
+//!    and on every [`AllocatorService::tick`] (§6.2: every 10 µs) emits
+//!    threshold-filtered rate updates. It is sans-IO — the network
+//!    simulator delivers the messages over simulated TCP, the examples
+//!    call it directly.
+//! 3. **[`TickDriver`](crate::TickDriver)** abstracts "a thing with an
+//!    allocator tick" — the message-in/updates-out contract shared by
+//!    [`AllocatorService`] and [`ShardedService`](crate::ShardedService).
+//!    [`ShardedService`](crate::ShardedService) partitions the endpoint
+//!    space across N inner
+//!    services (one fabric block each, [`Engine::Sharded`]), routes
+//!    notifications by source endpoint, and merges the shards' update
+//!    streams back into one token-ordered stream. Embedders that should
+//!    run sharded or unsharded by configuration hold a
+//!    [`BoxTickDriver`](crate::BoxTickDriver) built with
+//!    [`ServiceBuilder::build_driver`].
 //!
 //! Malformed or inconsistent control messages (duplicate live tokens,
 //! rate updates sent *to* the allocator) are reportable conditions, not
@@ -74,6 +89,13 @@ pub enum ServiceError {
     UnexpectedRateUpdate,
     /// [`ServiceBuilder::build`] was called without a fabric.
     MissingFabric,
+    /// [`ServiceBuilder::build`] was called with [`Engine::Sharded`]; a
+    /// sharded control plane is a [`ShardedService`](crate::ShardedService),
+    /// built through [`ServiceBuilder::build_driver`].
+    ShardedNeedsDriver,
+    /// [`Engine::Sharded`] named an impossible partition (zero shards, or
+    /// shards nested inside shards).
+    BadShards(&'static str),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -91,6 +113,15 @@ impl std::fmt::Display for ServiceError {
             ServiceError::MissingFabric => {
                 write!(f, "allocator builder needs a fabric")
             }
+            ServiceError::ShardedNeedsDriver => {
+                write!(
+                    f,
+                    "Engine::Sharded builds a ShardedService; use build_driver()"
+                )
+            }
+            ServiceError::BadShards(why) => {
+                write!(f, "bad shard spec: {why}")
+            }
         }
     }
 }
@@ -98,7 +129,7 @@ impl std::fmt::Display for ServiceError {
 impl std::error::Error for ServiceError {}
 
 /// Which allocation engine a built service runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Engine {
     /// Single-threaded reference NED engine.
     #[default]
@@ -111,26 +142,90 @@ pub enum Engine {
     },
     /// Fastpass-style per-packet timeslot arbitration (§6.1 baseline).
     Fastpass,
+    /// First-order gradient projection (§6.6 / Figure-12 baseline).
+    Gradient,
+    /// A [`ShardedService`](crate::ShardedService): `shards` independent
+    /// inner services, each running its own `inner` engine over one slice
+    /// of the endpoint space (one fabric block each when `shards` equals
+    /// the fabric's block count). Built with
+    /// [`ServiceBuilder::build_driver`]; `inner` must not itself be
+    /// `Sharded`.
+    Sharded {
+        /// Number of independent shards (≥ 1).
+        shards: usize,
+        /// The engine each shard runs.
+        inner: Box<Engine>,
+    },
 }
+
+/// `--engine` names [`Engine::parse`] accepts. (`sharded` is not in the
+/// list: sharding composes over a base engine via `--shards N`.)
+pub const ENGINE_NAMES: [&str; 4] = ["serial", "multicore", "fastpass", "gradient"];
+
+/// An `--engine` value [`Engine::parse`] did not recognize. The `Display`
+/// form lists the valid names, so surfacing it verbatim gives the operator
+/// the fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineError {
+    got: String,
+}
+
+impl ParseEngineError {
+    /// The rejected engine name.
+    pub fn got(&self) -> &str {
+        &self.got
+    }
+}
+
+impl std::fmt::Display for ParseEngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown engine `{}`; valid engines: {}",
+            self.got,
+            ENGINE_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineError {}
 
 impl Engine {
     /// Parses an engine name as accepted by the experiment binaries'
     /// `--engine` flag.
-    pub fn parse(s: &str) -> Option<Engine> {
+    ///
+    /// # Errors
+    /// [`ParseEngineError`] (listing the valid names) on anything not in
+    /// [`ENGINE_NAMES`].
+    pub fn parse(s: &str) -> Result<Engine, ParseEngineError> {
         match s {
-            "serial" => Some(Engine::Serial),
-            "multicore" => Some(Engine::Multicore { workers: 0 }),
-            "fastpass" => Some(Engine::Fastpass),
-            _ => None,
+            "serial" => Ok(Engine::Serial),
+            "multicore" => Ok(Engine::Multicore { workers: 0 }),
+            "fastpass" => Ok(Engine::Fastpass),
+            "gradient" => Ok(Engine::Gradient),
+            _ => Err(ParseEngineError { got: s.to_string() }),
         }
     }
 
-    /// The flag-style name (`serial` / `multicore` / `fastpass`).
+    /// The flag-style name (`serial` / `multicore` / `fastpass` /
+    /// `gradient` / `sharded`).
     pub fn name(&self) -> &'static str {
         match self {
             Engine::Serial => "serial",
             Engine::Multicore { .. } => "multicore",
             Engine::Fastpass => "fastpass",
+            Engine::Gradient => "gradient",
+            Engine::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// Wraps this engine in [`Engine::Sharded`] over `shards` shards (the
+    /// `--shards N` flag). `shards == 1` still builds a (single-shard)
+    /// `ShardedService`, which is useful for equivalence testing.
+    pub fn sharded(self, shards: usize) -> Engine {
+        Engine::Sharded {
+            shards,
+            inner: Box::new(self),
         }
     }
 }
@@ -191,8 +286,15 @@ impl ServiceBuilder {
     /// Builds the service over the chosen engine.
     ///
     /// # Errors
-    /// [`ServiceError::MissingFabric`] if no fabric was supplied.
+    /// [`ServiceError::MissingFabric`] if no fabric was supplied;
+    /// [`ServiceError::ShardedNeedsDriver`] if the engine is
+    /// [`Engine::Sharded`] (a sharded control plane is not a single
+    /// `AllocatorService` — build it with
+    /// [`ServiceBuilder::build_driver`]).
     pub fn build(self) -> Result<AllocatorService<BoxEngine>, ServiceError> {
+        if matches!(self.engine, Engine::Sharded { .. }) {
+            return Err(ServiceError::ShardedNeedsDriver);
+        }
         let fabric = self.fabric.ok_or(ServiceError::MissingFabric)?;
         let alloc_cfg = alloc_config(&self.cfg);
         let engine: BoxEngine = match self.engine {
@@ -212,8 +314,47 @@ impl ServiceBuilder {
                         .with_iteration_time_ps(iteration_ps, fabric.config().host_link_bps),
                 )
             }
+            Engine::Gradient => {
+                Box::new(flowtune_alloc::GradientAllocator::new(&fabric, alloc_cfg))
+            }
+            Engine::Sharded { .. } => unreachable!("rejected above"),
         };
         Ok(AllocatorService::from_parts(fabric, self.cfg, engine))
+    }
+
+    /// Builds a boxed [`TickDriver`](crate::TickDriver) over the chosen
+    /// engine: a [`ShardedService`](crate::ShardedService) for
+    /// [`Engine::Sharded`], a plain [`AllocatorService`] otherwise. This
+    /// is the constructor for embedders (simulator, fluid driver,
+    /// experiment binaries) whose shard count is configuration.
+    ///
+    /// # Errors
+    /// [`ServiceError::MissingFabric`] without a fabric;
+    /// [`ServiceError::BadShards`] for zero shards or nested sharding.
+    pub fn build_driver(self) -> Result<crate::BoxTickDriver, ServiceError> {
+        match self.engine {
+            Engine::Sharded { shards, inner } => {
+                if shards == 0 {
+                    return Err(ServiceError::BadShards("shard count must be at least 1"));
+                }
+                if matches!(*inner, Engine::Sharded { .. }) {
+                    return Err(ServiceError::BadShards("shards cannot nest"));
+                }
+                let fabric = self.fabric.ok_or(ServiceError::MissingFabric)?;
+                let services = (0..shards)
+                    .map(|_| {
+                        ServiceBuilder {
+                            fabric: Some(fabric.clone()),
+                            cfg: self.cfg,
+                            engine: (*inner).clone(),
+                        }
+                        .build()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Box::new(crate::ShardedService::from_shards(services)))
+            }
+            _ => Ok(Box::new(self.build()?)),
+        }
     }
 }
 
@@ -403,7 +544,8 @@ impl<E: RateAllocator> AllocatorService<E> {
         &self.fabric
     }
 
-    /// The engine's short name (`serial` / `multicore` / `fastpass`).
+    /// The engine's short name (`serial` / `multicore` / `fastpass` /
+    /// `gradient`).
     pub fn engine_name(&self) -> &'static str {
         self.engine.name()
     }
@@ -620,9 +762,67 @@ mod tests {
             Engine::Serial,
             Engine::Multicore { workers: 0 },
             Engine::Fastpass,
+            Engine::Gradient,
         ] {
-            assert_eq!(Engine::parse(engine.name()), Some(engine));
+            assert_eq!(Engine::parse(engine.name()), Ok(engine));
         }
-        assert_eq!(Engine::parse("warp-drive"), None);
+    }
+
+    #[test]
+    fn engine_parse_error_lists_valid_names() {
+        let err = Engine::parse("warp-drive").unwrap_err();
+        assert_eq!(err.got(), "warp-drive");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown engine `warp-drive`"), "{msg}");
+        for name in ENGINE_NAMES {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_needs_the_driver_constructor() {
+        let err = AllocatorService::builder()
+            .fabric(&fabric())
+            .engine(Engine::Serial.sharded(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ServiceError::ShardedNeedsDriver);
+    }
+
+    #[test]
+    fn build_driver_rejects_degenerate_shard_specs() {
+        let err = AllocatorService::builder()
+            .fabric(&fabric())
+            .engine(Engine::Serial.sharded(0))
+            .build_driver()
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::BadShards(_)), "{err}");
+        let err = AllocatorService::builder()
+            .fabric(&fabric())
+            .engine(Engine::Serial.sharded(2).sharded(2))
+            .build_driver()
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::BadShards(_)), "{err}");
+    }
+
+    #[test]
+    fn build_driver_builds_plain_and_sharded_services() {
+        let f = fabric();
+        for (engine, name) in [
+            (Engine::Serial, "serial"),
+            (Engine::Gradient, "gradient"),
+            (Engine::Serial.sharded(3), "sharded"),
+        ] {
+            let mut drv = AllocatorService::builder()
+                .fabric(&f)
+                .engine(engine)
+                .build_driver()
+                .unwrap();
+            assert_eq!(drv.engine_name(), name);
+            drv.on_message(start(1, 0, 140)).unwrap();
+            let updates = drv.tick();
+            assert_eq!(updates.len(), 1);
+            assert_eq!(updates[0].0, 0);
+        }
     }
 }

@@ -1,0 +1,421 @@
+//! The sharded control plane: N independent allocator services, one slice
+//! of the endpoint space each.
+//!
+//! The paper scales NED across cores of one machine (§5); the next scaling
+//! step is to partition the *allocator itself* so independent fabric
+//! blocks are served by independent services — the path to multi-socket
+//! and multi-host allocators (cf. FairQ, arXiv:2401.04850: centralized
+//! rate allocation survives at scale only when the allocator is
+//! partitioned).
+//!
+//! [`ShardedService`] routes every `FlowletStart` to the shard that owns
+//! its **source endpoint** (contiguous, equal server ranges; when the
+//! shard count equals the fabric's block count a shard's range is exactly
+//! one §5 block, so a shard's flows enter the fabric through its own
+//! up-LinkBlock). Token-addressed messages (`FlowletEnd`) follow a
+//! token→shard routing table. Each shard runs a full
+//! [`AllocatorService`] over the whole fabric but sees only its own
+//! flows; on [`ShardedService::tick`] the per-shard update streams —
+//! each already token-ordered — are k-way merged into one token-ordered
+//! stream, and [`ShardedService::stats`] aggregates the per-shard
+//! counters.
+//!
+//! Sharding is exact (bit-for-bit) for workloads whose links each carry a
+//! single shard's flows — in particular any workload at one shard, and
+//! cross-block workloads that don't converge on one receiver. When shards
+//! *do* contend for a link (e.g. a many-to-one incast from several
+//! blocks), each shard prices the link for its own flows only, so the
+//! merged allocation can over-subscribe that link — the same transient
+//! F-NORM already guards against inside one service. Choosing partitions
+//! that keep hot links single-shard is the §7 deployment question, not
+//! this type's.
+
+use std::collections::HashMap;
+
+use flowtune_alloc::{RateAllocator, SerialAllocator};
+use flowtune_proto::{Message, Token};
+use flowtune_topo::TwoTierClos;
+
+use crate::driver::TickDriver;
+use crate::service::{AllocatorService, ServiceError, ServiceStats};
+use crate::FlowtuneConfig;
+
+/// N independent [`AllocatorService`] shards behind one
+/// [`TickDriver`] face.
+#[derive(Debug)]
+pub struct ShardedService<E: RateAllocator = SerialAllocator> {
+    shards: Vec<AllocatorService<E>>,
+    /// token → shard, for `FlowletEnd` routing and rate queries.
+    route: HashMap<Token, u32>,
+    servers: usize,
+    /// Counters for messages the routing layer disposed of itself
+    /// (duplicates, unknown ends, stray rate updates) — folded into
+    /// [`ShardedService::stats`] so the aggregate matches an unsharded
+    /// service byte for byte.
+    local: ServiceStats,
+}
+
+impl ShardedService {
+    /// Builds `shards` serial-engine shards over `fabric` — the
+    /// compile-time shortcut mirroring [`AllocatorService::new`].
+    ///
+    /// # Panics
+    /// Panics if `shards` is 0.
+    pub fn new(fabric: &TwoTierClos, cfg: FlowtuneConfig, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded service needs at least one shard");
+        Self::from_shards(
+            (0..shards)
+                .map(|_| AllocatorService::new(fabric, cfg))
+                .collect(),
+        )
+    }
+}
+
+impl<E: RateAllocator> ShardedService<E> {
+    /// Assembles the service from already-built shards (all over the same
+    /// fabric). Shard `i` owns the `i`-th contiguous slice of the server
+    /// space.
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or the shards disagree on the fabric.
+    pub fn from_shards(shards: Vec<AllocatorService<E>>) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "a sharded service needs at least one shard"
+        );
+        let servers = shards[0].fabric().config().server_count();
+        assert!(
+            shards
+                .iter()
+                .all(|s| s.fabric().config() == shards[0].fabric().config()),
+            "all shards must serve the same fabric"
+        );
+        Self {
+            shards,
+            route: HashMap::new(),
+            servers,
+            local: ServiceStats::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to the shards, in partition order.
+    pub fn shards(&self) -> &[AllocatorService<E>] {
+        &self.shards
+    }
+
+    /// The shard owning source endpoint `src`: contiguous equal ranges of
+    /// the server space (shard = block when the shard count equals the
+    /// fabric's block count). Out-of-range endpoints clamp to the last
+    /// shard, whose service rejects them as
+    /// [`ServiceError::MalformedStart`].
+    pub fn shard_of(&self, src: u16) -> usize {
+        let n = self.shards.len();
+        ((src as usize).min(self.servers.saturating_sub(1)) * n / self.servers).min(n - 1)
+    }
+
+    /// The shard an active flowlet is registered in.
+    pub fn shard_for_token(&self, token: Token) -> Option<usize> {
+        self.route.get(&token).map(|&s| s as usize)
+    }
+
+    /// Routes an endpoint notification to its shard (see
+    /// [`AllocatorService::on_message`] for semantics; the behavior —
+    /// including rejection counting — matches the unsharded service).
+    ///
+    /// # Errors
+    /// The inner service's error, or [`ServiceError::DuplicateToken`] /
+    /// [`ServiceError::UnexpectedRateUpdate`] raised at the routing layer.
+    pub fn on_message(&mut self, msg: Message) -> Result<(), ServiceError> {
+        match msg {
+            Message::FlowletStart { token, src, .. } => {
+                if self.route.contains_key(&token) {
+                    // Cross-shard duplicate detection must happen here: the
+                    // original may live in a different shard than the one
+                    // `src` routes to.
+                    self.local.bytes_in += msg.encoded_len() as u64;
+                    self.local.rejected += 1;
+                    return Err(ServiceError::DuplicateToken(token));
+                }
+                let shard = self.shard_of(src);
+                self.shards[shard].on_message(msg)?;
+                self.route.insert(token, shard as u32);
+                Ok(())
+            }
+            Message::FlowletEnd { token } => match self.route.remove(&token) {
+                Some(shard) => self.shards[shard as usize].on_message(msg),
+                None => {
+                    // Unknown ends are ignored (predecessor allocator or
+                    // re-keyed endpoint), but their bytes still arrived.
+                    self.local.bytes_in += msg.encoded_len() as u64;
+                    Ok(())
+                }
+            },
+            Message::RateUpdate { .. } => {
+                self.local.bytes_in += msg.encoded_len() as u64;
+                self.local.rejected += 1;
+                Err(ServiceError::UnexpectedRateUpdate)
+            }
+        }
+    }
+
+    /// One tick of every shard, with the per-shard update streams merged
+    /// into a single token-ordered stream (each shard's stream is already
+    /// token-ordered, and token sets are disjoint, so a k-way merge
+    /// reproduces exactly the order an unsharded service emits).
+    pub fn tick(&mut self) -> Vec<(u16, Message)> {
+        let streams: Vec<Vec<(u16, Message)>> =
+            self.shards.iter_mut().map(AllocatorService::tick).collect();
+        merge_by_token(streams)
+    }
+
+    /// Current normalized rate of an active flowlet, Gbit/s.
+    pub fn flow_rate_gbps(&self, token: Token) -> Option<f64> {
+        let &shard = self.route.get(&token)?;
+        self.shards[shard as usize].flow_rate_gbps(token)
+    }
+
+    /// Number of active flowlets across all shards.
+    pub fn active_flows(&self) -> usize {
+        self.route.len()
+    }
+
+    /// Operating counters aggregated over shards (plus the routing
+    /// layer's own rejections).
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = self.local;
+        for s in &self.shards {
+            // Exhaustive destructuring: a counter added to `ServiceStats`
+            // must fail to compile here until it is aggregated.
+            let ServiceStats {
+                starts,
+                ends,
+                updates_sent,
+                updates_suppressed,
+                bytes_in,
+                bytes_out,
+                iterations,
+                rejected,
+            } = s.stats();
+            total.starts += starts;
+            total.ends += ends;
+            total.updates_sent += updates_sent;
+            total.updates_suppressed += updates_suppressed;
+            total.bytes_in += bytes_in;
+            total.bytes_out += bytes_out;
+            total.iterations += iterations;
+            total.rejected += rejected;
+        }
+        total
+    }
+
+    /// The fabric this control plane serves.
+    pub fn fabric(&self) -> &TwoTierClos {
+        self.shards[0].fabric()
+    }
+
+    /// The engine each shard runs (`serial` / `multicore` / …).
+    pub fn inner_engine_name(&self) -> &'static str {
+        self.shards[0].engine_name()
+    }
+}
+
+impl<E: RateAllocator> TickDriver for ShardedService<E> {
+    fn on_message(&mut self, msg: Message) -> Result<(), ServiceError> {
+        ShardedService::on_message(self, msg)
+    }
+
+    fn tick(&mut self) -> Vec<(u16, Message)> {
+        ShardedService::tick(self)
+    }
+
+    fn flow_rate_gbps(&self, token: Token) -> Option<f64> {
+        ShardedService::flow_rate_gbps(self, token)
+    }
+
+    fn active_flows(&self) -> usize {
+        ShardedService::active_flows(self)
+    }
+
+    fn stats(&self) -> ServiceStats {
+        ShardedService::stats(self)
+    }
+
+    fn fabric(&self) -> &TwoTierClos {
+        ShardedService::fabric(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+fn update_token(msg: &Message) -> Token {
+    match msg {
+        Message::RateUpdate { token, .. }
+        | Message::FlowletStart { token, .. }
+        | Message::FlowletEnd { token } => *token,
+    }
+}
+
+/// K-way merge of token-ordered update streams.
+fn merge_by_token(streams: Vec<Vec<(u16, Message)>>) -> Vec<(u16, Message)> {
+    let total = streams.iter().map(Vec::len).sum();
+    let mut iters: Vec<_> = streams
+        .into_iter()
+        .map(|v| v.into_iter().peekable())
+        .collect();
+    let mut out: Vec<(u16, Message)> = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(usize, Token)> = None;
+        for (i, it) in iters.iter_mut().enumerate() {
+            if let Some((_, msg)) = it.peek() {
+                let t = update_token(msg);
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        out.push(iters[i].next().expect("peeked"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowtune_proto::Rate16;
+    use flowtune_topo::ClosConfig;
+
+    fn fabric() -> TwoTierClos {
+        TwoTierClos::build(ClosConfig::multicore(2, 2, 4)) // 16 servers, 2 blocks
+    }
+
+    fn start(token: u32, src: u16, dst: u16) -> Message {
+        Message::FlowletStart {
+            token: Token::new(token),
+            src,
+            dst,
+            size_hint: 100_000,
+            weight_q8: 256,
+            spine: 1,
+        }
+    }
+
+    fn sharded(n: usize) -> ShardedService {
+        ShardedService::new(&fabric(), FlowtuneConfig::default(), n)
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_server_space() {
+        let svc = sharded(2);
+        for src in 0..8u16 {
+            assert_eq!(svc.shard_of(src), 0, "src {src}");
+        }
+        for src in 8..16u16 {
+            assert_eq!(svc.shard_of(src), 1, "src {src}");
+        }
+        // Out-of-range sources clamp (and are then rejected by the shard).
+        assert_eq!(svc.shard_of(9999), 1);
+        // Shard boundaries coincide with fabric blocks when counts match.
+        let f = fabric();
+        for src in 0..16u16 {
+            assert_eq!(
+                svc.shard_of(src),
+                f.block_of_server(src as usize).index(),
+                "src {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn starts_route_by_source_and_ends_follow_tokens() {
+        let mut svc = sharded(2);
+        svc.on_message(start(1, 0, 12)).unwrap(); // shard 0
+        svc.on_message(start(2, 12, 0)).unwrap(); // shard 1
+        assert_eq!(svc.shard_for_token(Token::new(1)), Some(0));
+        assert_eq!(svc.shard_for_token(Token::new(2)), Some(1));
+        assert_eq!(svc.shards()[0].active_flows(), 1);
+        assert_eq!(svc.shards()[1].active_flows(), 1);
+        assert_eq!(svc.active_flows(), 2);
+        svc.on_message(Message::FlowletEnd {
+            token: Token::new(2),
+        })
+        .unwrap();
+        assert_eq!(svc.shards()[1].active_flows(), 0);
+        assert_eq!(svc.shard_for_token(Token::new(2)), None);
+        assert_eq!(svc.stats().ends, 1);
+    }
+
+    #[test]
+    fn merged_updates_come_out_in_token_order() {
+        let mut svc = sharded(2);
+        // Interleave tokens across shards: odd tokens on shard 0, even on
+        // shard 1.
+        for (t, src) in [(1u32, 0u16), (2, 12), (3, 1), (4, 13), (5, 2)] {
+            let dst = if src < 8 { src + 8 } else { src - 8 };
+            svc.on_message(start(t, src, dst)).unwrap();
+        }
+        let updates = svc.tick();
+        assert_eq!(updates.len(), 5);
+        let tokens: Vec<u32> = updates.iter().map(|(_, m)| update_token(m).get()).collect();
+        assert_eq!(tokens, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cross_shard_duplicate_tokens_are_rejected() {
+        let mut svc = sharded(2);
+        svc.on_message(start(7, 0, 12)).unwrap();
+        // Same token, different source — routes to the *other* shard, so
+        // only the routing layer can catch it.
+        let err = svc.on_message(start(7, 12, 0)).unwrap_err();
+        assert_eq!(err, ServiceError::DuplicateToken(Token::new(7)));
+        assert_eq!(svc.stats().rejected, 1);
+        assert_eq!(svc.active_flows(), 1);
+        assert_eq!(svc.shard_for_token(Token::new(7)), Some(0));
+    }
+
+    #[test]
+    fn stray_rate_updates_and_unknown_ends_are_counted() {
+        let mut svc = sharded(3);
+        let upd = Message::RateUpdate {
+            token: Token::new(5),
+            rate: Rate16::encode(1.0),
+        };
+        assert_eq!(svc.on_message(upd), Err(ServiceError::UnexpectedRateUpdate));
+        let end = Message::FlowletEnd {
+            token: Token::new(9),
+        };
+        svc.on_message(end).unwrap();
+        let st = svc.stats();
+        assert_eq!(st.rejected, 1);
+        assert_eq!(st.bytes_in, (upd.encoded_len() + end.encoded_len()) as u64);
+        assert_eq!(st.ends, 0);
+    }
+
+    #[test]
+    fn malformed_starts_are_rejected_by_the_owning_shard() {
+        let mut svc = sharded(2);
+        let err = svc.on_message(start(1, 9999, 0)).unwrap_err();
+        assert!(matches!(err, ServiceError::MalformedStart(_)), "{err}");
+        assert_eq!(svc.active_flows(), 0);
+        assert_eq!(svc.stats().rejected, 1);
+        assert_eq!(svc.shard_for_token(Token::new(1)), None);
+    }
+
+    #[test]
+    fn single_flow_converges_like_an_unsharded_service() {
+        let mut svc = sharded(2);
+        svc.on_message(start(1, 0, 12)).unwrap();
+        for _ in 0..200 {
+            svc.tick();
+        }
+        let rate = svc.flow_rate_gbps(Token::new(1)).unwrap();
+        assert!((rate - 39.6).abs() < 0.2, "rate {rate}"); // 40 G × 0.99
+    }
+}

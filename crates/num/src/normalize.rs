@@ -59,8 +59,21 @@ pub fn u_norm(problem: &NumProblem, rates: &[f64]) -> Vec<f64> {
 /// congested link, `x̄_s = x_s / max_{ℓ∈L(s)} r_ℓ`. Flows with zero rate
 /// stay at zero.
 pub fn f_norm(problem: &NumProblem, rates: &[f64]) -> Vec<f64> {
-    let ratios = utilization(problem, rates);
-    let mut out = rates.to_vec();
+    let (mut ratios, mut out) = (Vec::new(), Vec::new());
+    f_norm_into(problem, rates, &mut ratios, &mut out);
+    out
+}
+
+/// [`f_norm`] into caller-provided buffers (`ratios` is scratch), so an
+/// engine normalizing on every iteration of a 10 µs tick allocates
+/// nothing after warm-up.
+pub fn f_norm_into(problem: &NumProblem, rates: &[f64], ratios: &mut Vec<f64>, out: &mut Vec<f64>) {
+    problem.link_loads_into(rates, ratios);
+    for (r, &c) in ratios.iter_mut().zip(problem.capacities()) {
+        *r /= c;
+    }
+    out.clear();
+    out.extend_from_slice(rates);
     for (i, links, ..) in problem.iter_flows() {
         if rates[i] == 0.0 {
             continue;
@@ -72,7 +85,6 @@ pub fn f_norm(problem: &NumProblem, rates: &[f64]) -> Vec<f64> {
         debug_assert!(worst > 0.0, "flow with non-zero rate has zero-load links");
         out[i] = rates[i] / worst;
     }
-    out
 }
 
 /// Applies the selected normalizer.

@@ -152,13 +152,21 @@ impl NumProblem {
     /// # Panics
     /// Panics if `rates` is shorter than [`NumProblem::flow_slots`].
     pub fn link_loads(&self, rates: &[f64]) -> Vec<f64> {
-        let mut loads = vec![0.0; self.capacities.len()];
+        let mut loads = Vec::new();
+        self.link_loads_into(rates, &mut loads);
+        loads
+    }
+
+    /// [`NumProblem::link_loads`] into a caller-provided buffer, for
+    /// per-iteration callers that must not allocate.
+    pub fn link_loads_into(&self, rates: &[f64], loads: &mut Vec<f64>) {
+        loads.clear();
+        loads.resize(self.capacities.len(), 0.0);
         for (i, links, ..) in self.iter_flows() {
             for l in links {
                 loads[l.index()] += rates[i];
             }
         }
-        loads
     }
 
     /// Total positive over-allocation `Σ_ℓ max(0, load_ℓ − c_ℓ)` — the

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use bytes_shim::ByteBuf;
-use flowtune::{AllocatorService, DynAllocatorService, EndpointAgent, Engine, FlowtuneConfig};
+use flowtune::{AllocatorService, BoxTickDriver, EndpointAgent, Engine, FlowtuneConfig};
 use flowtune_proto::codec;
 use flowtune_topo::{ClosConfig, FlowId, LinkId, TwoTierClos};
 
@@ -174,7 +174,7 @@ pub struct Simulation {
     metrics: Metrics,
     // Flowtune control plane (None for other schemes); the engine behind
     // the service is whatever `SimConfig::engine` selected.
-    alloc: Option<DynAllocatorService>,
+    alloc: Option<BoxTickDriver>,
     agents: Vec<EndpointAgent>,
     ctrl_up_buf: Vec<ByteBuf>,
     ctrl_down_buf: Vec<ByteBuf>,
@@ -220,9 +220,9 @@ impl Simulation {
             let alloc = AllocatorService::builder()
                 .fabric(&fabric)
                 .config(cfg.flowtune)
-                .engine(cfg.engine)
-                .build()
-                .expect("fabric is set");
+                .engine(cfg.engine.clone())
+                .build_driver()
+                .expect("fabric is set and the engine spec is sane");
             let agents = (0..servers)
                 .map(|s| {
                     EndpointAgent::with_config(
@@ -925,9 +925,11 @@ mod tests {
             Engine::Serial,
             Engine::Multicore { workers: 1 },
             Engine::Fastpass,
+            Engine::Gradient,
+            Engine::Serial.sharded(2),
         ] {
             let mut cfg = small_cfg(Scheme::Flowtune);
-            cfg.engine = engine;
+            cfg.engine = engine.clone();
             let mut sim = Simulation::new(cfg);
             let a = sim.add_flow(0, 0, 2, 1_000_000);
             let b = sim.add_flow(0, 1, 2, 1_000_000);

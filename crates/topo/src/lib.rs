@@ -7,7 +7,7 @@
 //! * strongly-typed identifiers ([`NodeId`], [`LinkId`], [`RackId`],
 //!   [`BlockId`], [`FlowId`]),
 //! * a generic directed [`Topology`] graph of nodes and capacitated links,
-//! * a [`TwoTierClos`](clos::TwoTierClos) builder matching the paper's
+//! * a [`TwoTierClos`] builder matching the paper's
 //!   evaluation topology (9 racks × 16 servers × 4 spines at 10 Gbit/s),
 //! * deterministic hash-based ECMP path resolution ([`clos::TwoTierClos::path`]),
 //! * the rack→block grouping and upward/downward LinkBlock membership used

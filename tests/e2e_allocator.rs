@@ -173,10 +173,18 @@ fn builder_constructs_every_engine_variant() {
         Engine::Multicore { workers: 0 },
         Engine::Multicore { workers: 2 },
         Engine::Fastpass,
+        Engine::Gradient,
     ] {
+        // First-order gradient steps need far more ticks than NED or the
+        // arbiter to approach line rate (§3's argument for NED).
+        let ticks = if engine == Engine::Gradient {
+            4_000
+        } else {
+            120
+        };
         let mut svc = AllocatorService::builder()
             .fabric(&fabric)
-            .engine(engine)
+            .engine(engine.clone())
             .build()
             .unwrap();
         assert_eq!(svc.engine_name(), engine.name());
@@ -196,7 +204,7 @@ fn builder_constructs_every_engine_variant() {
             "{}: first tick reports a rate",
             engine.name()
         );
-        for _ in 0..120 {
+        for _ in 0..ticks {
             svc.tick();
         }
         let rate = svc.flow_rate_gbps(Token::new(1)).unwrap();

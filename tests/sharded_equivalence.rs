@@ -1,0 +1,204 @@
+//! Sharded-vs-unsharded control-plane equivalence.
+//!
+//! The contract of `ShardedService` is that partitioning the endpoint
+//! space is *transparent* to the endpoints:
+//!
+//! * at one shard the sharded service is the unsharded service —
+//!   bit-for-bit: same update stream, same rates, same counters;
+//! * with real partitioning (≥ 2 shards) a workload whose links each
+//!   carry a single shard's flows allocates identically (within the
+//!   update-threshold tolerance the figures use — in practice exactly),
+//!   because every link price a flow sees is driven by the same loads;
+//! * routing never misdirects: a flowlet lives in exactly the shard that
+//!   owns its source endpoint (property-tested under random workloads).
+
+use flowtune::{AllocatorService, FlowtuneConfig, ShardedService};
+use flowtune_proto::{Message, Token};
+use flowtune_topo::{ClosConfig, TwoTierClos};
+use proptest::prelude::*;
+
+/// Two blocks of 2 racks × 4 servers: 16 servers, block 0 = 0..8,
+/// block 1 = 8..16, 40 G hosts.
+fn fabric() -> TwoTierClos {
+    TwoTierClos::build(ClosConfig::multicore(2, 2, 4))
+}
+
+fn start(fabric: &TwoTierClos, token: u32, src: u16, dst: u16) -> Message {
+    let spine = fabric.ecmp_spine(
+        src as usize,
+        dst as usize,
+        flowtune_topo::FlowId(token as u64),
+    );
+    Message::FlowletStart {
+        token: Token::new(token),
+        src,
+        dst,
+        size_hint: 1_000_000,
+        weight_q8: 256,
+        spine: spine as u8,
+    }
+}
+
+/// A deterministic churny workload crossing both blocks: starts, some
+/// rejected duplicates, an unknown end, real ends.
+fn workload(fabric: &TwoTierClos) -> Vec<Message> {
+    let mut msgs = Vec::new();
+    for (t, src, dst) in [
+        (1u32, 0u16, 9u16), // block 0 → 1
+        (2, 8, 1),          // block 1 → 0
+        (3, 0, 12),         // same src as 1: shares its uplink
+        (4, 3, 2),          // same-block flow
+        (5, 15, 6),
+        (6, 4, 11),
+    ] {
+        msgs.push(start(fabric, t, src, dst));
+    }
+    msgs.push(start(fabric, 1, 7, 9)); // duplicate token: rejected
+    msgs.push(Message::FlowletEnd {
+        token: Token::new(99), // unknown: ignored
+    });
+    msgs.push(Message::FlowletEnd {
+        token: Token::new(4),
+    });
+    msgs
+}
+
+#[test]
+fn one_shard_is_bit_for_bit_the_unsharded_service() {
+    let fabric = fabric();
+    let cfg = FlowtuneConfig::default();
+    let mut plain = AllocatorService::new(&fabric, cfg);
+    let mut sharded = ShardedService::new(&fabric, cfg, 1);
+
+    let msgs = workload(&fabric);
+    let (mut fed, half) = (0, 5);
+    for msg in &msgs[..half] {
+        assert_eq!(plain.on_message(*msg), sharded.on_message(*msg));
+        fed += 1;
+    }
+    // Interleave ticks with the rest of the churn; every update stream
+    // must match exactly, transient or converged.
+    for round in 0..300 {
+        if round % 10 == 0 && fed < msgs.len() {
+            assert_eq!(plain.on_message(msgs[fed]), sharded.on_message(msgs[fed]));
+            fed += 1;
+        }
+        let a = plain.tick();
+        let b = sharded.tick();
+        assert_eq!(a, b, "update streams diverged at tick {round}");
+    }
+    for t in [1u32, 2, 3, 5, 6] {
+        let ra = plain.flow_rate_gbps(Token::new(t));
+        let rb = sharded.flow_rate_gbps(Token::new(t));
+        assert_eq!(
+            ra.map(f64::to_bits),
+            rb.map(f64::to_bits),
+            "rate of token {t} diverged: {ra:?} vs {rb:?}"
+        );
+    }
+    assert_eq!(plain.stats(), sharded.stats());
+    assert_eq!(plain.active_flows(), sharded.active_flows());
+}
+
+#[test]
+fn two_shards_match_unsharded_rates_on_a_cross_block_workload() {
+    let fabric = fabric();
+    let cfg = FlowtuneConfig::default();
+    let mut plain = AllocatorService::new(&fabric, cfg);
+    let mut sharded = ShardedService::new(&fabric, cfg, 2);
+    assert_eq!(sharded.shard_count(), 2);
+
+    // Every server sends two flows into the *opposite* block (distinct
+    // receivers), so each source uplink carries two same-shard flows and
+    // each receiver downlink carries flows of a single shard — the
+    // partition the block structure is for.
+    let mut token = 0u32;
+    let mut tokens = Vec::new();
+    for src in 0..16u16 {
+        let base = if src < 8 { 8 } else { 0 };
+        for k in 0..2u16 {
+            let dst = base + ((src % 8) + 3 * k) % 8;
+            token += 1;
+            let msg = start(&fabric, token, src, dst);
+            plain.on_message(msg).unwrap();
+            sharded.on_message(msg).unwrap();
+            tokens.push((Token::new(token), src));
+        }
+    }
+    for _ in 0..400 {
+        plain.tick();
+        let updates = sharded.tick();
+        // Merged stream stays token-ordered.
+        let toks: Vec<u32> = updates
+            .iter()
+            .map(|(_, m)| match m {
+                Message::RateUpdate { token, .. } => token.get(),
+                other => panic!("tick emitted {other:?}"),
+            })
+            .collect();
+        let mut sorted = toks.clone();
+        sorted.sort_unstable();
+        assert_eq!(toks, sorted, "merged updates out of token order");
+    }
+    // Acceptance: rates equal within the update-threshold tolerance.
+    let tol = cfg.update_threshold;
+    for (t, src) in tokens {
+        let a = plain.flow_rate_gbps(t).unwrap();
+        let b = sharded.flow_rate_gbps(t).unwrap();
+        assert!(
+            (a - b).abs() <= tol * a.max(1.0),
+            "token {t:?} (src {src}): unsharded {a} vs sharded {b}"
+        );
+        // Feasibility: every flow gets a real share, nobody exceeds the
+        // 40 G × 0.99 access line (exact shares depend on ECMP spine
+        // contention, which proportional fairness rebalances per flow).
+        assert!(b > 1.0 && b <= 39.6 * (1.0 + 1e-6), "token {t:?}: {b}");
+    }
+    // Endpoint-visible totals agree.
+    assert_eq!(plain.active_flows(), sharded.active_flows());
+    assert_eq!(plain.stats().starts, sharded.stats().starts);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Shard routing never misdirects: an accepted flowlet is registered
+    // in exactly the shard owning its source endpoint, updates come back
+    // addressed to that source, and no other shard ever sees the token.
+    #[test]
+    fn shard_routing_never_misdirects(
+        shards in 1usize..=5,
+        flows in proptest::collection::vec((0u16..16, 0u16..16), 1..48),
+    ) {
+        let fabric = fabric();
+        let mut svc = ShardedService::new(&fabric, FlowtuneConfig::default(), shards);
+        let mut accepted = Vec::new();
+        for (i, &(src, dst)) in flows.iter().enumerate() {
+            let msg = start(&fabric, i as u32 + 1, src, dst);
+            if svc.on_message(msg).is_ok() {
+                accepted.push((Token::new(i as u32 + 1), src));
+            }
+        }
+        for &(token, src) in &accepted {
+            let owner = svc.shard_for_token(token);
+            prop_assert_eq!(owner, Some(svc.shard_of(src)),
+                "token {:?} from src {} landed in shard {:?}", token, src, owner);
+            for (s, shard) in svc.shards().iter().enumerate() {
+                let here = shard.flow_rate_gbps(token).is_some();
+                prop_assert_eq!(here, Some(s) == owner,
+                    "token {:?} visible in shard {} but owned by {:?}", token, s, owner);
+            }
+        }
+        // First tick reports every accepted flow back to its own source.
+        let mut updated = std::collections::HashMap::new();
+        for (src, msg) in svc.tick() {
+            if let Message::RateUpdate { token, .. } = msg {
+                updated.insert(token, src);
+            }
+        }
+        for &(token, src) in &accepted {
+            prop_assert_eq!(updated.get(&token), Some(&src));
+        }
+        prop_assert_eq!(svc.active_flows(), accepted.len());
+    }
+}

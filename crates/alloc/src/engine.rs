@@ -64,6 +64,78 @@ pub trait RateAllocator: std::fmt::Debug + Send {
     /// One flow's current allocation, if registered.
     fn flow_rate(&self, id: FlowId) -> Option<FlowRate>;
 
+    /// This engine's own per-link loads: for every fabric link (indexed
+    /// by global [`LinkId`](flowtune_topo::LinkId)), the sum of the raw
+    /// (pre-normalization) rates of *this engine's* flows crossing it —
+    /// exactly the load term its own price update uses. Background loads
+    /// installed with [`RateAllocator::set_background_loads`] are **not**
+    /// echoed back, so a sharded control plane can sum shards' exports
+    /// without double counting.
+    ///
+    /// Engines that do not price fabric links (the Fastpass arbiter)
+    /// return an empty vector, which callers must treat as "no link
+    /// state to share".
+    fn link_loads(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Installs an exogenous per-link load (global
+    /// [`LinkId`](flowtune_topo::LinkId) indexing, same Gbit/s units as
+    /// the engine's capacities) to be priced *in addition to* the
+    /// engine's own flows — the other shards' contribution on shared
+    /// links. An empty slice clears it. Engines that do not price fabric
+    /// links ignore the call.
+    fn set_background_loads(&mut self, loads: &[f64]) {
+        let _ = loads;
+    }
+
+    /// The engine's own per-link Hessian diagonal: `Σ ∂x/∂p` over its
+    /// flows crossing each link (global
+    /// [`LinkId`](flowtune_topo::LinkId) indexing, entries ≤ 0). A
+    /// partitioned allocator ships this alongside
+    /// [`RateAllocator::link_loads`] so every shard's Newton step
+    /// divides the global gradient by the global sensitivity — with only
+    /// its own diagonal, a shard's effective step grows with the shard
+    /// count and leaves NED's stable γ range. Empty for engines whose
+    /// price update has no second-order term (Fastpass, gradient
+    /// projection).
+    fn link_hessians(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Installs the exogenous per-link Hessian diagonal accompanying the
+    /// background loads (other shards' [`RateAllocator::link_hessians`]
+    /// sum). An empty slice clears it. Engines without a second-order
+    /// price term ignore the call.
+    fn set_background_hessians(&mut self, hdiag: &[f64]) {
+        let _ = hdiag;
+    }
+
+    /// The engine's current per-link duals (prices), global
+    /// [`LinkId`](flowtune_topo::LinkId) indexing — the exchange's
+    /// export half of dual consensus. Empty for engines that do not
+    /// price fabric links.
+    fn link_prices(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Overwrites the engine's per-link duals with consensus values;
+    /// `NaN` entries leave the corresponding link's current price
+    /// untouched (a partitioned allocator passes `NaN` for links no
+    /// shard currently loads — each engine keeps decaying its own stale
+    /// price there). Engines that do not price fabric links ignore the
+    /// call.
+    ///
+    /// Dual consensus is what makes a partitioned allocator's fixed
+    /// point unique: background loads alone pin only the *total* on a
+    /// shared link, while any combination of per-shard prices whose
+    /// demands sum to capacity would be stationary — shards must agree
+    /// on the price itself, like §5's single authoritative LinkBlock
+    /// owner.
+    fn set_link_prices(&mut self, prices: &[f64]) {
+        let _ = prices;
+    }
+
     /// Short engine name for logs and experiment output.
     fn name(&self) -> &'static str;
 }
@@ -107,6 +179,30 @@ impl RateAllocator for BoxEngine {
         (**self).flow_rate(id)
     }
 
+    fn link_loads(&self) -> Vec<f64> {
+        (**self).link_loads()
+    }
+
+    fn set_background_loads(&mut self, loads: &[f64]) {
+        (**self).set_background_loads(loads);
+    }
+
+    fn link_hessians(&self) -> Vec<f64> {
+        (**self).link_hessians()
+    }
+
+    fn set_background_hessians(&mut self, hdiag: &[f64]) {
+        (**self).set_background_hessians(hdiag);
+    }
+
+    fn link_prices(&self) -> Vec<f64> {
+        (**self).link_prices()
+    }
+
+    fn set_link_prices(&mut self, prices: &[f64]) {
+        (**self).set_link_prices(prices);
+    }
+
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -146,6 +242,30 @@ impl RateAllocator for crate::SerialAllocator {
 
     fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
         crate::SerialAllocator::flow_rate(self, id)
+    }
+
+    fn link_loads(&self) -> Vec<f64> {
+        crate::SerialAllocator::link_loads(self)
+    }
+
+    fn set_background_loads(&mut self, loads: &[f64]) {
+        crate::SerialAllocator::set_background_loads(self, loads);
+    }
+
+    fn link_hessians(&self) -> Vec<f64> {
+        crate::SerialAllocator::link_hessians(self)
+    }
+
+    fn set_background_hessians(&mut self, hdiag: &[f64]) {
+        crate::SerialAllocator::set_background_hessians(self, hdiag);
+    }
+
+    fn link_prices(&self) -> Vec<f64> {
+        crate::SerialAllocator::link_prices(self)
+    }
+
+    fn set_link_prices(&mut self, prices: &[f64]) {
+        crate::SerialAllocator::set_link_prices(self, prices);
     }
 
     fn name(&self) -> &'static str {
@@ -189,6 +309,30 @@ impl RateAllocator for crate::MulticoreAllocator {
 
     fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
         crate::MulticoreAllocator::flow_rate(self, id)
+    }
+
+    fn link_loads(&self) -> Vec<f64> {
+        crate::MulticoreAllocator::link_loads(self)
+    }
+
+    fn set_background_loads(&mut self, loads: &[f64]) {
+        crate::MulticoreAllocator::set_background_loads(self, loads);
+    }
+
+    fn link_hessians(&self) -> Vec<f64> {
+        crate::MulticoreAllocator::link_hessians(self)
+    }
+
+    fn set_background_hessians(&mut self, hdiag: &[f64]) {
+        crate::MulticoreAllocator::set_background_hessians(self, hdiag);
+    }
+
+    fn link_prices(&self) -> Vec<f64> {
+        crate::MulticoreAllocator::link_prices(self)
+    }
+
+    fn set_link_prices(&mut self, prices: &[f64]) {
+        crate::MulticoreAllocator::set_link_prices(self, prices);
     }
 
     fn name(&self) -> &'static str {

@@ -189,23 +189,42 @@ pub fn rate_pass(flows: &[BlockFlow], view: &PriceView, acc: &mut Accums, rates:
 
 /// Kernel 2 — NED price update (Algorithm 1, eq. 4) plus utilization
 /// ratios, over one LinkBlock's authoritative (aggregated) state.
+///
+/// `background` is the exogenous per-link load of flows *outside* this
+/// engine (a partitioned allocator's other shards, offsets matching
+/// `load`): it joins the over-allocation term `G` and the utilization
+/// ratios. `background_h` is those flows' Hessian-diagonal contribution,
+/// folded into `H` so the Newton step divides the *global* gradient by
+/// the *global* sensitivity — without it the step is scaled by the shard
+/// count, which pushes the effective γ out of its stable range. `None`
+/// for either means no exogenous term, and takes exactly the
+/// pre-exchange arithmetic path (bit-for-bit).
+// One parameter per term of eq. 4 — bundling the two background slices
+// into a struct would obscure which ones the serial/multicore call
+// sites thread through.
+#[allow(clippy::too_many_arguments)]
 pub fn price_update(
     load: &[f64],
     hdiag: &[f64],
+    background: Option<&[f64]>,
+    background_h: Option<&[f64]>,
     capacity: &[f64],
     gamma: f64,
     prices: &mut [f64],
     ratios: &mut [f64],
 ) {
     for l in 0..load.len() {
-        ratios[l] = load[l] / capacity[l];
+        let total = load[l] + background.map_or(0.0, |b| b[l]);
+        ratios[l] = total / capacity[l];
         let h = hdiag[l];
         if h < 0.0 {
-            let g = load[l] - capacity[l];
+            let h = h + background_h.map_or(0.0, |b| b[l]);
+            let g = total - capacity[l];
             prices[l] = (prices[l] - gamma * g / h).max(0.0);
         } else {
-            // Unused link: decay the stale price (same rule as the serial
-            // NED in flowtune-num).
+            // No *own* flow crosses this link, so its price carries no
+            // information for this engine: decay the stale value (same
+            // rule as the serial NED in flowtune-num).
             prices[l] *= 0.5;
         }
     }
@@ -284,13 +303,80 @@ mod tests {
         let mut prices = vec![0.1];
         let mut ratios = vec![0.0];
         // Overloaded link: 15 on capacity 10, h = -100.
-        price_update(&[15.0], &[-100.0], &[10.0], 1.0, &mut prices, &mut ratios);
+        price_update(
+            &[15.0],
+            &[-100.0],
+            None,
+            None,
+            &[10.0],
+            1.0,
+            &mut prices,
+            &mut ratios,
+        );
         assert!((prices[0] - 0.15).abs() < 1e-12); // 0.1 - 1·5/(-100)
         assert!((ratios[0] - 1.5).abs() < 1e-12);
         // Unused link decays.
         let mut p2 = vec![0.8];
-        price_update(&[0.0], &[0.0], &[10.0], 1.0, &mut p2, &mut ratios);
+        price_update(
+            &[0.0],
+            &[0.0],
+            None,
+            None,
+            &[10.0],
+            1.0,
+            &mut p2,
+            &mut ratios,
+        );
         assert_eq!(p2[0], 0.4);
+    }
+
+    #[test]
+    fn price_update_counts_background_load() {
+        // Own load 5 + background 10 on capacity 10: over-subscribed by 5
+        // even though the own flows alone fit.
+        let mut prices = vec![0.1];
+        let mut ratios = vec![0.0];
+        price_update(
+            &[5.0],
+            &[-100.0],
+            Some(&[10.0]),
+            None,
+            &[10.0],
+            1.0,
+            &mut prices,
+            &mut ratios,
+        );
+        assert!((prices[0] - 0.15).abs() < 1e-12); // 0.1 - 1·5/(-100)
+                                                   // The background's Hessian contribution widens |H|, shrinking the
+                                                   // Newton step: same g, twice the sensitivity, half the move.
+        let mut p3 = vec![0.1];
+        price_update(
+            &[5.0],
+            &[-100.0],
+            Some(&[10.0]),
+            Some(&[-100.0]),
+            &[10.0],
+            1.0,
+            &mut p3,
+            &mut ratios,
+        );
+        assert!((p3[0] - 0.125).abs() < 1e-12); // 0.1 - 1·5/(-200)
+        assert!((ratios[0] - 1.5).abs() < 1e-12);
+        // A link only the *other* shards use still decays: the price is
+        // meaningless to an engine none of whose flows cross it.
+        let mut p2 = vec![0.8];
+        price_update(
+            &[0.0],
+            &[0.0],
+            Some(&[25.0]),
+            Some(&[-1.0]),
+            &[10.0],
+            1.0,
+            &mut p2,
+            &mut ratios,
+        );
+        assert_eq!(p2[0], 0.4);
+        assert!((ratios[0] - 2.5).abs() < 1e-12, "ratio sees background");
     }
 
     #[test]

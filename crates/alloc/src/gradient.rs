@@ -144,6 +144,34 @@ impl RateAllocator for GradientAllocator {
         })
     }
 
+    fn link_loads(&self) -> Vec<f64> {
+        self.problem.link_loads(&self.state.rates)
+    }
+
+    fn set_background_loads(&mut self, loads: &[f64]) {
+        self.problem.set_background_loads(loads);
+    }
+
+    fn link_prices(&self) -> Vec<f64> {
+        self.state.prices.clone()
+    }
+
+    fn set_link_prices(&mut self, prices: &[f64]) {
+        if prices.is_empty() {
+            return;
+        }
+        assert_eq!(
+            prices.len(),
+            self.problem.link_count(),
+            "price vector must cover every fabric link"
+        );
+        for (own, &p) in self.state.prices.iter_mut().zip(prices) {
+            if !p.is_nan() {
+                *own = p;
+            }
+        }
+    }
+
     fn name(&self) -> &'static str {
         "gradient"
     }

@@ -106,6 +106,13 @@ impl BlockLayout {
         self.links_per_lb
     }
 
+    /// Total links in the underlying topology (data-plane *and* control
+    /// links) — the length of global-link-indexed vectors such as
+    /// engine link-load exports.
+    pub fn total_links(&self) -> usize {
+        self.slots.len()
+    }
+
     /// The slot of a global link, or `None` for control-plane links.
     pub fn slot(&self, link: LinkId) -> Option<LinkSlot> {
         self.slots.get(link.index()).copied().flatten()

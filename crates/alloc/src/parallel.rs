@@ -138,6 +138,8 @@ impl MulticoreAllocator {
         let gamma = self.grid.cfg.gamma;
         let f_norm = self.grid.cfg.f_norm;
         let layout = &self.grid.layout;
+        let bg = &self.grid.bg;
+        let bg_h = &self.grid.bg_h;
 
         // OS threads: one per FlowBlock up to the core count; beyond
         // that, logical workers are chunked onto threads.
@@ -228,6 +230,8 @@ impl MulticoreAllocator {
                         price_update(
                             &me.acc.up_load,
                             &me.acc.up_h,
+                            bg.as_ref().map(|bg| bg.up[i].as_slice()),
+                            bg_h.as_ref().map(|bg| bg.up[i].as_slice()),
                             layout.up_capacity(i),
                             gamma,
                             &mut me.view.up_prices,
@@ -240,6 +244,8 @@ impl MulticoreAllocator {
                         price_update(
                             &me.acc.down_load,
                             &me.acc.down_h,
+                            bg.as_ref().map(|bg| bg.down[j].as_slice()),
+                            bg_h.as_ref().map(|bg| bg.down[j].as_slice()),
                             layout.down_capacity(j),
                             gamma,
                             &mut me.view.down_prices,
@@ -303,6 +309,41 @@ impl MulticoreAllocator {
     /// makes per-call overhead one park/unpark, not a thread spawn).
     pub fn iterate(&mut self) {
         self.run_iterations(1);
+    }
+
+    /// Own per-link loads (see [`crate::RateAllocator::link_loads`]).
+    pub fn link_loads(&self) -> Vec<f64> {
+        self.grid.link_loads()
+    }
+
+    /// Installs an exogenous per-link load priced alongside this engine's
+    /// own flows (see [`crate::RateAllocator::set_background_loads`]).
+    pub fn set_background_loads(&mut self, loads: &[f64]) {
+        self.grid.set_background_loads(loads);
+    }
+
+    /// Current per-link duals (see [`crate::RateAllocator::link_prices`]).
+    pub fn link_prices(&self) -> Vec<f64> {
+        self.grid.link_prices()
+    }
+
+    /// Overwrites per-link duals; `NaN` entries keep the current price
+    /// (see [`crate::RateAllocator::set_link_prices`]).
+    pub fn set_link_prices(&mut self, prices: &[f64]) {
+        self.grid.set_link_prices(prices);
+    }
+
+    /// Own per-link Hessian diagonal (see
+    /// [`crate::RateAllocator::link_hessians`]).
+    pub fn link_hessians(&self) -> Vec<f64> {
+        self.grid.link_hessians()
+    }
+
+    /// Installs the exogenous per-link Hessian diagonal accompanying the
+    /// background loads (see
+    /// [`crate::RateAllocator::set_background_hessians`]).
+    pub fn set_background_hessians(&mut self, hdiag: &[f64]) {
+        self.grid.set_background_hessians(hdiag);
     }
 }
 
@@ -426,6 +467,48 @@ mod tests {
     #[test]
     fn parallel_matches_serial_single_block() {
         check_equivalence(1);
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_background_load() {
+        // The background-load path must keep the engines' bit-for-bit
+        // contract: both split the same global vector into LinkBlock
+        // slices and hand it to the same price-update kernel.
+        let fabric = TwoTierClos::build(ClosConfig::multicore(4, 2, 4));
+        let cfg = AllocConfig::default();
+        let mut serial = SerialAllocator::new(&fabric, cfg);
+        let mut parallel = MulticoreAllocator::new(&fabric, cfg);
+        spray_flows(&fabric, 48, |id, s, d, w, p| {
+            serial.add_flow(id, s, d, w, p)
+        });
+        spray_flows(&fabric, 48, |id, s, d, w, p| {
+            parallel.add_flow(id, s, d, w, p)
+        });
+        let bg: Vec<f64> = (0..fabric.topology().link_count())
+            .map(|l| ((l * 31 + 7) % 11) as f64)
+            .collect();
+        serial.set_background_loads(&bg);
+        parallel.set_background_loads(&bg);
+        let bg_h: Vec<f64> = bg.iter().map(|x| -x / 4.0).collect();
+        serial.set_background_hessians(&bg_h);
+        parallel.set_background_hessians(&bg_h);
+        serial.run_iterations(37);
+        parallel.run_iterations(37);
+        let a = serial.rates();
+        let b = parallel.rates();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.rate.to_bits(), y.rate.to_bits(), "{:?}", x.id);
+            assert_eq!(x.normalized.to_bits(), y.normalized.to_bits());
+        }
+        // And the exports agree bit-for-bit too.
+        for (x, y) in serial.link_loads().iter().zip(parallel.link_loads()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in serial.link_hessians().iter().zip(parallel.link_hessians()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -19,8 +19,18 @@
 //! spawn/join, which is precisely the part the §6.1 tick-latency numbers
 //! must not pay.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// Locks the pool state, shrugging off poisoning: every mutation of
+/// `PoolState` happens with its invariants already restored (panic
+/// payloads are carried in `PoolState::panic`, never by unwinding while
+/// the lock is held), so a poisoned flag carries no information here —
+/// and must not wedge the pool after [`WorkerPool::run`] re-raised a
+/// worker panic the caller chose to catch.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, PoolState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A lifetime-erased pointer to the current scoped task. Soundness is
 /// provided by [`WorkerPool::run`], which does not return until every
@@ -135,7 +145,7 @@ impl WorkerPool {
             >(task as *const _)
         });
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_state(&self.shared);
             debug_assert!(st.task.is_none(), "pool is not reentrant");
             st.task = Some(erased);
             st.generation += 1;
@@ -144,10 +154,18 @@ impl WorkerPool {
             self.shared.work.notify_all();
         }
         let caller_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
+        // Always drain the generation — even when the caller's own slot
+        // panicked — so `task`/`remaining` are reset and no worker can
+        // still hold the borrowed task pointer once `run` unwinds. This
+        // is what keeps the pool usable after a re-raised panic.
         let worker_panic = {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_state(&self.shared);
             while st.remaining > 0 {
-                st = self.shared.done.wait(st).unwrap();
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             st.task = None;
             st.panic.take()
@@ -164,7 +182,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_state(&self.shared);
             st.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -178,7 +196,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
     let mut seen = 0u64;
     loop {
         let task = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_state(shared);
             loop {
                 if st.shutdown {
                     return;
@@ -189,14 +207,14 @@ fn worker_loop(shared: &Shared, slot: usize) {
                         break task;
                     }
                 }
-                st = shared.work.wait(st).unwrap();
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: `run` keeps the pointee alive until we decrement
         // `remaining` below.
         let f = unsafe { &*task.0 };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(slot)));
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_state(shared);
         if let Err(p) = outcome {
             st.panic.get_or_insert(p);
         }
@@ -270,6 +288,56 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_survives_a_caller_slot_panic() {
+        // Slot 0 runs inline on the calling thread; its panic is caught,
+        // the generation is drained (workers finish and `remaining`/
+        // `task` reset), and only then re-raised — so the pool stays
+        // usable with no poisoned-mutex wedge.
+        let mut pool = WorkerPool::new(3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|slot| {
+                if slot == 0 {
+                    panic!("caller boom");
+                }
+            });
+        }));
+        assert_eq!(
+            r.expect_err("panic must propagate").downcast_ref::<&str>(),
+            Some(&"caller boom")
+        );
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_survives_repeated_panics_across_generations() {
+        // Generation/`remaining`/`task` bookkeeping must reset on every
+        // panic path, not just the first: alternate panicking runs (from
+        // worker slots and the caller slot, including all slots at once)
+        // with clean runs and check each clean run executes every slot.
+        let mut pool = WorkerPool::new(4);
+        for round in 0..5 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(&|slot| {
+                    if round % 2 == 0 || slot == round % 4 {
+                        panic!("boom {round}");
+                    }
+                });
+            }));
+            assert!(r.is_err(), "round {round} should re-raise");
+            let count = AtomicUsize::new(0);
+            pool.run(&|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 4, "round {round}");
+        }
+        assert_eq!(pool.size(), 4);
     }
 
     #[test]

@@ -29,6 +29,24 @@ pub(crate) struct GridState {
     pub workers: Vec<WorkerCore>,
     /// flow id → (worker, slot within worker).
     pub index: HashMap<FlowId, (usize, usize)>,
+    /// Exogenous per-link load (other shards' flows), pre-split per
+    /// LinkBlock so the price update indexes it like `load`/`capacity`.
+    /// `None` (no exchange installed) takes the exact pre-exchange
+    /// arithmetic path.
+    pub bg: Option<BgLoads>,
+    /// Exogenous per-link Hessian diagonal (other shards' `Σ ∂x/∂p`),
+    /// same layout; folded into the price update's `H` so the Newton
+    /// step divides the global gradient by the global sensitivity.
+    pub bg_h: Option<BgLoads>,
+}
+
+/// Background (other-shard) per-link values in LinkBlock layout: one
+/// slice per block for the upward and downward LinkBlocks, offsets
+/// matching the capacity arrays (holds loads or Hessian diagonals).
+#[derive(Debug, Clone)]
+pub(crate) struct BgLoads {
+    pub up: Vec<Vec<f64>>,
+    pub down: Vec<Vec<f64>>,
 }
 
 /// One FlowBlock worker's private state.
@@ -73,6 +91,8 @@ impl GridState {
             server_block,
             workers,
             index: HashMap::new(),
+            bg: None,
+            bg_h: None,
         }
     }
 
@@ -153,6 +173,135 @@ impl GridState {
             rate: worker.rates[slot],
             normalized: worker.normalized[slot],
         })
+    }
+
+    /// Own per-link loads, global-link indexed: each flow's current raw
+    /// rate summed onto the links its path crosses. Background loads are
+    /// *not* included (see [`crate::RateAllocator::link_loads`]).
+    pub(crate) fn link_loads(&self) -> Vec<f64> {
+        let b = self.layout.blocks();
+        let mut out = vec![0.0; self.layout.total_links()];
+        for (w, worker) in self.workers.iter().enumerate() {
+            let up_links = self.layout.up_links(w / b);
+            let down_links = self.layout.down_links(w % b);
+            for (flow, &rate) in worker.flows.iter().zip(&worker.rates) {
+                for &o in flow.up_offsets() {
+                    out[up_links[o as usize].index()] += rate;
+                }
+                for &o in flow.down_offsets() {
+                    out[down_links[o as usize].index()] += rate;
+                }
+            }
+        }
+        out
+    }
+
+    /// Current per-link duals, global-link indexed, read from the
+    /// authoritative (root) LinkBlock copies. Links outside any
+    /// LinkBlock (control links) report 0.
+    pub(crate) fn link_prices(&self) -> Vec<f64> {
+        let b = self.layout.blocks();
+        let mut out = vec![0.0; self.layout.total_links()];
+        for blk in 0..b {
+            let up_view = &self.workers[up_root(blk, b)].view;
+            for (o, link) in self.layout.up_links(blk).iter().enumerate() {
+                out[link.index()] = up_view.up_prices[o];
+            }
+            let down_view = &self.workers[down_root(blk, b)].view;
+            for (o, link) in self.layout.down_links(blk).iter().enumerate() {
+                out[link.index()] = down_view.down_prices[o];
+            }
+        }
+        out
+    }
+
+    /// Overwrites per-link duals from a global-link-indexed vector; `NaN`
+    /// entries keep the current price. Every worker's LinkBlock copy is
+    /// rewritten (not only the roots'), so the next rate pass — which
+    /// reads the per-worker copies before any distribution step — already
+    /// prices flows with the consensus duals, identically in the serial
+    /// and multicore engines.
+    pub(crate) fn set_link_prices(&mut self, prices: &[f64]) {
+        if prices.is_empty() {
+            return;
+        }
+        assert_eq!(
+            prices.len(),
+            self.layout.total_links(),
+            "price vector must cover every fabric link"
+        );
+        let b = self.layout.blocks();
+        for (w, worker) in self.workers.iter_mut().enumerate() {
+            let up_links = self.layout.up_links(w / b);
+            let down_links = self.layout.down_links(w % b);
+            for (o, link) in up_links.iter().enumerate() {
+                let p = prices[link.index()];
+                if !p.is_nan() {
+                    worker.view.up_prices[o] = p;
+                }
+            }
+            for (o, link) in down_links.iter().enumerate() {
+                let p = prices[link.index()];
+                if !p.is_nan() {
+                    worker.view.down_prices[o] = p;
+                }
+            }
+        }
+    }
+
+    /// Re-splits a global-link-indexed vector into LinkBlock layout.
+    fn split_global(&self, values: &[f64]) -> BgLoads {
+        assert_eq!(
+            values.len(),
+            self.layout.total_links(),
+            "background vectors must cover every fabric link"
+        );
+        let b = self.layout.blocks();
+        let split = |links: &[flowtune_topo::LinkId]| -> Vec<f64> {
+            links.iter().map(|l| values[l.index()]).collect()
+        };
+        BgLoads {
+            up: (0..b).map(|blk| split(self.layout.up_links(blk))).collect(),
+            down: (0..b)
+                .map(|blk| split(self.layout.down_links(blk)))
+                .collect(),
+        }
+    }
+
+    /// Installs (or clears, for an empty slice) the exogenous per-link
+    /// load, re-split into LinkBlock layout for the price update.
+    pub(crate) fn set_background_loads(&mut self, loads: &[f64]) {
+        self.bg = (!loads.is_empty()).then(|| self.split_global(loads));
+    }
+
+    /// Own per-link Hessian diagonal, global-link indexed: `Σ ∂x/∂p`
+    /// over this engine's flows crossing each link. For the log-utility
+    /// hot path `∂x/∂p = −x/λ = −x²/w`, so it is reconstructed from the
+    /// stored rates and weights — the same values the engine's own rate
+    /// pass accumulates into `Accums::up_h`/`down_h`.
+    pub(crate) fn link_hessians(&self) -> Vec<f64> {
+        let b = self.layout.blocks();
+        let mut out = vec![0.0; self.layout.total_links()];
+        for (w, worker) in self.workers.iter().enumerate() {
+            let up_links = self.layout.up_links(w / b);
+            let down_links = self.layout.down_links(w % b);
+            for (flow, &rate) in worker.flows.iter().zip(&worker.rates) {
+                let dx = -(rate * rate) / flow.weight;
+                for &o in flow.up_offsets() {
+                    out[up_links[o as usize].index()] += dx;
+                }
+                for &o in flow.down_offsets() {
+                    out[down_links[o as usize].index()] += dx;
+                }
+            }
+        }
+        out
+    }
+
+    /// Installs (or clears, for an empty slice) the exogenous per-link
+    /// Hessian diagonal accompanying the background loads.
+    pub(crate) fn set_background_hessians(&mut self, hdiag: &[f64]) {
+        self.bg_h = (!hdiag.is_empty()).then(|| self.split_global(hdiag));
     }
 }
 
@@ -253,6 +402,8 @@ impl SerialAllocator {
             price_update(
                 load,
                 hdiag,
+                grid.bg.as_ref().map(|bg| bg.up[i].as_slice()),
+                grid.bg_h.as_ref().map(|bg| bg.up[i].as_slice()),
                 grid.layout.up_capacity(i),
                 grid.cfg.gamma,
                 &mut view.up_prices,
@@ -283,6 +434,8 @@ impl SerialAllocator {
             price_update(
                 load,
                 hdiag,
+                grid.bg.as_ref().map(|bg| bg.down[j].as_slice()),
+                grid.bg_h.as_ref().map(|bg| bg.down[j].as_slice()),
                 grid.layout.down_capacity(j),
                 grid.cfg.gamma,
                 &mut view.down_prices,
@@ -340,6 +493,41 @@ impl SerialAllocator {
         for _ in 0..n {
             self.iterate();
         }
+    }
+
+    /// Own per-link loads (see [`crate::RateAllocator::link_loads`]).
+    pub fn link_loads(&self) -> Vec<f64> {
+        self.grid.link_loads()
+    }
+
+    /// Installs an exogenous per-link load priced alongside this engine's
+    /// own flows (see [`crate::RateAllocator::set_background_loads`]).
+    pub fn set_background_loads(&mut self, loads: &[f64]) {
+        self.grid.set_background_loads(loads);
+    }
+
+    /// Current per-link duals (see [`crate::RateAllocator::link_prices`]).
+    pub fn link_prices(&self) -> Vec<f64> {
+        self.grid.link_prices()
+    }
+
+    /// Overwrites per-link duals; `NaN` entries keep the current price
+    /// (see [`crate::RateAllocator::set_link_prices`]).
+    pub fn set_link_prices(&mut self, prices: &[f64]) {
+        self.grid.set_link_prices(prices);
+    }
+
+    /// Own per-link Hessian diagonal (see
+    /// [`crate::RateAllocator::link_hessians`]).
+    pub fn link_hessians(&self) -> Vec<f64> {
+        self.grid.link_hessians()
+    }
+
+    /// Installs the exogenous per-link Hessian diagonal accompanying the
+    /// background loads (see
+    /// [`crate::RateAllocator::set_background_hessians`]).
+    pub fn set_background_hessians(&mut self, hdiag: &[f64]) {
+        self.grid.set_background_hessians(hdiag);
     }
 
     /// The current price of a (data-plane) link, if it belongs to a
@@ -491,6 +679,58 @@ mod tests {
                 "flow {i}: block engine {got} vs NED {want}"
             );
         }
+    }
+
+    #[test]
+    fn link_loads_sum_flow_rates_per_link() {
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(&f, cfg());
+        let p1 = f.path(0, 8, FlowId(1));
+        let p2 = f.path(0, 12, FlowId(2));
+        alloc.add_flow(FlowId(1), 0, 8, 1.0, &p1);
+        alloc.add_flow(FlowId(2), 0, 12, 1.0, &p2);
+        alloc.run_iterations(200);
+        let loads = alloc.link_loads();
+        // The shared server-0 uplink carries both flows' raw rates …
+        let shared = p1.links()[0];
+        assert_eq!(shared, p2.links()[0]);
+        assert!((loads[shared.index()] - 40.0).abs() < 1e-6, "{loads:?}");
+        // … each private final hop carries one.
+        let last1 = *p1.links().last().unwrap();
+        assert!((loads[last1.index()] - 20.0).abs() < 1e-6);
+        // Installing a background must NOT be echoed back by the export.
+        alloc.set_background_loads(&vec![7.0; loads.len()]);
+        let again = alloc.link_loads();
+        assert!((again[shared.index()] - 40.0).abs() < 1e-6, "no echo");
+    }
+
+    #[test]
+    fn background_load_shifts_the_shared_link_price() {
+        // Two own flows share server 0's 40 G uplink with 20 G of
+        // exogenous (other-shard) load: NED must converge them to equal
+        // shares of the remaining 20 G.
+        let f = fabric();
+        let mut alloc = SerialAllocator::new(&f, cfg());
+        let p1 = f.path(0, 8, FlowId(1));
+        let p2 = f.path(0, 12, FlowId(2));
+        alloc.add_flow(FlowId(1), 0, 8, 1.0, &p1);
+        alloc.add_flow(FlowId(2), 0, 12, 1.0, &p2);
+        let mut bg = vec![0.0; alloc.link_loads().len()];
+        bg[p1.links()[0].index()] = 20.0;
+        alloc.set_background_loads(&bg);
+        alloc.run_iterations(400);
+        let r1 = alloc.flow_rate(FlowId(1)).unwrap();
+        let r2 = alloc.flow_rate(FlowId(2)).unwrap();
+        assert!((r1.rate - 10.0).abs() < 1e-4, "{r1:?}");
+        assert!((r2.rate - 10.0).abs() < 1e-4, "{r2:?}");
+        // The uplink ratio sees the total (40/40 = 1), so F-NORM leaves
+        // the feasible rates alone.
+        assert!(r1.normalized + r2.normalized <= 20.0 * (1.0 + 1e-9));
+        // Clearing the background restores the whole link.
+        alloc.set_background_loads(&[]);
+        alloc.run_iterations(400);
+        let r1 = alloc.flow_rate(FlowId(1)).unwrap();
+        assert!((r1.rate - 20.0).abs() < 1e-4, "{r1:?}");
     }
 
     #[test]

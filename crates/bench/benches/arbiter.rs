@@ -79,11 +79,16 @@ fn bench_service_tick(c: &mut Criterion) {
 }
 
 /// Loads `flows` pseudo-random flowlets into a driver and converges it.
-fn loaded_driver(fabric: &TwoTierClos, engine: Engine, flows: usize) -> BoxTickDriver {
+fn loaded_driver(
+    fabric: &TwoTierClos,
+    engine: Engine,
+    cfg: FlowtuneConfig,
+    flows: usize,
+) -> BoxTickDriver {
     let servers = fabric.config().server_count();
     let mut svc = AllocatorService::builder()
         .fabric(fabric)
-        .config(FlowtuneConfig::default())
+        .config(cfg)
         .engine(engine)
         .build_driver()
         .expect("fabric is set");
@@ -114,9 +119,11 @@ fn loaded_driver(fabric: &TwoTierClos, engine: Engine, flows: usize) -> BoxTickD
 /// per engine so every engine's tick cost is tracked in one table. The
 /// multicore row is the §5 pool-backed engine — it must stay no worse
 /// than the old scoped-spawn-per-call numbers (the pool exists to remove
-/// spawn/join from this very path). The sharded row runs the real
+/// spawn/join from this very path). The sharded rows run the real
 /// `ShardedService` (2 shards over the fabric's 2 blocks) including its
-/// k-way update merge.
+/// k-way update merge; the `sharded2x1` row additionally pays a full
+/// link-state exchange (load export + dual consensus) every tick — the
+/// worst-case exchange overhead on the tick path.
 fn bench_service_tick_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_tick");
     group.sample_size(10);
@@ -124,14 +131,19 @@ fn bench_service_tick_engines(c: &mut Criterion) {
     // workers) and a 2-shard partition both map onto naturally.
     let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 16));
     let flows = 512usize;
-    for (label, engine) in [
-        ("serial", Engine::Serial),
-        ("multicore", Engine::Multicore { workers: 0 }),
-        ("fastpass", Engine::Fastpass),
-        ("gradient", Engine::Gradient),
-        ("sharded2", Engine::Serial.sharded(2)),
+    for (label, engine, exchange_every) in [
+        ("serial", Engine::Serial, 0),
+        ("multicore", Engine::Multicore { workers: 0 }, 0),
+        ("fastpass", Engine::Fastpass, 0),
+        ("gradient", Engine::Gradient, 0),
+        ("sharded2", Engine::Serial.sharded(2), 0),
+        ("sharded2x1", Engine::Serial.sharded(2), 1),
     ] {
-        let mut svc = loaded_driver(&fabric, engine, flows);
+        let cfg = FlowtuneConfig {
+            exchange_every,
+            ..FlowtuneConfig::default()
+        };
+        let mut svc = loaded_driver(&fabric, engine, cfg, flows);
         group.throughput(Throughput::Elements(flows as u64));
         group.bench_with_input(BenchmarkId::new(label, flows), &flows, |b, _| {
             b.iter(|| svc.tick())

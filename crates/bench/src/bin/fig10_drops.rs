@@ -24,6 +24,7 @@ fn main() {
             let r = run_cell(&CellSpec {
                 scheme,
                 engine: opts.engine.clone(),
+                flowtune: opts.config(),
                 workload: Workload::Web,
                 load,
                 servers,

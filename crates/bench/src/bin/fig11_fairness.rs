@@ -25,6 +25,7 @@ fn main() {
         let spec = |scheme| CellSpec {
             scheme,
             engine: opts.engine.clone(),
+            flowtune: opts.config(),
             workload: Workload::Web,
             load,
             servers,

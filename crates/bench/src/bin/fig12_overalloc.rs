@@ -1,56 +1,81 @@
 //! Figure 12: total over-capacity allocation without normalization,
-//! per optimizer, vs load.
+//! per engine, vs load — measured **through the service path**
+//! (`ServiceBuilder` → `AllocatorService` / `ShardedService`) rather than
+//! raw optimizers, so what is charged is exactly what the control plane
+//! would hand endpoints with F-NORM disabled.
 //!
 //! Paper result (I): "Normalization is important; without it, NED
 //! over-allocates links by up to 140 Gbits/s. NED over-allocates more
-//! than Gradient because it is more aggressive ... FGM does not handle
-//! the stream of updates well, and its allocations become unrealistic at
-//! even moderate loads."
+//! than Gradient because it is more aggressive." On top of the paper's
+//! comparison, the sharded rows quantify the cross-shard pricing gap this
+//! repo's link-state exchange closes: without the exchange each shard
+//! prices shared links for its own flows alone (persistent
+//! over-allocation on cross-shard hot links), with `--exchange-every K`
+//! the shards price true totals and the row drops back to the unsharded
+//! NED's transient-only over-allocation.
+//!
+//! Flags: `--engine` picks the base engine of the sharded rows' inner
+//! services, `--shards N` their shard count (default 2), and
+//! `--exchange-every K` the exchange cadence of the exchanging row
+//! (default 1).
 
-use flowtune_bench::num_churn::NumChurn;
-use flowtune_bench::Opts;
-use flowtune_num::{Fgm, Gradient, GradientRt, Ned, NedRt, Optimizer, SolverState};
+use flowtune::{Engine, FlowtuneConfig};
+use flowtune_bench::{overallocation_gbps, FluidDriver, Opts};
 use flowtune_workload::Workload;
 
 fn main() {
     let opts = Opts::parse();
-    let ticks = opts.scaled(20_000, 3_000) as usize; // 200 / 30 ms at 10 µs
-    let warmup = ticks / 5;
+    let warmup = opts.scaled(5_000_000_000, 1_000_000_000);
+    let window = opts.scaled(50_000_000_000, 5_000_000_000);
+    let servers = if opts.quick { 32 } else { 144 };
     let loads: &[f64] = if opts.quick {
         &[0.25, 0.5, 0.75]
     } else {
         &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
     };
-    println!("# Figure 12 — mean over-capacity allocation (Gbit/s) without normalization");
-    println!("algorithm,load,mean_overallocation_gbps,p99_overallocation_gbps");
-    type AlgoFactory = Box<dyn Fn() -> Box<dyn Optimizer>>;
-    let algos: Vec<(&str, AlgoFactory)> = vec![
-        ("NED", Box::new(|| Box::new(Ned::new(0.4)))),
-        ("NED-RT", Box::new(|| Box::new(NedRt::new(0.4)))),
-        // Gradient step sized for ~10 G capacities, per §6.6's reference
-        // implementations.
+    // The sharded rows shard the *base* engine; same row shape as
+    // fig13's sharded panel.
+    let (base, shards, cadence) = opts.sharded_comparison();
+    let rows: Vec<(String, Engine, u64)> = vec![
+        ("NED".into(), Engine::Serial, 0),
+        ("Gradient".into(), Engine::Gradient, 0),
         (
-            "Gradient",
-            Box::new(|| Box::new(Gradient::stable_for(10.0, 4.0, 1.0))),
+            format!("{}-sharded{shards}-noexchange", base.name()),
+            base.clone().sharded(shards),
+            0,
         ),
-        ("Gradient-RT", Box::new(|| Box::new(GradientRt::new(0.02)))),
-        ("FGM", Box::new(|| Box::new(Fgm::new()))),
+        (
+            format!("{}-sharded{shards}-x{cadence}", base.name()),
+            base.sharded(shards),
+            cadence,
+        ),
     ];
-    for (name, mk) in &algos {
+    println!(
+        "# Figure 12 — mean over-capacity allocation (Gbit/s) without normalization, service path"
+    );
+    println!("engine,load,mean_overallocation_gbps,p99_overallocation_gbps");
+    for (label, engine, exchange_every) in &rows {
         for &load in loads {
-            let mut churn = NumChurn::new(Workload::Web, load, opts.seed);
-            let mut opt = mk();
-            let mut state = SolverState::new(&churn.problem);
-            let mut samples = Vec::with_capacity(ticks - warmup);
-            for i in 0..ticks {
-                let t = churn.advance(opt.as_mut(), &mut state);
-                if i >= warmup {
-                    samples.push(t.overallocation_gbps);
-                }
-            }
-            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let cfg = FlowtuneConfig {
+                f_norm: false,
+                exchange_every: *exchange_every,
+                ..FlowtuneConfig::default()
+            };
+            let mut driver = FluidDriver::with_engine(
+                Workload::Web,
+                load,
+                servers,
+                cfg,
+                opts.seed,
+                engine.clone(),
+            );
+            let mut samples = Vec::new();
+            driver.run_sampled(warmup, window, &mut |drv| {
+                samples.push(overallocation_gbps(drv));
+            });
+            let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
             let p99 = flowtune_sim::metrics::percentile(&mut samples, 99.0).unwrap_or(0.0);
-            println!("{name},{load},{mean:.2},{p99:.2}");
+            println!("{label},{load},{mean:.2},{p99:.2}");
         }
     }
 }

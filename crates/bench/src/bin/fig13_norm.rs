@@ -7,10 +7,13 @@
 //! occasionally slightly exceed the optimal" (more throughput at slightly
 //! worse fairness — never above link capacity).
 
+use flowtune::{AllocatorService, TickDriver};
 use flowtune_bench::num_churn::NumChurn;
 use flowtune_bench::Opts;
 use flowtune_num::normalize::{f_norm, total_throughput, u_norm};
 use flowtune_num::{solve, Gradient, Ned, Optimizer, SolverState};
+use flowtune_proto::{Message, Token};
+use flowtune_topo::{ClosConfig, TwoTierClos};
 use flowtune_workload::Workload;
 
 fn main() {
@@ -69,5 +72,99 @@ fn main() {
                 );
             }
         }
+    }
+    sharded_incast_panel(&opts);
+}
+
+/// Companion panel, through the service path: on a cross-shard incast,
+/// per-shard F-NORM alone keeps each *shard* feasible but not the sum —
+/// the "papers-over" failure mode the inter-shard link-state exchange
+/// (`--shards N --exchange-every K`) removes. Reports F-NORMed throughput
+/// as a fraction of the unsharded service's, and the worst link
+/// over-subscription of the endpoint-visible rates.
+fn sharded_incast_panel(opts: &Opts) {
+    // `--engine` picks the (inner) engine of every row; `--shards N`
+    // the partition width of the sharded rows. Same row shape as fig12.
+    let (base, shards, cadence) = opts.sharded_comparison();
+    // Two blocks of 2 racks × 8 servers; sources spread over both blocks,
+    // one receiver: the downlink is a cross-shard bottleneck.
+    let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 8));
+    let servers = fabric.config().server_count() as u16;
+    let receiver = servers - 1;
+    let sources: Vec<u16> = (0..servers - 1).step_by(2).collect();
+    let drive = |svc: &mut dyn TickDriver| -> (f64, f64) {
+        for (i, &src) in sources.iter().enumerate() {
+            let spine = fabric.ecmp_spine(
+                src as usize,
+                receiver as usize,
+                flowtune_topo::FlowId(i as u64),
+            );
+            svc.on_message(Message::FlowletStart {
+                token: Token::new(i as u32 + 1),
+                src,
+                dst: receiver,
+                size_hint: 1_000_000,
+                weight_q8: 256,
+                spine: spine as u8,
+            })
+            .expect("unique tokens");
+        }
+        for _ in 0..600 {
+            svc.tick();
+        }
+        let mut loads = vec![0.0; fabric.topology().link_count()];
+        let mut throughput = 0.0;
+        for (i, &src) in sources.iter().enumerate() {
+            let rate = svc.flow_rate_gbps(Token::new(i as u32 + 1)).unwrap();
+            throughput += rate;
+            let spine = fabric.ecmp_spine(
+                src as usize,
+                receiver as usize,
+                flowtune_topo::FlowId(i as u64),
+            );
+            for link in fabric
+                .path_via_spine(src as usize, receiver as usize, spine)
+                .iter()
+            {
+                loads[link.index()] += rate;
+            }
+        }
+        let over = fabric
+            .topology()
+            .links()
+            .iter()
+            .zip(&loads)
+            .map(|(link, &load)| load / (link.capacity_bps as f64 / 1e9) - 1.0)
+            .fold(0.0f64, f64::max);
+        (throughput, over)
+    };
+    let mut unsharded = AllocatorService::builder()
+        .fabric(&fabric)
+        .config(opts.config())
+        .engine(base.clone())
+        .build_driver()
+        .expect("fabric is set and the engine is unsharded");
+    let (optimal, _) = drive(unsharded.as_mut());
+    println!("# Figure 13 panel — cross-shard incast via the service path (F-NORM on)");
+    println!("configuration,throughput_fraction_of_unsharded,worst_link_oversubscription");
+    for (label, exchange_every) in [
+        (format!("{}-sharded{shards}-noexchange", base.name()), 0),
+        (
+            format!("{}-sharded{shards}-x{cadence}", base.name()),
+            cadence,
+        ),
+    ] {
+        let cfg = flowtune::FlowtuneConfig {
+            exchange_every,
+            ..opts.config()
+        };
+        let mut svc = AllocatorService::builder()
+            .fabric(&fabric)
+            .config(cfg)
+            .engine(base.clone().sharded(shards))
+            .build_driver()
+            .expect("fabric is set and shards do not nest");
+        let (throughput, over) = drive(svc.as_mut());
+        println!("{label},{:.4},{:.4}", throughput / optimal, over.max(0.0));
     }
 }

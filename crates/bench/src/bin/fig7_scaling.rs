@@ -4,7 +4,6 @@
 //! servers, update traffic takes the same fraction of network capacity —
 //! there is no debilitating cascading of updates".
 
-use flowtune::FlowtuneConfig;
 use flowtune_bench::{FluidDriver, Opts};
 use flowtune_workload::Workload;
 
@@ -21,11 +20,13 @@ fn main() {
     println!("servers,load,from_alloc_fraction");
     for &servers in sizes {
         for load in [0.4, 0.6, 0.8] {
+            // `opts.config()` carries `--exchange-every` into sharded
+            // runs, so this figure also covers exchange-enabled scaling.
             let mut d = FluidDriver::with_engine(
                 Workload::Web,
                 load,
                 servers,
-                FlowtuneConfig::default(),
+                opts.config(),
                 opts.seed,
                 opts.engine.clone(),
             );

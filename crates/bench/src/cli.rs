@@ -1,6 +1,6 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
-use flowtune::Engine;
+use flowtune::{Engine, FlowtuneConfig};
 
 /// Common experiment options.
 #[derive(Debug, Clone)]
@@ -13,6 +13,10 @@ pub struct Opts {
     /// (`--engine serial|multicore|fastpass|gradient`, optionally wrapped
     /// in `Engine::Sharded` by `--shards N`).
     pub engine: Engine,
+    /// Inter-shard link-state exchange cadence in ticks
+    /// (`--exchange-every K`; 0 — the default — disables the exchange).
+    /// Only affects sharded runs (`--shards ≥ 2`).
+    pub exchange_every: u64,
 }
 
 impl Default for Opts {
@@ -21,6 +25,7 @@ impl Default for Opts {
             quick: true,
             seed: 42,
             engine: Engine::Serial,
+            exchange_every: 0,
         }
     }
 }
@@ -28,9 +33,10 @@ impl Default for Opts {
 impl Opts {
     /// Parses `--quick`, `--full`, `--seed N`,
     /// `--engine serial|multicore|fastpass|gradient`, `--workers N`
-    /// (multicore thread cap; 0 = size to the host) and `--shards N`
-    /// (shard the service N ways over the chosen engine) from
-    /// `std::env::args`.
+    /// (multicore thread cap; 0 = size to the host), `--shards N`
+    /// (shard the service N ways over the chosen engine) and
+    /// `--exchange-every K` (inter-shard link-state exchange cadence in
+    /// ticks; 0 disables) from `std::env::args`.
     ///
     /// # Panics
     /// Panics with a usage message on unknown flags or engine names (the
@@ -65,8 +71,13 @@ impl Opts {
                     let v = it.next().expect("--shards needs a value");
                     shards = Some(v.parse().expect("--shards needs an integer"));
                 }
+                "--exchange-every" => {
+                    let v = it.next().expect("--exchange-every needs a value");
+                    opts.exchange_every =
+                        v.parse().expect("--exchange-every needs an integer");
+                }
                 other => panic!(
-                    "unknown flag {other}; use --quick|--full|--seed N|--engine E|--workers N|--shards N"
+                    "unknown flag {other}; use --quick|--full|--seed N|--engine E|--workers N|--shards N|--exchange-every K"
                 ),
             }
         }
@@ -90,6 +101,30 @@ impl Opts {
         } else {
             full
         }
+    }
+
+    /// The control-plane configuration these options describe: paper
+    /// defaults with the `--exchange-every` cadence applied.
+    pub fn config(&self) -> FlowtuneConfig {
+        FlowtuneConfig {
+            exchange_every: self.exchange_every,
+            ..FlowtuneConfig::default()
+        }
+    }
+
+    /// The shape shared by the figures' sharded comparison rows: the
+    /// base (inner) engine — `--engine`, unwrapped if the caller already
+    /// passed `--shards` — the shard count (`--shards`, default 2), and
+    /// the exchange cadence of the exchanging row (`--exchange-every`,
+    /// floored at 1 so that row always exchanges). Keeping fig12 and
+    /// fig13 on this one helper keeps their row labels and defaults
+    /// comparable.
+    pub fn sharded_comparison(&self) -> (Engine, usize, u64) {
+        let (base, shards) = match self.engine.clone() {
+            Engine::Sharded { shards, inner } => (*inner, shards),
+            engine => (engine, 2),
+        };
+        (base, shards, self.exchange_every.max(1))
     }
 }
 
@@ -150,6 +185,17 @@ mod tests {
             Engine::Multicore { workers: 3 }.sharded(2)
         );
         assert_eq!(parse(&["--shards", "1"]).engine, Engine::Serial.sharded(1));
+    }
+
+    #[test]
+    fn exchange_every_reaches_the_config() {
+        let o = parse(&["--shards", "2", "--exchange-every", "4"]);
+        assert_eq!(o.exchange_every, 4);
+        assert_eq!(o.config().exchange_every, 4);
+        // Default is off, and everything else keeps the paper values.
+        let d = parse(&[]);
+        assert_eq!(d.exchange_every, 0);
+        assert_eq!(d.config(), flowtune::FlowtuneConfig::default());
     }
 
     #[test]

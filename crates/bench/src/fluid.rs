@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig};
+use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, TickDriver};
 use flowtune_proto::{codec, wire, Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
 use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
@@ -136,6 +136,18 @@ impl FluidDriver {
     /// accounting. A `warmup_ps` prefix is simulated but not accounted so
     /// steady-state concurrency is measured.
     pub fn run(&mut self, warmup_ps: u64, duration_ps: u64) -> FluidStats {
+        self.run_sampled(warmup_ps, duration_ps, &mut |_| {})
+    }
+
+    /// [`FluidDriver::run`] with a per-tick observer: after every
+    /// in-window allocator tick, `sample` sees the driver's control plane
+    /// (for link-load / over-allocation telemetry, as in Figure 12).
+    pub fn run_sampled(
+        &mut self,
+        warmup_ps: u64,
+        duration_ps: u64,
+        sample: &mut dyn FnMut(&dyn TickDriver),
+    ) -> FluidStats {
         let tick = self.cfg.tick_interval_ps;
         let end = warmup_ps + duration_ps;
         let mut pending = self.trace.next_event();
@@ -183,6 +195,7 @@ impl FluidDriver {
                     self.stats.wire_from_alloc += wire::segment_wire_bytes(len) as u64;
                     self.stats.updates_sent += 1;
                 }
+                sample(&*self.service);
             }
 
             // Fluid drain at allocated rates.
@@ -223,6 +236,25 @@ impl FluidDriver {
     pub fn active(&self) -> usize {
         self.remaining.len()
     }
+}
+
+/// Total over-capacity allocation of a control plane's current *raw*
+/// rates, `Σ_ℓ max(0, load_ℓ − c_ℓ)` in Gbit/s — Figure 12's quantity,
+/// measured through the service path via
+/// [`TickDriver::link_loads`]. Engines that do not price fabric links
+/// (Fastpass) report 0.
+pub fn overallocation_gbps(drv: &dyn TickDriver) -> f64 {
+    let loads = drv.link_loads();
+    if loads.is_empty() {
+        return 0.0;
+    }
+    drv.fabric()
+        .topology()
+        .links()
+        .iter()
+        .zip(&loads)
+        .map(|(link, &load)| (load - link.capacity_bps as f64 / 1e9).max(0.0))
+        .sum()
 }
 
 /// Encodes a message batch and returns its total payload length —

@@ -1,6 +1,7 @@
 //! Packet-simulation harness for the data-plane figures (4, 8, 9, 10,
 //! 11): one "cell" = one (scheme, workload, load) simulation.
 
+use flowtune::FlowtuneConfig;
 use flowtune_sim::{Engine, Scheme, SimConfig, Simulation, MS};
 use flowtune_topo::ClosConfig;
 use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
@@ -12,6 +13,10 @@ pub struct CellSpec {
     pub scheme: Scheme,
     /// Allocation engine for Flowtune cells (ignored by other schemes).
     pub engine: Engine,
+    /// Flowtune control-plane settings (ignored by other schemes) —
+    /// carries `--exchange-every` into sharded cells via
+    /// [`Opts::config`](crate::Opts::config).
+    pub flowtune: FlowtuneConfig,
     /// Flow-size distribution.
     pub workload: Workload,
     /// Average server load.
@@ -71,6 +76,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
     let mut cfg = SimConfig::paper(spec.scheme);
     cfg.clos = clos;
     cfg.engine = spec.engine.clone();
+    cfg.flowtune = spec.flowtune;
     // Sample queues fast enough to see short runs.
     cfg.sample_interval_ps = (spec.horizon_ps / 200).clamp(100_000_000, MS);
     let mut sim = Simulation::new(cfg);
@@ -121,6 +127,7 @@ mod tests {
             let r = run_cell(&CellSpec {
                 scheme,
                 engine: Engine::Serial,
+                flowtune: FlowtuneConfig::default(),
                 workload: Workload::Web,
                 load: 0.4,
                 servers: 32,

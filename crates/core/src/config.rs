@@ -23,6 +23,15 @@ pub struct FlowtuneConfig {
     /// Whether the allocator F-NORMs rates before sending them (§4.2; on
     /// in every end-to-end experiment).
     pub f_norm: bool,
+    /// Sharded control plane only: every `exchange_every` ticks the
+    /// shards exchange per-link loads so each prices shared links for the
+    /// whole network's traffic (the §5 aggregation step, one level up).
+    /// `0` disables the exchange (each shard prices links for its own
+    /// flows alone — exact only while no link carries two shards' flows);
+    /// `1` exchanges every tick (tightest pricing, most exchange
+    /// traffic); larger values trade staleness for exchange bandwidth.
+    /// Ignored by unsharded services.
+    pub exchange_every: u64,
 }
 
 impl Default for FlowtuneConfig {
@@ -35,6 +44,7 @@ impl Default for FlowtuneConfig {
             flowlet_idle_ps: 30_000_000, // 30 µs
             default_weight: 1.0,
             f_norm: true,
+            exchange_every: 0,
         }
     }
 }
@@ -58,5 +68,8 @@ mod tests {
         assert_eq!(c.tick_interval_ps, 10_000_000);
         assert_eq!(c.update_threshold, 0.01);
         assert!((c.capacity_fraction() - 0.99).abs() < 1e-12);
+        // Exchange is opt-in: the default preserves the independent-shard
+        // behavior sharded deployments had before the exchange existed.
+        assert_eq!(c.exchange_every, 0);
     }
 }

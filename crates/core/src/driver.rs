@@ -45,6 +45,13 @@ pub trait TickDriver: std::fmt::Debug + Send {
     /// Operating counters (aggregated over shards, where applicable).
     fn stats(&self) -> ServiceStats;
 
+    /// Per-link loads of the control plane's current raw allocation,
+    /// indexed by global [`LinkId`](flowtune_topo::LinkId) (summed over
+    /// shards, where applicable). Empty when the engine does not price
+    /// fabric links (Fastpass). Powers the over-allocation telemetry of
+    /// the Figure-12 experiment and capacity assertions in tests.
+    fn link_loads(&self) -> Vec<f64>;
+
     /// The fabric this control plane serves.
     fn fabric(&self) -> &TwoTierClos;
 
@@ -75,6 +82,10 @@ impl<E: RateAllocator> TickDriver for AllocatorService<E> {
 
     fn stats(&self) -> ServiceStats {
         AllocatorService::stats(self)
+    }
+
+    fn link_loads(&self) -> Vec<f64> {
+        AllocatorService::link_loads(self)
     }
 
     fn fabric(&self) -> &TwoTierClos {

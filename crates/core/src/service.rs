@@ -70,6 +70,16 @@ pub struct ServiceStats {
     /// Messages rejected as corrupt or inconsistent (duplicate live
     /// tokens, rate updates addressed to the allocator).
     pub rejected: u64,
+    /// Inter-shard link-state exchange rounds executed. Always 0 for an
+    /// unsharded service and for sharded services with the exchange
+    /// disabled ([`crate::FlowtuneConfig::exchange_every`] = 0).
+    pub exchange_rounds: u64,
+    /// Bytes of link state shipped between shards by those rounds. Each
+    /// round, every exporting shard sends its load, Hessian-diagonal
+    /// (second-order engines only) and dual (price) vectors and receives
+    /// the background and consensus counterparts — up to six vectors of
+    /// 8 bytes per link.
+    pub exchange_bytes: u64,
 }
 
 /// Why the allocator refused a control message or a build request.
@@ -280,6 +290,15 @@ impl ServiceBuilder {
     /// Enables or disables F-NORM.
     pub fn f_norm(mut self, on: bool) -> Self {
         self.cfg.f_norm = on;
+        self
+    }
+
+    /// Sets the inter-shard link-state exchange cadence in ticks
+    /// ([`crate::FlowtuneConfig::exchange_every`]; 0 disables). Only
+    /// meaningful with [`Engine::Sharded`] via
+    /// [`ServiceBuilder::build_driver`].
+    pub fn exchange_every(mut self, ticks: u64) -> Self {
+        self.cfg.exchange_every = ticks;
         self
     }
 
@@ -542,6 +561,52 @@ impl<E: RateAllocator> AllocatorService<E> {
     /// The fabric this allocator serves.
     pub fn fabric(&self) -> &TwoTierClos {
         &self.fabric
+    }
+
+    /// The configuration this service runs under.
+    pub fn config(&self) -> FlowtuneConfig {
+        self.cfg
+    }
+
+    /// The engine's own per-link loads (raw rates summed per global link;
+    /// see [`RateAllocator::link_loads`]). Empty for engines that do not
+    /// price fabric links.
+    pub fn link_loads(&self) -> Vec<f64> {
+        self.engine.link_loads()
+    }
+
+    /// Installs an exogenous per-link load the engine prices alongside
+    /// its own flows (see [`RateAllocator::set_background_loads`]) — the
+    /// import half of the sharded control plane's link-state exchange.
+    pub fn set_background_loads(&mut self, loads: &[f64]) {
+        self.engine.set_background_loads(loads);
+    }
+
+    /// The engine's own per-link Hessian diagonal (see
+    /// [`RateAllocator::link_hessians`]). Empty for engines without a
+    /// second-order price term.
+    pub fn link_hessians(&self) -> Vec<f64> {
+        self.engine.link_hessians()
+    }
+
+    /// Installs the exogenous per-link Hessian diagonal accompanying the
+    /// background loads (see [`RateAllocator::set_background_hessians`]).
+    pub fn set_background_hessians(&mut self, hdiag: &[f64]) {
+        self.engine.set_background_hessians(hdiag);
+    }
+
+    /// The engine's current per-link duals (see
+    /// [`RateAllocator::link_prices`]). Empty for engines that do not
+    /// price fabric links.
+    pub fn link_prices(&self) -> Vec<f64> {
+        self.engine.link_prices()
+    }
+
+    /// Overwrites the engine's per-link duals with consensus values;
+    /// `NaN` entries keep the current price (see
+    /// [`RateAllocator::set_link_prices`]).
+    pub fn set_link_prices(&mut self, prices: &[f64]) {
+        self.engine.set_link_prices(prices);
     }
 
     /// The engine's short name (`serial` / `multicore` / `fastpass` /

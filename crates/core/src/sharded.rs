@@ -20,17 +20,62 @@
 //! stream, and [`ShardedService::stats`] aggregates the per-shard
 //! counters.
 //!
-//! Sharding is exact (bit-for-bit) for workloads whose links each carry a
-//! single shard's flows — in particular any workload at one shard, and
-//! cross-block workloads that don't converge on one receiver. When shards
-//! *do* contend for a link (e.g. a many-to-one incast from several
-//! blocks), each shard prices the link for its own flows only, so the
-//! merged allocation can over-subscribe that link — the same transient
-//! F-NORM already guards against inside one service. Choosing partitions
-//! that keep hot links single-shard is the §7 deployment question, not
-//! this type's.
+//! # Cross-shard link-state exchange
+//!
+//! Partitioning alone is exact (bit-for-bit) only for workloads whose
+//! links each carry a single shard's flows. When shards *do* contend for
+//! a link (e.g. a many-to-one incast from several blocks), each shard in
+//! isolation would price the link for its own flows alone, and the merged
+//! allocation could over-subscribe it by up to a factor of the shard
+//! count — per-shard F-NORM bounds each shard's own contribution but not
+//! the sum.
+//!
+//! The fix is the paper's §5 aggregation step, one level up: a periodic
+//! **link-state exchange**. Every
+//! [`FlowtuneConfig::exchange_every`](crate::FlowtuneConfig) ticks, each
+//! shard exports its per-link loads and Hessian diagonals (the `(G, H)`
+//! pair its own price update uses) and its per-link duals, and the
+//! routing layer runs three consensus parts:
+//!
+//! * **load aggregation** — each shard imports the *other* shards' load
+//!   sum as exogenous background load
+//!   ([`flowtune_alloc::RateAllocator::set_background_loads`]), so its
+//!   NED price gradient and F-NORM ratios see the true total utilization
+//!   of shared links;
+//! * **Hessian aggregation** — likewise for `Σ ∂x/∂p`
+//!   ([`flowtune_alloc::RateAllocator::set_background_hessians`]), so
+//!   the Newton step divides the global gradient by the *global*
+//!   sensitivity; a shard using only its own diagonal takes steps
+//!   multiplied by the shard count, which leaves NED's stable γ range;
+//! * **dual consensus** — each loaded link's price is set to the
+//!   load-weighted mean of the shards' duals
+//!   ([`flowtune_alloc::RateAllocator::set_link_prices`]). Background
+//!   terms alone pin only a shared link's *total* (any per-shard price
+//!   split whose demands sum to capacity is stationary); agreeing on the
+//!   dual makes the unsharded optimum the unique fixed point — §5's
+//!   single authoritative LinkBlock owner, one level up.
+//!
+//! With the exchange running, a cross-shard incast converges to the same
+//! per-flow rates as an unsharded service and no link stays
+//! over-subscribed at steady state.
+//!
+//! The cadence is a staleness/bandwidth trade-off: between exchanges a
+//! shard prices other shards' traffic at its last exported value, so
+//! `exchange_every = 1` tracks cross-shard churn within a tick (at up to
+//! `6 × 8 bytes × links` per exporting shard per round — counted in
+//! [`ServiceStats::exchange_rounds`]/[`ServiceStats::exchange_bytes`]),
+//! while larger cadences cut that traffic proportionally and lengthen the
+//! window in which cross-shard churn is priced stale (F-NORM still bounds
+//! the transient, now with a correct total on previously-seen load).
+//! `exchange_every = 0` (the default) disables the exchange and preserves
+//! the independent-shard behavior exactly; engines that do not price
+//! fabric links (Fastpass) export nothing and the exchange degrades to a
+//! no-op over them. With a single shard there is nothing to exchange and
+//! the path is never taken, keeping one-shard deployments bit-for-bit
+//! equal to the unsharded service.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use flowtune_alloc::{RateAllocator, SerialAllocator};
 use flowtune_proto::{Message, Token};
@@ -49,10 +94,28 @@ pub struct ShardedService<E: RateAllocator = SerialAllocator> {
     route: HashMap<Token, u32>,
     servers: usize,
     /// Counters for messages the routing layer disposed of itself
-    /// (duplicates, unknown ends, stray rate updates) — folded into
-    /// [`ShardedService::stats`] so the aggregate matches an unsharded
-    /// service byte for byte.
+    /// (duplicates, unknown ends, stray rate updates) and for the
+    /// link-state exchange — folded into [`ShardedService::stats`] so the
+    /// aggregate matches an unsharded service byte for byte (the exchange
+    /// counters are zero whenever the exchange is off).
     local: ServiceStats,
+    /// Exchange cadence in ticks, copied from the shards' shared
+    /// configuration (0 = disabled).
+    exchange_every: u64,
+    /// Ticks driven so far (the exchange fires when `ticks` is a
+    /// multiple of the cadence).
+    ticks: u64,
+    /// The current round's per-shard load exports (the outer vec is
+    /// reused; the inner vectors are fresh allocations from
+    /// [`AllocatorService::link_loads`] each round).
+    exports: Vec<Vec<f64>>,
+    /// Scratch, reused across rounds: the background (then consensus)
+    /// vector assembled for the shards.
+    bg: Vec<f64>,
+    /// Scratch, reused across rounds: consensus weights (Σ loads).
+    weight: Vec<f64>,
+    /// Scratch, reused across rounds: consensus numerator (Σ load·price).
+    num: Vec<f64>,
 }
 
 impl ShardedService {
@@ -90,12 +153,32 @@ impl<E: RateAllocator> ShardedService<E> {
                 .all(|s| s.fabric().config() == shards[0].fabric().config()),
             "all shards must serve the same fabric"
         );
+        let exchange_every = shards[0].config().exchange_every;
+        assert!(
+            shards
+                .iter()
+                .all(|s| s.config().exchange_every == exchange_every),
+            "all shards must agree on the exchange cadence"
+        );
+        let n = shards.len();
         Self {
             shards,
             route: HashMap::new(),
             servers,
             local: ServiceStats::default(),
+            exchange_every,
+            ticks: 0,
+            exports: vec![Vec::new(); n],
+            bg: Vec::new(),
+            weight: Vec::new(),
+            num: Vec::new(),
         }
+    }
+
+    /// The inter-shard link-state exchange cadence in ticks (0 =
+    /// disabled).
+    pub fn exchange_every(&self) -> u64 {
+        self.exchange_every
     }
 
     /// Number of shards.
@@ -166,11 +249,129 @@ impl<E: RateAllocator> ShardedService<E> {
     /// One tick of every shard, with the per-shard update streams merged
     /// into a single token-ordered stream (each shard's stream is already
     /// token-ordered, and token sets are disjoint, so a k-way merge
-    /// reproduces exactly the order an unsharded service emits).
+    /// reproduces exactly the order an unsharded service emits). When the
+    /// exchange cadence is due (see the module docs), the shards'
+    /// post-tick link loads are exchanged so the *next* tick's pricing
+    /// sees the freshest cross-shard state.
     pub fn tick(&mut self) -> Vec<(u16, Message)> {
         let streams: Vec<Vec<(u16, Message)>> =
             self.shards.iter_mut().map(AllocatorService::tick).collect();
+        self.ticks += 1;
+        if self.exchange_every > 0
+            && self.shards.len() > 1
+            && self.ticks.is_multiple_of(self.exchange_every)
+        {
+            self.exchange_link_state();
+        }
         merge_by_token(streams)
+    }
+
+    /// One round of the inter-shard link-state exchange, in three parts
+    /// (the §5 aggregation's `(load, H)` pairs plus its
+    /// owner-distributes-the-price step, one level up):
+    ///
+    /// 1. **Load aggregation** — every shard exports its own per-link
+    ///    loads and imports the element-wise sum of the *other* shards'
+    ///    exports as exogenous background load, so each shard's price
+    ///    gradient and F-NORM ratios see every link's true total.
+    /// 2. **Hessian aggregation** — likewise for the per-link Hessian
+    ///    diagonal, so each shard's Newton step divides the global
+    ///    gradient by the *global* sensitivity. Without this a shard's
+    ///    effective step is multiplied by the shard count (its own
+    ///    diagonal under-counts `|H|` by the other shards' flows), which
+    ///    pushes NED's effective γ out of its stable range from about
+    ///    four shards — observed as severe under-allocation.
+    /// 3. **Dual consensus** — every shard exports its per-link prices;
+    ///    the load-weighted mean becomes each loaded link's consensus
+    ///    price, installed into every shard. Background terms alone pin
+    ///    only a shared link's *total* (any per-shard price split whose
+    ///    demands sum to capacity would be stationary); agreeing on the
+    ///    dual makes the unsharded optimum the unique fixed point. Links
+    ///    no shard loads keep their per-shard prices (`NaN` in the
+    ///    consensus vector) and decay as usual.
+    ///
+    /// Shards whose engine exports nothing (Fastpass) contribute zero
+    /// weight and their imports are documented no-ops; engines with no
+    /// second-order term (gradient projection) skip part 2 only.
+    fn exchange_link_state(&mut self) {
+        for (shard, export) in self.shards.iter().zip(self.exports.iter_mut()) {
+            *export = shard.link_loads();
+        }
+        let n_links = self
+            .exports
+            .iter()
+            .map(Vec::len)
+            .max()
+            .expect("at least one shard");
+        if n_links == 0 {
+            // No shard prices fabric links; nothing to exchange.
+            return;
+        }
+        let mut vectors = 0u64; // 8-bytes-per-link vectors shipped
+        for i in 0..self.shards.len() {
+            sum_exports_into(&self.exports, Some(i), n_links, &mut self.bg);
+            self.shards[i].set_background_loads(&self.bg);
+        }
+        // Hessian aggregation (engines without a second-order term
+        // export nothing and receive nothing).
+        let h_exports: Vec<Vec<f64>> = self.shards.iter().map(|s| s.link_hessians()).collect();
+        if h_exports.iter().any(|h| !h.is_empty()) {
+            for i in 0..self.shards.len() {
+                if h_exports[i].is_empty() {
+                    continue;
+                }
+                sum_exports_into(&h_exports, Some(i), n_links, &mut self.bg);
+                self.shards[i].set_background_hessians(&self.bg);
+                vectors += 2; // own H out, others' sum back in
+            }
+        }
+        // Dual consensus: load-weighted mean price per loaded link.
+        self.bg.clear();
+        self.bg.resize(n_links, f64::NAN);
+        self.weight.clear();
+        self.weight.resize(n_links, 0.0);
+        self.num.clear();
+        self.num.resize(n_links, 0.0);
+        for (shard, export) in self.shards.iter().zip(&self.exports) {
+            if export.is_empty() {
+                continue;
+            }
+            let prices = shard.link_prices();
+            for l in 0..n_links {
+                if export[l] > 0.0 {
+                    self.num[l] += export[l] * prices[l];
+                    self.weight[l] += export[l];
+                }
+            }
+        }
+        for l in 0..n_links {
+            if self.weight[l] > 0.0 {
+                self.bg[l] = self.num[l] / self.weight[l];
+            }
+        }
+        for (shard, export) in self.shards.iter_mut().zip(&self.exports) {
+            if !export.is_empty() {
+                shard.set_link_prices(&self.bg);
+                // Loads + prices out, background + consensus back.
+                vectors += 4;
+            }
+        }
+        self.local.exchange_rounds += 1;
+        self.local.exchange_bytes += 8 * n_links as u64 * vectors;
+    }
+
+    /// Per-link loads of the whole control plane's raw allocation: the
+    /// element-wise sum of the shards' own loads (empty if no shard
+    /// prices fabric links).
+    pub fn link_loads(&self) -> Vec<f64> {
+        let exports: Vec<Vec<f64>> = self.shards.iter().map(|s| s.link_loads()).collect();
+        let n_links = exports.iter().map(Vec::len).max().unwrap_or(0);
+        if n_links == 0 {
+            return Vec::new();
+        }
+        let mut total = Vec::new();
+        sum_exports_into(&exports, None, n_links, &mut total);
+        total
     }
 
     /// Current normalized rate of an active flowlet, Gbit/s.
@@ -200,6 +401,8 @@ impl<E: RateAllocator> ShardedService<E> {
                 bytes_out,
                 iterations,
                 rejected,
+                exchange_rounds,
+                exchange_bytes,
             } = s.stats();
             total.starts += starts;
             total.ends += ends;
@@ -209,6 +412,11 @@ impl<E: RateAllocator> ShardedService<E> {
             total.bytes_out += bytes_out;
             total.iterations += iterations;
             total.rejected += rejected;
+            // Inner services never run exchanges themselves (the rounds
+            // are driven — and counted — by this routing layer), but
+            // aggregate anyway so the destructuring stays exhaustive.
+            total.exchange_rounds += exchange_rounds;
+            total.exchange_bytes += exchange_bytes;
         }
         total
     }
@@ -245,12 +453,35 @@ impl<E: RateAllocator> TickDriver for ShardedService<E> {
         ShardedService::stats(self)
     }
 
+    fn link_loads(&self) -> Vec<f64> {
+        ShardedService::link_loads(self)
+    }
+
     fn fabric(&self) -> &TwoTierClos {
         ShardedService::fabric(self)
     }
 
     fn engine_name(&self) -> &'static str {
         "sharded"
+    }
+}
+
+/// Element-wise sum of per-shard export vectors into `out` (cleared and
+/// sized to `n_links`), skipping shard `skip` (the importer, for
+/// sum-of-others semantics) and shards with empty exports. Every
+/// non-empty export must have exactly `n_links` entries — the engines
+/// all size their vectors to the fabric's link count.
+fn sum_exports_into(exports: &[Vec<f64>], skip: Option<usize>, n_links: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(n_links, 0.0);
+    for (j, export) in exports.iter().enumerate() {
+        if Some(j) == skip || export.is_empty() {
+            continue;
+        }
+        debug_assert_eq!(export.len(), n_links, "short export from shard {j}");
+        for (acc, x) in out.iter_mut().zip(export) {
+            *acc += x;
+        }
     }
 }
 
@@ -262,26 +493,34 @@ fn update_token(msg: &Message) -> Token {
     }
 }
 
-/// K-way merge of token-ordered update streams.
-fn merge_by_token(streams: Vec<Vec<(u16, Message)>>) -> Vec<(u16, Message)> {
+/// K-way merge of token-ordered update streams via a min-heap of stream
+/// heads: `O(total · log k)` where the previous implementation re-scanned
+/// every stream head per emitted element (`O(total · k)` — quadratic in
+/// the per-tick update volume once the shard count grows). Token sets are
+/// disjoint across shards so ties cannot occur; the stream index in the
+/// heap key makes the order deterministic even if a caller violated that.
+fn merge_by_token(mut streams: Vec<Vec<(u16, Message)>>) -> Vec<(u16, Message)> {
+    if streams.len() == 1 {
+        // Single shard: the stream is already the merged order.
+        return streams.pop().expect("len checked");
+    }
     let total = streams.iter().map(Vec::len).sum();
     let mut iters: Vec<_> = streams
         .into_iter()
         .map(|v| v.into_iter().peekable())
         .collect();
-    let mut out: Vec<(u16, Message)> = Vec::with_capacity(total);
-    loop {
-        let mut best: Option<(usize, Token)> = None;
-        for (i, it) in iters.iter_mut().enumerate() {
-            if let Some((_, msg)) = it.peek() {
-                let t = update_token(msg);
-                if best.is_none_or(|(_, bt)| t < bt) {
-                    best = Some((i, t));
-                }
-            }
+    let mut heap: BinaryHeap<Reverse<(Token, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        if let Some((_, msg)) = it.peek() {
+            heap.push(Reverse((update_token(msg), i)));
         }
-        let Some((i, _)) = best else { break };
-        out.push(iters[i].next().expect("peeked"));
+    }
+    let mut out: Vec<(u16, Message)> = Vec::with_capacity(total);
+    while let Some(Reverse((_, i))) = heap.pop() {
+        out.push(iters[i].next().expect("heap entry implies a stream head"));
+        if let Some((_, msg)) = iters[i].peek() {
+            heap.push(Reverse((update_token(msg), i)));
+        }
     }
     out
 }
@@ -406,6 +645,95 @@ mod tests {
         assert_eq!(svc.active_flows(), 0);
         assert_eq!(svc.stats().rejected, 1);
         assert_eq!(svc.shard_for_token(Token::new(1)), None);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_many_streams() {
+        let upd = |t: u32| {
+            (
+                t as u16,
+                Message::RateUpdate {
+                    token: Token::new(t),
+                    rate: Rate16::encode(1.0),
+                },
+            )
+        };
+        let streams = vec![
+            vec![upd(3), upd(9), upd(10)],
+            vec![],
+            vec![upd(1), upd(4)],
+            vec![upd(2), upd(5), upd(6), upd(11)],
+            vec![upd(7)],
+        ];
+        let merged = merge_by_token(streams);
+        let tokens: Vec<u32> = merged.iter().map(|(_, m)| update_token(m).get()).collect();
+        assert_eq!(tokens, vec![1, 2, 3, 4, 5, 6, 7, 9, 10, 11]);
+        // The src halves ride along with their messages.
+        assert!(merged
+            .iter()
+            .all(|(s, m)| *s as u32 == update_token(m).get()));
+        // Degenerate shapes.
+        assert!(merge_by_token(vec![]).is_empty());
+        assert!(merge_by_token(vec![vec![], vec![]]).is_empty());
+        let single = merge_by_token(vec![vec![upd(5), upd(2)]]);
+        let tokens: Vec<u32> = single.iter().map(|(_, m)| update_token(m).get()).collect();
+        assert_eq!(tokens, vec![5, 2], "single stream passes through as-is");
+    }
+
+    #[test]
+    fn exchange_fires_on_cadence_and_counts_traffic() {
+        let f = fabric();
+        let cfg = FlowtuneConfig {
+            exchange_every: 4,
+            ..FlowtuneConfig::default()
+        };
+        let mut svc = ShardedService::new(&f, cfg, 2);
+        assert_eq!(svc.exchange_every(), 4);
+        svc.on_message(start(1, 0, 12)).unwrap();
+        svc.on_message(start(2, 8, 4)).unwrap();
+        for _ in 0..10 {
+            svc.tick();
+        }
+        let st = svc.stats();
+        assert_eq!(st.exchange_rounds, 2, "rounds at ticks 4 and 8");
+        let links = f.topology().link_count() as u64;
+        // Per round, per (serial NED) shard: loads + Hessians + prices
+        // out, background loads + Hessians + consensus back — six
+        // 8-byte-per-link vectors.
+        assert_eq!(st.exchange_bytes, 2 * (6 * 8 * links * 2));
+    }
+
+    #[test]
+    fn single_shard_never_exchanges() {
+        let cfg = FlowtuneConfig {
+            exchange_every: 1,
+            ..FlowtuneConfig::default()
+        };
+        let mut svc = ShardedService::new(&fabric(), cfg, 1);
+        svc.on_message(start(1, 0, 12)).unwrap();
+        for _ in 0..5 {
+            svc.tick();
+        }
+        let st = svc.stats();
+        assert_eq!(st.exchange_rounds, 0);
+        assert_eq!(st.exchange_bytes, 0);
+    }
+
+    #[test]
+    fn link_loads_sum_over_shards() {
+        let f = fabric();
+        let mut svc = sharded(2);
+        svc.on_message(start(1, 0, 12)).unwrap(); // shard 0
+        svc.on_message(start(2, 8, 4)).unwrap(); // shard 1
+        for _ in 0..200 {
+            svc.tick();
+        }
+        let loads = svc.link_loads();
+        assert_eq!(loads.len(), f.topology().link_count());
+        // Each flow converged to ~line rate on its own links; the sum
+        // over all links is 4 hops × ~39.6 G × 2 flows.
+        let total: f64 = loads.iter().sum();
+        assert!((total - 2.0 * 4.0 * 39.6).abs() < 1.0, "total {total}");
     }
 
     #[test]

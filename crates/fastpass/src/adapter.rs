@@ -220,6 +220,35 @@ impl RateAllocator for FastpassAdapter {
         })
     }
 
+    fn link_loads(&self) -> Vec<f64> {
+        // Deliberately empty: the arbiter allocates endpoint-pair
+        // timeslots and never prices fabric links, so it has no per-link
+        // load vector to export. A sharded control plane treats an empty
+        // export as "nothing to share" — inter-shard link-state exchange
+        // degrades to a no-op over Fastpass shards, exactly like real
+        // Fastpass arbiters, which coordinate through timeslot horizons
+        // rather than link duals.
+        Vec::new()
+    }
+
+    fn set_background_loads(&mut self, loads: &[f64]) {
+        // Deliberately a no-op (see `link_loads`): matchings are driven
+        // by outstanding per-pair demand, and an exogenous per-link load
+        // has no seat in a maximal matching over endpoint pairs.
+        let _ = loads;
+    }
+
+    fn link_prices(&self) -> Vec<f64> {
+        // No duals either (see `link_loads`): the arbiter has no price
+        // state, so it abstains from inter-shard dual consensus.
+        Vec::new()
+    }
+
+    fn set_link_prices(&mut self, prices: &[f64]) {
+        // Deliberately a no-op (see `link_prices`).
+        let _ = prices;
+    }
+
     fn name(&self) -> &'static str {
         "fastpass"
     }

@@ -65,9 +65,17 @@ impl Optimizer for Gradient {
                 self.loads[l.index()] += x;
             }
         }
+        // Background load (a partitioned allocator's other shards) joins
+        // the gradient but not the carries-own-traffic test: a link this
+        // instance's flows don't cross needs no price signal from it.
+        // `background_hessians` is deliberately ignored — a first-order
+        // step has no sensitivity term to fold it into, which is also why
+        // sharding never rescales this method's effective γ.
+        let background = problem.background_loads();
         for (l, &c) in problem.capacities().iter().enumerate() {
             if self.loads[l] > 0.0 {
-                let g = self.loads[l] - c;
+                let bg = background.get(l).copied().unwrap_or(0.0);
+                let g = self.loads[l] + bg - c;
                 state.prices[l] = (state.prices[l] + self.gamma * g).max(0.0);
             } else {
                 state.prices[l] *= 0.5;
@@ -125,9 +133,11 @@ impl Optimizer for GradientRt {
                 self.loads[l.index()] += x;
             }
         }
+        let background = problem.background_loads();
         for (l, &c) in problem.capacities().iter().enumerate() {
             if self.loads[l] > 0.0 {
-                let g = self.loads[l] - c as f32;
+                let bg = background.get(l).copied().unwrap_or(0.0) as f32;
+                let g = self.loads[l] + bg - c as f32;
                 state.prices[l] = (state.prices[l] + (self.gamma * g) as f64).max(0.0);
             } else {
                 state.prices[l] *= 0.5;
@@ -196,6 +206,23 @@ mod tests {
         assert!(r.converged, "{r:?}");
         for i in 0..4 {
             assert!((s.rates[i] - 2.5).abs() < 0.05, "{}", s.rates[i]);
+        }
+    }
+
+    #[test]
+    fn background_load_shrinks_own_share() {
+        // Same subproblem shape a sharded allocator hands its gradient
+        // engines: own flows compete with exogenous other-shard load.
+        let mut p = NumProblem::new(vec![10.0]);
+        for _ in 0..2 {
+            p.add_flow(vec![l(0)], Utility::log(1.0));
+        }
+        p.set_background_loads(&[5.0]);
+        let mut s = SolverState::new(&p);
+        let r = solve(&mut Gradient::default(), &p, &mut s, 100_000, 1e-6);
+        assert!(r.converged, "{r:?}");
+        for i in 0..2 {
+            assert!((s.rates[i] - 2.5).abs() < 1e-2, "rate {}", s.rates[i]);
         }
     }
 

@@ -159,6 +159,43 @@ fn two_shards_match_unsharded_rates_on_a_cross_block_workload() {
     assert_eq!(plain.stats().starts, sharded.stats().starts);
 }
 
+#[test]
+fn message_intake_stats_match_byte_for_byte_at_any_shard_count() {
+    // The routing layer disposes of some messages itself (cross-shard
+    // duplicates, unknown `FlowletEnd`s, stray rate updates) and counts
+    // them in its own `local` stats; everything else is counted by the
+    // owning shard. Whichever layer does the counting, the *aggregate*
+    // must equal the unsharded service's counters byte for byte — in
+    // particular `bytes_in` for unknown ends, which arrive and are
+    // ignored on both paths. No ticks here: this pins pure intake
+    // accounting, independent of engine trajectories.
+    let fabric = fabric();
+    let mut msgs = workload(&fabric);
+    msgs.push(Message::RateUpdate {
+        token: Token::new(3),
+        rate: flowtune_proto::Rate16::encode(2.0),
+    }); // stray update: rejected at the routing layer
+    msgs.push(start(&fabric, 50, 9999, 1)); // malformed: clamped, then rejected
+    msgs.push(Message::FlowletEnd {
+        token: Token::new(50), // end of a rejected start: unknown
+    });
+    for shards in [1usize, 2, 3, 5] {
+        let mut plain = AllocatorService::new(&fabric, FlowtuneConfig::default());
+        let mut sharded = ShardedService::new(&fabric, FlowtuneConfig::default(), shards);
+        for msg in &msgs {
+            let a = plain.on_message(*msg);
+            let b = sharded.on_message(*msg);
+            assert_eq!(a, b, "{shards} shards: verdicts diverged on {msg:?}");
+        }
+        assert_eq!(
+            plain.stats(),
+            sharded.stats(),
+            "{shards} shards: aggregate intake stats diverged"
+        );
+        assert_eq!(plain.active_flows(), sharded.active_flows());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -79,6 +79,16 @@ pub trait RateAllocator: std::fmt::Debug + Send {
         Vec::new()
     }
 
+    /// [`RateAllocator::link_loads`] into a caller-provided buffer, for
+    /// per-tick exporters (the sharded exchange) that must not allocate
+    /// once their buffers are warm. `out` is cleared first; engines with
+    /// nothing to export leave it empty. The default delegates to the
+    /// allocating variant — engines on the tick path override it.
+    fn link_loads_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.link_loads());
+    }
+
     /// Installs an exogenous per-link load (global
     /// [`LinkId`](flowtune_topo::LinkId) indexing, same Gbit/s units as
     /// the engine's capacities) to be priced *in addition to* the
@@ -103,6 +113,14 @@ pub trait RateAllocator: std::fmt::Debug + Send {
         Vec::new()
     }
 
+    /// [`RateAllocator::link_hessians`] into a caller-provided buffer
+    /// (cleared first; left empty by engines without a second-order
+    /// term), the allocation-free export the sharded exchange uses.
+    fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.link_hessians());
+    }
+
     /// Installs the exogenous per-link Hessian diagonal accompanying the
     /// background loads (other shards' [`RateAllocator::link_hessians`]
     /// sum). An empty slice clears it. Engines without a second-order
@@ -117,6 +135,14 @@ pub trait RateAllocator: std::fmt::Debug + Send {
     /// price fabric links.
     fn link_prices(&self) -> Vec<f64> {
         Vec::new()
+    }
+
+    /// [`RateAllocator::link_prices`] into a caller-provided buffer
+    /// (cleared first; left empty by engines that do not price fabric
+    /// links), the allocation-free export the sharded exchange uses.
+    fn link_prices_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.link_prices());
     }
 
     /// Overwrites the engine's per-link duals with consensus values;
@@ -183,6 +209,10 @@ impl RateAllocator for BoxEngine {
         (**self).link_loads()
     }
 
+    fn link_loads_into(&self, out: &mut Vec<f64>) {
+        (**self).link_loads_into(out);
+    }
+
     fn set_background_loads(&mut self, loads: &[f64]) {
         (**self).set_background_loads(loads);
     }
@@ -191,12 +221,20 @@ impl RateAllocator for BoxEngine {
         (**self).link_hessians()
     }
 
+    fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        (**self).link_hessians_into(out);
+    }
+
     fn set_background_hessians(&mut self, hdiag: &[f64]) {
         (**self).set_background_hessians(hdiag);
     }
 
     fn link_prices(&self) -> Vec<f64> {
         (**self).link_prices()
+    }
+
+    fn link_prices_into(&self, out: &mut Vec<f64>) {
+        (**self).link_prices_into(out);
     }
 
     fn set_link_prices(&mut self, prices: &[f64]) {
@@ -248,6 +286,10 @@ impl RateAllocator for crate::SerialAllocator {
         crate::SerialAllocator::link_loads(self)
     }
 
+    fn link_loads_into(&self, out: &mut Vec<f64>) {
+        crate::SerialAllocator::link_loads_into(self, out);
+    }
+
     fn set_background_loads(&mut self, loads: &[f64]) {
         crate::SerialAllocator::set_background_loads(self, loads);
     }
@@ -256,12 +298,20 @@ impl RateAllocator for crate::SerialAllocator {
         crate::SerialAllocator::link_hessians(self)
     }
 
+    fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        crate::SerialAllocator::link_hessians_into(self, out);
+    }
+
     fn set_background_hessians(&mut self, hdiag: &[f64]) {
         crate::SerialAllocator::set_background_hessians(self, hdiag);
     }
 
     fn link_prices(&self) -> Vec<f64> {
         crate::SerialAllocator::link_prices(self)
+    }
+
+    fn link_prices_into(&self, out: &mut Vec<f64>) {
+        crate::SerialAllocator::link_prices_into(self, out);
     }
 
     fn set_link_prices(&mut self, prices: &[f64]) {
@@ -315,6 +365,10 @@ impl RateAllocator for crate::MulticoreAllocator {
         crate::MulticoreAllocator::link_loads(self)
     }
 
+    fn link_loads_into(&self, out: &mut Vec<f64>) {
+        crate::MulticoreAllocator::link_loads_into(self, out);
+    }
+
     fn set_background_loads(&mut self, loads: &[f64]) {
         crate::MulticoreAllocator::set_background_loads(self, loads);
     }
@@ -323,12 +377,20 @@ impl RateAllocator for crate::MulticoreAllocator {
         crate::MulticoreAllocator::link_hessians(self)
     }
 
+    fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        crate::MulticoreAllocator::link_hessians_into(self, out);
+    }
+
     fn set_background_hessians(&mut self, hdiag: &[f64]) {
         crate::MulticoreAllocator::set_background_hessians(self, hdiag);
     }
 
     fn link_prices(&self) -> Vec<f64> {
         crate::MulticoreAllocator::link_prices(self)
+    }
+
+    fn link_prices_into(&self, out: &mut Vec<f64>) {
+        crate::MulticoreAllocator::link_prices_into(self, out);
     }
 
     fn set_link_prices(&mut self, prices: &[f64]) {

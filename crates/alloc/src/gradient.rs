@@ -148,12 +148,29 @@ impl RateAllocator for GradientAllocator {
         self.problem.link_loads(&self.state.rates)
     }
 
+    fn link_loads_into(&self, out: &mut Vec<f64>) {
+        // The num layer's own buffer variant: same sums, no allocation.
+        self.problem.link_loads_into(&self.state.rates, out);
+    }
+
     fn set_background_loads(&mut self, loads: &[f64]) {
         self.problem.set_background_loads(loads);
     }
 
+    fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        // First-order engine: no second-order term to export (the
+        // default would reach the same empty answer via `link_hessians`;
+        // spelled out so the export path is visibly a no-op).
+        out.clear();
+    }
+
     fn link_prices(&self) -> Vec<f64> {
         self.state.prices.clone()
+    }
+
+    fn link_prices_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.state.prices);
     }
 
     fn set_link_prices(&mut self, prices: &[f64]) {

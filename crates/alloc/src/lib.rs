@@ -49,7 +49,7 @@ pub use flowblock::{BlockFlow, FlowRate};
 pub use gradient::GradientAllocator;
 pub use layout::BlockLayout;
 pub use parallel::MulticoreAllocator;
-pub use pool::WorkerPool;
+pub use pool::{FanOutError, WorkerPool};
 pub use serial::SerialAllocator;
 
 /// Configuration shared by both allocator engines.

@@ -316,6 +316,12 @@ impl MulticoreAllocator {
         self.grid.link_loads()
     }
 
+    /// [`MulticoreAllocator::link_loads`] into a caller-provided buffer
+    /// (see [`crate::RateAllocator::link_loads_into`]).
+    pub fn link_loads_into(&self, out: &mut Vec<f64>) {
+        self.grid.link_loads_into(out);
+    }
+
     /// Installs an exogenous per-link load priced alongside this engine's
     /// own flows (see [`crate::RateAllocator::set_background_loads`]).
     pub fn set_background_loads(&mut self, loads: &[f64]) {
@@ -325,6 +331,12 @@ impl MulticoreAllocator {
     /// Current per-link duals (see [`crate::RateAllocator::link_prices`]).
     pub fn link_prices(&self) -> Vec<f64> {
         self.grid.link_prices()
+    }
+
+    /// [`MulticoreAllocator::link_prices`] into a caller-provided buffer
+    /// (see [`crate::RateAllocator::link_prices_into`]).
+    pub fn link_prices_into(&self, out: &mut Vec<f64>) {
+        self.grid.link_prices_into(out);
     }
 
     /// Overwrites per-link duals; `NaN` entries keep the current price
@@ -337,6 +349,12 @@ impl MulticoreAllocator {
     /// [`crate::RateAllocator::link_hessians`]).
     pub fn link_hessians(&self) -> Vec<f64> {
         self.grid.link_hessians()
+    }
+
+    /// [`MulticoreAllocator::link_hessians`] into a caller-provided
+    /// buffer (see [`crate::RateAllocator::link_hessians_into`]).
+    pub fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        self.grid.link_hessians_into(out);
     }
 
     /// Installs the exogenous per-link Hessian diagonal accompanying the

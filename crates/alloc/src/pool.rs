@@ -10,6 +10,11 @@
 //!   every worker, runs slot 0 on the calling thread, and blocks until all
 //!   workers have finished — which is what makes the borrowed task sound:
 //!   the borrow cannot end before `run` returns.
+//! * [`WorkerPool::fan_out`] is the data-parallel form: it stripes a
+//!   `&mut [T]` of work items across the slots (one `&mut` item per task
+//!   call) and *contains* per-item panics as a [`FanOutError`] instead of
+//!   re-raising, so a sharded control plane can turn a dead shard into a
+//!   reportable condition while its siblings' results survive.
 //! * Workers park again immediately after finishing; a pool that is never
 //!   run again costs nothing but memory.
 //! * Dropping the pool shuts the threads down and joins them.
@@ -19,8 +24,80 @@
 //! spawn/join, which is precisely the part the §6.1 tick-latency numbers
 //! must not pay.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// A fan-out task panicked on one of the items.
+///
+/// Unlike [`WorkerPool::run`] — which re-raises worker panics on the
+/// caller — [`WorkerPool::fan_out`] turns them into this error so a
+/// control plane can report a failed shard (the call's remaining items
+/// still ran to completion) instead of aborting its tick. The original
+/// payload is preserved for callers that want to re-raise after all.
+pub struct FanOutError {
+    item: usize,
+    payload: Box<dyn std::any::Any + Send>,
+}
+
+impl FanOutError {
+    /// Index of the panicking item (the lowest index, if several items
+    /// panicked in one call — deterministic regardless of which worker
+    /// reported first).
+    pub fn item(&self) -> usize {
+        self.item
+    }
+
+    /// The panic message, when the payload was a string (the common
+    /// `panic!("…")` case).
+    pub fn message(&self) -> &str {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s
+        } else {
+            "non-string panic payload"
+        }
+    }
+
+    /// Re-raises the original panic on the current thread.
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+}
+
+impl std::fmt::Debug for FanOutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanOutError")
+            .field("item", &self.item)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for FanOutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fan-out item {} panicked: {}", self.item, self.message())
+    }
+}
+
+/// A lifetime-erased `*mut T` that may cross threads. Soundness is
+/// provided by [`WorkerPool::fan_out`]: each index is visited by exactly
+/// one slot and the call does not return until every slot is done.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `SendPtr` — whose `Sync` impl below carries the safety
+    /// argument — instead of the raw `*mut T` field path.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: see `fan_out` — disjoint-index access only, bounded by the call.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Locks the pool state, shrugging off poisoning: every mutation of
 /// `PoolState` happens with its invariants already restored (panic
@@ -175,6 +252,63 @@ impl WorkerPool {
         }
         if let Some(p) = worker_panic {
             std::panic::resume_unwind(p);
+        }
+    }
+
+    /// Fans `task` out over `items`: item `i` runs as `task(i, &mut
+    /// items[i])`, slot `s` of the pool processing the strided indices
+    /// `s, s + size, s + 2·size, …` (so any number of items works on any
+    /// pool size; with `items.len() <= size` each item gets its own
+    /// slot). Like [`WorkerPool::run`], the call blocks until every item
+    /// has finished, which is what makes the borrowed items and task
+    /// sound.
+    ///
+    /// Panic containment: a panicking item neither poisons the pool nor
+    /// disturbs its siblings — every other item still runs to completion
+    /// and keeps its result, and the pool stays usable. The first
+    /// (lowest-index) panic is reported as a [`FanOutError`] carrying the
+    /// original payload.
+    ///
+    /// # Errors
+    /// [`FanOutError`] if any item's task panicked.
+    pub fn fan_out<T: Send>(
+        &mut self,
+        items: &mut [T],
+        task: &(dyn Fn(usize, &mut T) + Sync),
+    ) -> Result<(), FanOutError> {
+        let len = items.len();
+        let stride = self.size;
+        let base = SendPtr(items.as_mut_ptr());
+        let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+        self.run(&|slot| {
+            let mut i = slot;
+            while i < len {
+                // SAFETY: index `i ≡ slot (mod stride)` is visited only by
+                // this slot, indices are in bounds, and `run` does not
+                // return (ending the `items` borrow) until every slot is
+                // done.
+                let item = unsafe { &mut *base.get().add(i) };
+                if let Err(p) = std::panic::catch_unwind(AssertUnwindSafe(|| task(i, item))) {
+                    panics
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((i, p));
+                }
+                i += stride;
+            }
+        });
+        let mut panics = panics.into_inner().unwrap_or_else(PoisonError::into_inner);
+        match panics
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (item, _))| *item)
+            .map(|(pos, _)| pos)
+        {
+            Some(pos) => {
+                let (item, payload) = panics.swap_remove(pos);
+                Err(FanOutError { item, payload })
+            }
+            None => Ok(()),
         }
     }
 }
@@ -344,5 +478,65 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_size_rejected() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn fan_out_visits_every_item_exactly_once() {
+        // More items than slots (strided), fewer items than slots (idle
+        // slots), and the empty case.
+        let mut pool = WorkerPool::new(3);
+        for n_items in [0usize, 2, 3, 10] {
+            let mut items: Vec<usize> = vec![0; n_items];
+            pool.fan_out(&mut items, &|i, item| {
+                *item += i + 1;
+            })
+            .expect("no panics");
+            let want: Vec<usize> = (0..n_items).map(|i| i + 1).collect();
+            assert_eq!(items, want, "{n_items} items");
+        }
+    }
+
+    #[test]
+    fn fan_out_contains_a_panicking_item() {
+        let mut pool = WorkerPool::new(2);
+        let mut items: Vec<(usize, bool)> = (0..6).map(|i| (i, false)).collect();
+        let err = pool
+            .fan_out(&mut items, &|i, item| {
+                if i == 3 {
+                    panic!("item boom");
+                }
+                item.1 = true;
+            })
+            .expect_err("item 3 panicked");
+        assert_eq!(err.item(), 3);
+        assert_eq!(err.message(), "item boom");
+        // Siblings' results survive: every other item completed.
+        for (i, done) in &items {
+            assert_eq!(*done, *i != 3, "item {i}");
+        }
+        // The pool is not poisoned: both plain runs and fan-outs work.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        let mut again = vec![0usize; 4];
+        pool.fan_out(&mut again, &|_, x| *x = 7).unwrap();
+        assert_eq!(again, vec![7; 4]);
+    }
+
+    #[test]
+    fn fan_out_reports_the_lowest_panicking_item() {
+        let mut pool = WorkerPool::new(4);
+        let mut items = vec![(); 8];
+        let err = pool
+            .fan_out(&mut items, &|i, ()| {
+                if i % 2 == 1 {
+                    panic!("boom {i}");
+                }
+            })
+            .expect_err("half the items panicked");
+        assert_eq!(err.item(), 1, "lowest index wins deterministically");
+        assert_eq!(err.message(), "boom 1");
     }
 }

@@ -179,8 +179,17 @@ impl GridState {
     /// rate summed onto the links its path crosses. Background loads are
     /// *not* included (see [`crate::RateAllocator::link_loads`]).
     pub(crate) fn link_loads(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.link_loads_into(&mut out);
+        out
+    }
+
+    /// [`GridState::link_loads`] into a caller-provided buffer — the
+    /// allocation-free export the sharded exchange calls every round.
+    pub(crate) fn link_loads_into(&self, out: &mut Vec<f64>) {
         let b = self.layout.blocks();
-        let mut out = vec![0.0; self.layout.total_links()];
+        out.clear();
+        out.resize(self.layout.total_links(), 0.0);
         for (w, worker) in self.workers.iter().enumerate() {
             let up_links = self.layout.up_links(w / b);
             let down_links = self.layout.down_links(w % b);
@@ -193,15 +202,22 @@ impl GridState {
                 }
             }
         }
-        out
     }
 
     /// Current per-link duals, global-link indexed, read from the
     /// authoritative (root) LinkBlock copies. Links outside any
     /// LinkBlock (control links) report 0.
     pub(crate) fn link_prices(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.link_prices_into(&mut out);
+        out
+    }
+
+    /// [`GridState::link_prices`] into a caller-provided buffer.
+    pub(crate) fn link_prices_into(&self, out: &mut Vec<f64>) {
         let b = self.layout.blocks();
-        let mut out = vec![0.0; self.layout.total_links()];
+        out.clear();
+        out.resize(self.layout.total_links(), 0.0);
         for blk in 0..b {
             let up_view = &self.workers[up_root(blk, b)].view;
             for (o, link) in self.layout.up_links(blk).iter().enumerate() {
@@ -212,7 +228,6 @@ impl GridState {
                 out[link.index()] = down_view.down_prices[o];
             }
         }
-        out
     }
 
     /// Overwrites per-link duals from a global-link-indexed vector; `NaN`
@@ -280,8 +295,16 @@ impl GridState {
     /// stored rates and weights — the same values the engine's own rate
     /// pass accumulates into `Accums::up_h`/`down_h`.
     pub(crate) fn link_hessians(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.link_hessians_into(&mut out);
+        out
+    }
+
+    /// [`GridState::link_hessians`] into a caller-provided buffer.
+    pub(crate) fn link_hessians_into(&self, out: &mut Vec<f64>) {
         let b = self.layout.blocks();
-        let mut out = vec![0.0; self.layout.total_links()];
+        out.clear();
+        out.resize(self.layout.total_links(), 0.0);
         for (w, worker) in self.workers.iter().enumerate() {
             let up_links = self.layout.up_links(w / b);
             let down_links = self.layout.down_links(w % b);
@@ -295,7 +318,6 @@ impl GridState {
                 }
             }
         }
-        out
     }
 
     /// Installs (or clears, for an empty slice) the exogenous per-link
@@ -500,6 +522,12 @@ impl SerialAllocator {
         self.grid.link_loads()
     }
 
+    /// [`SerialAllocator::link_loads`] into a caller-provided buffer (see
+    /// [`crate::RateAllocator::link_loads_into`]).
+    pub fn link_loads_into(&self, out: &mut Vec<f64>) {
+        self.grid.link_loads_into(out);
+    }
+
     /// Installs an exogenous per-link load priced alongside this engine's
     /// own flows (see [`crate::RateAllocator::set_background_loads`]).
     pub fn set_background_loads(&mut self, loads: &[f64]) {
@@ -509,6 +537,12 @@ impl SerialAllocator {
     /// Current per-link duals (see [`crate::RateAllocator::link_prices`]).
     pub fn link_prices(&self) -> Vec<f64> {
         self.grid.link_prices()
+    }
+
+    /// [`SerialAllocator::link_prices`] into a caller-provided buffer
+    /// (see [`crate::RateAllocator::link_prices_into`]).
+    pub fn link_prices_into(&self, out: &mut Vec<f64>) {
+        self.grid.link_prices_into(out);
     }
 
     /// Overwrites per-link duals; `NaN` entries keep the current price
@@ -521,6 +555,12 @@ impl SerialAllocator {
     /// [`crate::RateAllocator::link_hessians`]).
     pub fn link_hessians(&self) -> Vec<f64> {
         self.grid.link_hessians()
+    }
+
+    /// [`SerialAllocator::link_hessians`] into a caller-provided buffer
+    /// (see [`crate::RateAllocator::link_hessians_into`]).
+    pub fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        self.grid.link_hessians_into(out);
     }
 
     /// Installs the exogenous per-link Hessian diagonal accompanying the

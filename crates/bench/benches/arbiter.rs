@@ -122,25 +122,33 @@ fn loaded_driver(
 /// spawn/join from this very path). The sharded rows run the real
 /// `ShardedService` (2 shards over the fabric's 2 blocks) including its
 /// k-way update merge; the `sharded2x1` row additionally pays a full
-/// link-state exchange (load export + dual consensus) every tick — the
-/// worst-case exchange overhead on the tick path.
+/// link-state exchange (sparse export + dual consensus) every tick — the
+/// worst-case exchange overhead on the tick path. `sharded4seq` vs
+/// `sharded4par` pins the concurrent-tick win: identical 4-shard work
+/// ticked sequentially vs on per-shard OS threads (the parallel row only
+/// beats the sequential one on multi-core hosts; the `service_tick`
+/// *binary* gates that ratio in CI).
 fn bench_service_tick_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_tick");
     group.sample_size(10);
-    // Two blocks of two racks of 16: a fabric the multicore grid (B² = 4
-    // workers) and a 2-shard partition both map onto naturally.
-    let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 16));
+    // Four blocks of two racks of 16: a fabric the multicore grid
+    // (B² = 16 workers) and the 2- and 4-shard partitions all map onto
+    // naturally.
+    let fabric = TwoTierClos::build(ClosConfig::multicore(4, 2, 16));
     let flows = 512usize;
-    for (label, engine, exchange_every) in [
-        ("serial", Engine::Serial, 0),
-        ("multicore", Engine::Multicore { workers: 0 }, 0),
-        ("fastpass", Engine::Fastpass, 0),
-        ("gradient", Engine::Gradient, 0),
-        ("sharded2", Engine::Serial.sharded(2), 0),
-        ("sharded2x1", Engine::Serial.sharded(2), 1),
+    for (label, engine, exchange_every, parallel) in [
+        ("serial", Engine::Serial, 0, None),
+        ("multicore", Engine::Multicore { workers: 0 }, 0, None),
+        ("fastpass", Engine::Fastpass, 0, None),
+        ("gradient", Engine::Gradient, 0, None),
+        ("sharded2", Engine::Serial.sharded(2), 0, None),
+        ("sharded2x1", Engine::Serial.sharded(2), 1, None),
+        ("sharded4seq", Engine::Serial.sharded(4), 1, Some(false)),
+        ("sharded4par", Engine::Serial.sharded(4), 1, Some(true)),
     ] {
         let cfg = FlowtuneConfig {
             exchange_every,
+            parallel_shards: parallel.unwrap_or(FlowtuneConfig::default().parallel_shards),
             ..FlowtuneConfig::default()
         };
         let mut svc = loaded_driver(&fabric, engine, cfg, flows);

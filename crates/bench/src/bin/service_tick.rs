@@ -1,0 +1,377 @@
+//! `service_tick` — the tick-latency table behind the CI perf gate.
+//!
+//! Measures the steady-state `TickDriver::tick` latency (µs/tick) of
+//! every engine configuration, including the sharded control plane's
+//! concurrent (`sharded4par`) vs sequential (`sharded4seq`) 4-shard
+//! rows, whose ratio is the whole point of the per-shard-threads work:
+//! on a multi-core runner the parallel row must beat the sequential one.
+//!
+//! Flags:
+//!
+//! * `--json` — machine-readable output on stdout (the format
+//!   `BENCH_BASELINE.json` stores);
+//! * `--baseline PATH` — compare against a committed baseline and exit
+//!   nonzero with a per-row diff when any row regressed beyond the
+//!   tolerance (faster rows never fail — refresh the baseline when an
+//!   intentional speedup lands);
+//! * `--tolerance F` — allowed per-row slowdown vs the baseline
+//!   (default 0.25 = 25%);
+//! * `--min-speedup R` — additionally require
+//!   `sharded4seq / sharded4par ≥ R` (the Figure-7 scaling story; only
+//!   meaningful on multi-core runners);
+//! * `--flows N` / `--ticks N` / `--samples N` — workload size and
+//!   measurement shape (defaults 512 / 200 / 3; µs/tick is the best
+//!   sample, which is robust against scheduler noise).
+//!
+//! To update the committed baseline after an intentional perf change:
+//! `cargo run --release -p flowtune-bench --bin service_tick -- --json > BENCH_BASELINE.json`
+
+use std::time::Instant;
+
+use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, TickDriver};
+use flowtune_proto::{Message, Token};
+use flowtune_topo::{ClosConfig, TwoTierClos};
+
+struct Opts {
+    json: bool,
+    baseline: Option<String>,
+    tolerance: f64,
+    min_speedup: Option<f64>,
+    flows: usize,
+    ticks: u32,
+    samples: u32,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            json: false,
+            baseline: None,
+            tolerance: 0.25,
+            min_speedup: None,
+            flows: 512,
+            ticks: 200,
+            samples: 3,
+        }
+    }
+}
+
+impl Opts {
+    fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut value =
+                |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+            match a.as_str() {
+                "--json" => opts.json = true,
+                "--baseline" => opts.baseline = Some(value("--baseline")),
+                "--tolerance" => {
+                    opts.tolerance = value("--tolerance")
+                        .parse()
+                        .expect("--tolerance needs a number");
+                }
+                "--min-speedup" => {
+                    opts.min_speedup = Some(
+                        value("--min-speedup")
+                            .parse()
+                            .expect("--min-speedup needs a number"),
+                    );
+                }
+                "--flows" => {
+                    opts.flows = value("--flows").parse().expect("--flows needs an integer");
+                }
+                "--ticks" => {
+                    opts.ticks = value("--ticks").parse().expect("--ticks needs an integer");
+                }
+                "--samples" => {
+                    opts.samples = value("--samples")
+                        .parse()
+                        .expect("--samples needs an integer");
+                }
+                other => panic!(
+                    "unknown flag {other}; use --json|--baseline PATH|--tolerance F|\
+                     --min-speedup R|--flows N|--ticks N|--samples N"
+                ),
+            }
+        }
+        assert!(opts.ticks > 0 && opts.samples > 0, "need ticks and samples");
+        opts
+    }
+}
+
+/// One measured configuration. `parallel` is `None` for unsharded rows.
+struct RowSpec {
+    label: &'static str,
+    engine: Engine,
+    exchange_every: u64,
+    parallel: Option<bool>,
+}
+
+fn rows() -> Vec<RowSpec> {
+    let row = |label, engine, exchange_every, parallel| RowSpec {
+        label,
+        engine,
+        exchange_every,
+        parallel,
+    };
+    vec![
+        row("serial", Engine::Serial, 0, None),
+        row("multicore", Engine::Multicore { workers: 0 }, 0, None),
+        row("fastpass", Engine::Fastpass, 0, None),
+        row("gradient", Engine::Gradient, 0, None),
+        row("sharded2", Engine::Serial.sharded(2), 0, None),
+        row("sharded2x1", Engine::Serial.sharded(2), 1, None),
+        // The headline pair: identical 4-shard work with a per-tick
+        // exchange, ticked sequentially vs on per-shard OS threads.
+        row("sharded4seq", Engine::Serial.sharded(4), 1, Some(false)),
+        row("sharded4par", Engine::Serial.sharded(4), 1, Some(true)),
+    ]
+}
+
+/// Loads `flows` pseudo-random flowlets into a fresh driver and
+/// converges it so measurement sees the suppressed steady state.
+fn loaded_driver(fabric: &TwoTierClos, spec: &RowSpec, flows: usize) -> BoxTickDriver {
+    let cfg = FlowtuneConfig {
+        exchange_every: spec.exchange_every,
+        parallel_shards: spec
+            .parallel
+            .unwrap_or(FlowtuneConfig::default().parallel_shards),
+        ..FlowtuneConfig::default()
+    };
+    let mut svc = AllocatorService::builder()
+        .fabric(fabric)
+        .config(cfg)
+        .engine(spec.engine.clone())
+        .build_driver()
+        .expect("fabric is set and the engine spec is sane");
+    let servers = fabric.config().server_count();
+    for f in 0..flows {
+        let src = (f * 7919) % servers;
+        let mut dst = (f * 104_729 + 13) % servers;
+        if dst == src {
+            dst = (dst + 1) % servers;
+        }
+        let spine = fabric.ecmp_spine(src, dst, flowtune_topo::FlowId(f as u64));
+        svc.on_message(Message::FlowletStart {
+            token: Token::new(f as u32),
+            src: src as u16,
+            dst: dst as u16,
+            size_hint: 1_000_000,
+            weight_q8: 256,
+            spine: spine as u8,
+        })
+        .expect("unique tokens");
+    }
+    for _ in 0..200 {
+        svc.tick();
+    }
+    svc
+}
+
+fn measure(svc: &mut BoxTickDriver, ticks: u32, samples: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..ticks {
+            svc.tick();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best * 1e6 / ticks as f64
+}
+
+/// Extracts `(label, us_per_tick)` pairs from this binary's `--json`
+/// output (a deliberately flat format, so no JSON library is needed).
+fn parse_rows(json: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"label\"") {
+        rest = &rest[pos + "\"label\"".len()..];
+        let Some(q1) = rest.find('"') else { break };
+        rest = &rest[q1 + 1..];
+        let Some(q2) = rest.find('"') else { break };
+        let label = rest[..q2].to_string();
+        rest = &rest[q2 + 1..];
+        let Some(kpos) = rest.find("\"us_per_tick\"") else {
+            break;
+        };
+        rest = &rest[kpos + "\"us_per_tick\"".len()..];
+        let Some(cpos) = rest.find(':') else { break };
+        rest = rest[cpos + 1..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(rest.len());
+        let Ok(value) = rest[..end].parse::<f64>() else {
+            break;
+        };
+        rows.push((label, value));
+        rest = &rest[end..];
+    }
+    rows
+}
+
+/// Compares measured rows against the baseline; returns human-readable
+/// failure lines (empty = the gate passes). Regressions beyond
+/// `tolerance` fail; rows *faster* than the baseline never do.
+fn compare(measured: &[(String, f64)], baseline: &[(String, f64)], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (label, us) in measured {
+        match baseline.iter().find(|(l, _)| l == label) {
+            Some((_, base)) => {
+                let delta = us / base - 1.0;
+                if delta > tolerance {
+                    failures.push(format!(
+                        "row `{label}`: {us:.2} µs/tick vs baseline {base:.2} µs/tick \
+                         (+{:.1}% > {:.0}% tolerance)",
+                        delta * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            None => failures.push(format!(
+                "row `{label}` has no entry in the baseline — regenerate it"
+            )),
+        }
+    }
+    failures
+}
+
+const BASELINE_HOWTO: &str = "\
+bench-baseline-update: to refresh the committed baseline after an \
+intentional perf change, run\n\
+  cargo run --release -p flowtune-bench --bin service_tick -- --json > BENCH_BASELINE.json\n\
+on the CI runner class and commit BENCH_BASELINE.json alongside the \
+change that moved the numbers, explaining the move in the commit message.";
+
+fn main() {
+    let opts = Opts::parse(std::env::args().skip(1));
+    // Four blocks of two 16-server racks: a fabric whose block count the
+    // multicore grid (B² = 16 workers) and both the 2- and 4-shard
+    // partitions map onto naturally.
+    let fabric = TwoTierClos::build(ClosConfig::multicore(4, 2, 16));
+
+    let mut measured: Vec<(String, f64)> = Vec::new();
+    for spec in rows() {
+        let mut svc = loaded_driver(&fabric, &spec, opts.flows);
+        let us = measure(&mut svc, opts.ticks, opts.samples);
+        if !opts.json {
+            println!("service_tick/{:<12} {:>10.2} µs/tick", spec.label, us);
+        }
+        measured.push((spec.label.to_string(), us));
+    }
+
+    let speedup = {
+        let us_of = |label: &str| {
+            measured
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|&(_, us)| us)
+                .expect("row is always measured")
+        };
+        us_of("sharded4seq") / us_of("sharded4par")
+    };
+    if !opts.json {
+        println!("sharded 4-way parallel speedup: {speedup:.2}x");
+    }
+
+    if opts.json {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"flows\": {},\n  \"ticks\": {},\n  \"samples\": {},\n  \"rows\": [\n",
+            opts.flows, opts.ticks, opts.samples
+        ));
+        for (i, (label, us)) in measured.iter().enumerate() {
+            let comma = if i + 1 < measured.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"label\": \"{label}\", \"us_per_tick\": {us:.3}}}{comma}\n"
+            ));
+        }
+        out.push_str("  ]\n}");
+        println!("{out}");
+    }
+
+    let mut failures = Vec::new();
+    if let Some(path) = &opts.baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = parse_rows(&text);
+        assert!(!baseline.is_empty(), "baseline {path} holds no rows");
+        failures.extend(compare(&measured, &baseline, opts.tolerance));
+    }
+    if let Some(min) = opts.min_speedup {
+        if speedup < min {
+            failures.push(format!(
+                "sharded4seq/sharded4par speedup {speedup:.2}x is below the required {min:.2}x"
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("service_tick perf gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        eprintln!("{BASELINE_HOWTO}");
+        std::process::exit(1);
+    }
+    if opts.baseline.is_some() && !opts.json {
+        println!(
+            "perf gate passed (tolerance {:.0}%)",
+            opts.tolerance * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rows_roundtrips_the_json_shape() {
+        let json = r#"{
+  "flows": 512,
+  "ticks": 200,
+  "samples": 3,
+  "rows": [
+    {"label": "serial", "us_per_tick": 58.125},
+    {"label": "sharded4par", "us_per_tick": 31.5}
+  ]
+}"#;
+        assert_eq!(
+            parse_rows(json),
+            vec![
+                ("serial".to_string(), 58.125),
+                ("sharded4par".to_string(), 31.5)
+            ]
+        );
+        assert!(parse_rows("{}").is_empty());
+    }
+
+    #[test]
+    fn compare_fails_only_on_regressions_beyond_tolerance() {
+        let base = vec![("a".to_string(), 100.0), ("b".to_string(), 10.0)];
+        // Within tolerance and faster: pass.
+        let ok = vec![("a".to_string(), 120.0), ("b".to_string(), 5.0)];
+        assert!(compare(&ok, &base, 0.25).is_empty());
+        // Beyond tolerance: named, with both numbers in the message.
+        let slow = vec![("a".to_string(), 130.0), ("b".to_string(), 10.0)];
+        let failures = compare(&slow, &base, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("`a`"), "{failures:?}");
+        assert!(failures[0].contains("130.00"), "{failures:?}");
+        assert!(failures[0].contains("100.00"), "{failures:?}");
+        // A row the baseline has never seen forces a regeneration.
+        let novel = vec![("new".to_string(), 1.0)];
+        let failures = compare(&novel, &base, 0.25);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("no entry"), "{failures:?}");
+    }
+
+    #[test]
+    fn the_headline_rows_are_measured() {
+        let labels: Vec<&str> = rows().iter().map(|r| r.label).collect();
+        for needed in ["serial", "sharded4seq", "sharded4par"] {
+            assert!(labels.contains(&needed), "{needed} missing from {labels:?}");
+        }
+    }
+}

@@ -17,6 +17,18 @@ pub struct Opts {
     /// (`--exchange-every K`; 0 — the default — disables the exchange).
     /// Only affects sharded runs (`--shards ≥ 2`).
     pub exchange_every: u64,
+    /// The exchange's delta filter (`--exchange-delta-eps X`; 0 — the
+    /// default — re-ships any changed link). A shard re-ships a link's
+    /// state only when its load, dual or Hessian moved by more than
+    /// this since the last shipped values. Only affects exchanging
+    /// sharded runs.
+    pub exchange_delta_eps: f64,
+    /// Whether the sharded control plane ticks its shards concurrently
+    /// on per-shard OS threads (`--parallel-shards` to force on,
+    /// `--parallel-shards=off` to force the sequential fallback; `None` —
+    /// the default — leaves the config default, which is on). The output
+    /// is bit-for-bit identical either way. Only affects sharded runs.
+    pub parallel_shards: Option<bool>,
 }
 
 impl Default for Opts {
@@ -26,6 +38,8 @@ impl Default for Opts {
             seed: 42,
             engine: Engine::Serial,
             exchange_every: 0,
+            exchange_delta_eps: 0.0,
+            parallel_shards: None,
         }
     }
 }
@@ -34,9 +48,13 @@ impl Opts {
     /// Parses `--quick`, `--full`, `--seed N`,
     /// `--engine serial|multicore|fastpass|gradient`, `--workers N`
     /// (multicore thread cap; 0 = size to the host), `--shards N`
-    /// (shard the service N ways over the chosen engine) and
+    /// (shard the service N ways over the chosen engine),
     /// `--exchange-every K` (inter-shard link-state exchange cadence in
-    /// ticks; 0 disables) from `std::env::args`.
+    /// ticks; 0 disables), `--exchange-delta-eps X` (the exchange's
+    /// delta filter: re-ship a link only when its load, dual or Hessian
+    /// moved by more than X; 0 re-ships any change) and
+    /// `--parallel-shards[=on|off]` (concurrent vs sequential sharded
+    /// tick; defaults to the config default, on) from `std::env::args`.
     ///
     /// # Panics
     /// Panics with a usage message on unknown flags or engine names (the
@@ -76,8 +94,23 @@ impl Opts {
                     opts.exchange_every =
                         v.parse().expect("--exchange-every needs an integer");
                 }
+                "--exchange-delta-eps" => {
+                    let v = it.next().expect("--exchange-delta-eps needs a value");
+                    let eps: f64 = v.parse().expect("--exchange-delta-eps needs a number");
+                    assert!(
+                        eps >= 0.0 && eps.is_finite(),
+                        "--exchange-delta-eps needs a finite non-negative number"
+                    );
+                    opts.exchange_delta_eps = eps;
+                }
+                "--parallel-shards" | "--parallel-shards=on" | "--parallel-shards=true" => {
+                    opts.parallel_shards = Some(true);
+                }
+                "--parallel-shards=off" | "--parallel-shards=false" => {
+                    opts.parallel_shards = Some(false);
+                }
                 other => panic!(
-                    "unknown flag {other}; use --quick|--full|--seed N|--engine E|--workers N|--shards N|--exchange-every K"
+                    "unknown flag {other}; use --quick|--full|--seed N|--engine E|--workers N|--shards N|--exchange-every K|--exchange-delta-eps X|--parallel-shards[=on|off]"
                 ),
             }
         }
@@ -104,11 +137,16 @@ impl Opts {
     }
 
     /// The control-plane configuration these options describe: paper
-    /// defaults with the `--exchange-every` cadence applied.
+    /// defaults with the `--exchange-every` cadence,
+    /// `--exchange-delta-eps` filter and `--parallel-shards` choice
+    /// applied.
     pub fn config(&self) -> FlowtuneConfig {
+        let defaults = FlowtuneConfig::default();
         FlowtuneConfig {
             exchange_every: self.exchange_every,
-            ..FlowtuneConfig::default()
+            exchange_delta_eps: self.exchange_delta_eps,
+            parallel_shards: self.parallel_shards.unwrap_or(defaults.parallel_shards),
+            ..defaults
         }
     }
 
@@ -196,6 +234,40 @@ mod tests {
         let d = parse(&[]);
         assert_eq!(d.exchange_every, 0);
         assert_eq!(d.config(), flowtune::FlowtuneConfig::default());
+    }
+
+    #[test]
+    fn parallel_shards_and_delta_eps_reach_the_config() {
+        // Default: flag absent leaves the config default (on).
+        let d = parse(&[]);
+        assert_eq!(d.parallel_shards, None);
+        assert!(d.config().parallel_shards);
+        assert_eq!(d.config().exchange_delta_eps, 0.0);
+        // Bare flag and =on force the concurrent path.
+        assert_eq!(parse(&["--parallel-shards"]).parallel_shards, Some(true));
+        assert!(parse(&["--parallel-shards=on"]).config().parallel_shards);
+        // =off forces the sequential fallback.
+        let off = parse(&["--parallel-shards=off"]);
+        assert_eq!(off.parallel_shards, Some(false));
+        assert!(!off.config().parallel_shards);
+        // The delta filter composes with the rest of the exchange flags.
+        let o = parse(&[
+            "--shards",
+            "4",
+            "--exchange-every",
+            "1",
+            "--exchange-delta-eps",
+            "0.5",
+        ]);
+        assert_eq!(o.exchange_delta_eps, 0.5);
+        assert_eq!(o.config().exchange_delta_eps, 0.5);
+        assert_eq!(o.config().exchange_every, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_delta_eps_panics() {
+        let _ = parse(&["--exchange-delta-eps", "-1.0"]);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, TickDriver};
+use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, TickDriver, TickLoop};
 use flowtune_proto::{codec, wire, Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
 use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
@@ -58,9 +58,11 @@ impl FluidStats {
 /// The fluid-model experiment driver.
 #[derive(Debug)]
 pub struct FluidDriver {
-    service: BoxTickDriver,
+    /// The control plane behind its cadence: [`TickLoop`] owns when the
+    /// allocator ticks; this driver just advances simulated time and
+    /// polls it.
+    ticker: TickLoop<BoxTickDriver>,
     trace: TraceGenerator,
-    cfg: FlowtuneConfig,
     servers: usize,
     /// token → remaining bytes.
     remaining: HashMap<Token, f64>,
@@ -115,9 +117,8 @@ impl FluidDriver {
             seed,
         });
         Self {
-            service,
+            ticker: TickLoop::new(service, cfg.tick_interval_ps),
             trace,
-            cfg,
             servers,
             remaining: HashMap::new(),
             next_token: 0,
@@ -148,7 +149,7 @@ impl FluidDriver {
         duration_ps: u64,
         sample: &mut dyn FnMut(&dyn TickDriver),
     ) -> FluidStats {
-        let tick = self.cfg.tick_interval_ps;
+        let tick = self.ticker.interval_ps();
         let end = warmup_ps + duration_ps;
         let mut pending = self.trace.next_event();
         let mut tokens_of_flow: HashMap<u64, Token> = HashMap::new();
@@ -159,7 +160,7 @@ impl FluidDriver {
                 let token = Token::new(self.next_token & Token::MAX);
                 self.next_token = (self.next_token + 1) & Token::MAX;
                 let spine = {
-                    let f = self.service.fabric();
+                    let f = self.ticker.driver().fabric();
                     f.ecmp_spine(
                         pending.src as usize,
                         pending.dst as usize,
@@ -174,7 +175,8 @@ impl FluidDriver {
                     weight_q8: 256,
                     spine: spine as u8,
                 };
-                self.service
+                self.ticker
+                    .driver_mut()
                     .on_message(msg)
                     .expect("fluid driver mints unique tokens");
                 self.remaining.insert(token, pending.bytes as f64);
@@ -186,23 +188,25 @@ impl FluidDriver {
                 pending = self.trace.next_event();
             }
 
-            // One allocator tick.
-            let updates = self.service.tick();
-            if in_window {
-                for (_, msg) in &updates {
-                    let len = msg.encoded_len();
-                    self.stats.payload_from_alloc += len as u64;
-                    self.stats.wire_from_alloc += wire::segment_wire_bytes(len) as u64;
-                    self.stats.updates_sent += 1;
+            // Allocator ticks the cadence owes at this simulated instant
+            // (exactly one per loop step, since the step is the interval).
+            while let Some(updates) = self.ticker.poll(self.now_ps) {
+                if in_window {
+                    for (_, msg) in &updates {
+                        let len = msg.encoded_len();
+                        self.stats.payload_from_alloc += len as u64;
+                        self.stats.wire_from_alloc += wire::segment_wire_bytes(len) as u64;
+                        self.stats.updates_sent += 1;
+                    }
+                    sample(self.ticker.driver());
                 }
-                sample(&*self.service);
             }
 
             // Fluid drain at allocated rates.
             let dt_secs = tick as f64 / 1e12;
             let mut ended = Vec::new();
             for (&token, rem) in self.remaining.iter_mut() {
-                let gbps = self.service.flow_rate_gbps(token).unwrap_or(0.0);
+                let gbps = self.ticker.driver().flow_rate_gbps(token).unwrap_or(0.0);
                 *rem -= gbps * 1e9 / 8.0 * dt_secs;
                 if *rem <= 0.0 {
                     ended.push(token);
@@ -211,7 +215,8 @@ impl FluidDriver {
             for token in ended {
                 self.remaining.remove(&token);
                 let msg = Message::FlowletEnd { token };
-                self.service
+                self.ticker
+                    .driver_mut()
                     .on_message(msg)
                     .expect("flowlet ends are always accepted");
                 if in_window {
@@ -221,7 +226,7 @@ impl FluidDriver {
 
             self.now_ps += tick;
         }
-        let svc = self.service.stats();
+        let svc = self.ticker.driver().stats();
         self.stats.updates_suppressed = svc.updates_suppressed;
         self.stats.duration_ps = duration_ps;
         self.stats

@@ -32,6 +32,26 @@ pub struct FlowtuneConfig {
     /// traffic); larger values trade staleness for exchange bandwidth.
     /// Ignored by unsharded services.
     pub exchange_every: u64,
+    /// Sharded control plane only: the exchange's delta filter. A shard
+    /// re-ships a link's state (load, Hessian diagonal, dual) only when
+    /// any of the three moved by more than this since the last round it
+    /// shipped that link (loads/Hessians in Gbit/s terms, duals in
+    /// price units); receivers keep pricing the last shipped value
+    /// meanwhile. `0.0` (the default) ships every *changed* link —
+    /// identical arithmetic to a dense exchange, with links whose state
+    /// has stopped moving costing no exchange bytes (an idle link still
+    /// re-ships while its initial dual decays; a small positive value
+    /// cuts that tail). Larger values trade pricing precision on
+    /// slow-moving links for exchange bandwidth.
+    pub exchange_delta_eps: f64,
+    /// Sharded control plane only: run the shards' per-tick work
+    /// (intake bookkeeping, allocator iterations, update export) on the
+    /// worker pool's per-shard OS threads instead of sequentially on the
+    /// caller. On by default; the output is bit-for-bit identical either
+    /// way — the flag exists for single-core hosts and for debugging.
+    /// With one shard there is nothing to parallelize and the sequential
+    /// path is always taken.
+    pub parallel_shards: bool,
 }
 
 impl Default for FlowtuneConfig {
@@ -45,6 +65,8 @@ impl Default for FlowtuneConfig {
             default_weight: 1.0,
             f_norm: true,
             exchange_every: 0,
+            exchange_delta_eps: 0.0,
+            parallel_shards: true,
         }
     }
 }
@@ -71,5 +93,11 @@ mod tests {
         // Exchange is opt-in: the default preserves the independent-shard
         // behavior sharded deployments had before the exchange existed.
         assert_eq!(c.exchange_every, 0);
+        // The delta filter defaults to "ship exact changes only", which
+        // keeps the exchange arithmetic identical to a dense exchange.
+        assert_eq!(c.exchange_delta_eps, 0.0);
+        // Sharded ticks run concurrently by default (the sequential path
+        // is a debugging/bit-for-bit-checking fallback).
+        assert!(c.parallel_shards);
     }
 }

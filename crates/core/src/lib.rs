@@ -84,7 +84,7 @@ pub mod sharded;
 pub mod token;
 
 pub use config::FlowtuneConfig;
-pub use driver::{BoxTickDriver, TickDriver};
+pub use driver::{BoxTickDriver, TickDriver, TickLoop};
 pub use endpoint::EndpointAgent;
 pub use flowlet::FlowletTracker;
 pub use service::{

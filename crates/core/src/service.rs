@@ -106,6 +106,16 @@ pub enum ServiceError {
     /// [`Engine::Sharded`] named an impossible partition (zero shards, or
     /// shards nested inside shards).
     BadShards(&'static str),
+    /// A shard's engine panicked during
+    /// [`ShardedService::try_tick`](crate::ShardedService::try_tick). The
+    /// sibling shards completed the tick and the worker pool survives
+    /// (the panic payload is printed by the panic hook as usual); the
+    /// merged update stream for the tick is dropped because it would be
+    /// missing the dead shard's updates.
+    ShardPanicked {
+        /// Index of the shard whose tick panicked.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -131,6 +141,9 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::BadShards(why) => {
                 write!(f, "bad shard spec: {why}")
+            }
+            ServiceError::ShardPanicked { shard } => {
+                write!(f, "shard {shard} panicked during its tick")
             }
         }
     }
@@ -299,6 +312,23 @@ impl ServiceBuilder {
     /// [`ServiceBuilder::build_driver`].
     pub fn exchange_every(mut self, ticks: u64) -> Self {
         self.cfg.exchange_every = ticks;
+        self
+    }
+
+    /// Sets the exchange's delta filter
+    /// ([`crate::FlowtuneConfig::exchange_delta_eps`]): only links whose
+    /// load, dual or Hessian moved by more than `eps` since their last
+    /// shipped values are re-shipped in an exchange round.
+    pub fn exchange_delta_eps(mut self, eps: f64) -> Self {
+        self.cfg.exchange_delta_eps = eps;
+        self
+    }
+
+    /// Enables or disables the concurrent sharded tick
+    /// ([`crate::FlowtuneConfig::parallel_shards`]; on by default). Only
+    /// meaningful with [`Engine::Sharded`] and more than one shard.
+    pub fn parallel_shards(mut self, on: bool) -> Self {
+        self.cfg.parallel_shards = on;
         self
     }
 
@@ -575,6 +605,13 @@ impl<E: RateAllocator> AllocatorService<E> {
         self.engine.link_loads()
     }
 
+    /// [`AllocatorService::link_loads`] into a caller-provided buffer
+    /// (see [`RateAllocator::link_loads_into`]) — the allocation-free
+    /// export the sharded exchange calls every round.
+    pub fn link_loads_into(&self, out: &mut Vec<f64>) {
+        self.engine.link_loads_into(out);
+    }
+
     /// Installs an exogenous per-link load the engine prices alongside
     /// its own flows (see [`RateAllocator::set_background_loads`]) — the
     /// import half of the sharded control plane's link-state exchange.
@@ -589,6 +626,12 @@ impl<E: RateAllocator> AllocatorService<E> {
         self.engine.link_hessians()
     }
 
+    /// [`AllocatorService::link_hessians`] into a caller-provided buffer
+    /// (see [`RateAllocator::link_hessians_into`]).
+    pub fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        self.engine.link_hessians_into(out);
+    }
+
     /// Installs the exogenous per-link Hessian diagonal accompanying the
     /// background loads (see [`RateAllocator::set_background_hessians`]).
     pub fn set_background_hessians(&mut self, hdiag: &[f64]) {
@@ -600,6 +643,12 @@ impl<E: RateAllocator> AllocatorService<E> {
     /// price fabric links.
     pub fn link_prices(&self) -> Vec<f64> {
         self.engine.link_prices()
+    }
+
+    /// [`AllocatorService::link_prices`] into a caller-provided buffer
+    /// (see [`RateAllocator::link_prices_into`]).
+    pub fn link_prices_into(&self, out: &mut Vec<f64>) {
+        self.engine.link_prices_into(out);
     }
 
     /// Overwrites the engine's per-link duals with consensus values;

@@ -231,6 +231,12 @@ impl RateAllocator for FastpassAdapter {
         Vec::new()
     }
 
+    fn link_loads_into(&self, out: &mut Vec<f64>) {
+        // Empty on purpose, like `link_loads`: clearing the buffer is the
+        // whole export.
+        out.clear();
+    }
+
     fn set_background_loads(&mut self, loads: &[f64]) {
         // Deliberately a no-op (see `link_loads`): matchings are driven
         // by outstanding per-pair demand, and an exogenous per-link load
@@ -238,10 +244,20 @@ impl RateAllocator for FastpassAdapter {
         let _ = loads;
     }
 
+    fn link_hessians_into(&self, out: &mut Vec<f64>) {
+        // Empty on purpose (see `link_loads`).
+        out.clear();
+    }
+
     fn link_prices(&self) -> Vec<f64> {
         // No duals either (see `link_loads`): the arbiter has no price
         // state, so it abstains from inter-shard dual consensus.
         Vec::new()
+    }
+
+    fn link_prices_into(&self, out: &mut Vec<f64>) {
+        // Empty on purpose (see `link_prices`).
+        out.clear();
     }
 
     fn set_link_prices(&mut self, prices: &[f64]) {

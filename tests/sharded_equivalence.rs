@@ -196,6 +196,194 @@ fn message_intake_stats_match_byte_for_byte_at_any_shard_count() {
     }
 }
 
+/// xorshift64 — a tiny deterministic stream for churn schedules.
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+#[test]
+fn parallel_tick_is_bit_for_bit_sequential() {
+    // The concurrent two-phase tick must be *indistinguishable* from the
+    // sequential fallback: same update stream every tick, same final
+    // rates to the bit, same aggregate counters — across shard counts,
+    // churn schedules, and with the exchange both off and on every tick.
+    let fabric = fabric();
+    for shards in [1usize, 2, 4] {
+        for exchange_every in [0u64, 1] {
+            for seed in [1u64, 7, 42] {
+                let build = |parallel: bool| {
+                    let cfg = FlowtuneConfig {
+                        exchange_every,
+                        parallel_shards: parallel,
+                        ..FlowtuneConfig::default()
+                    };
+                    ShardedService::new(&fabric, cfg, shards)
+                };
+                let mut par = build(true);
+                let mut seq = build(false);
+                assert_eq!(par.parallel_shards(), shards > 1);
+                assert!(!seq.parallel_shards());
+                let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut token = 0u32;
+                let mut live: Vec<u32> = Vec::new();
+                for round in 0..90 {
+                    if round % 3 == 0 {
+                        // Churn: mostly starts, some ends, across the
+                        // whole server (and therefore shard) space.
+                        let r = xorshift(&mut rng);
+                        if r.is_multiple_of(4) && !live.is_empty() {
+                            let t = live.swap_remove((r >> 8) as usize % live.len());
+                            let end = Message::FlowletEnd {
+                                token: Token::new(t),
+                            };
+                            assert_eq!(par.on_message(end), seq.on_message(end));
+                        } else {
+                            token += 1;
+                            let src = (r % 16) as u16;
+                            let mut dst = ((r >> 16) % 16) as u16;
+                            if dst == src {
+                                dst = (dst + 1) % 16;
+                            }
+                            let msg = start(&fabric, token, src, dst);
+                            let a = par.on_message(msg);
+                            assert_eq!(a, seq.on_message(msg));
+                            if a.is_ok() {
+                                live.push(token);
+                            }
+                        }
+                    }
+                    let a = par.tick();
+                    let b = seq.tick();
+                    assert_eq!(
+                        a, b,
+                        "streams diverged: {shards} shards, exchange \
+                         {exchange_every}, seed {seed}, round {round}"
+                    );
+                }
+                for &t in &live {
+                    assert_eq!(
+                        par.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
+                        seq.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
+                        "rate of token {t} diverged ({shards} shards, \
+                         exchange {exchange_every}, seed {seed})"
+                    );
+                }
+                assert_eq!(par.stats(), seq.stats());
+                assert_eq!(par.active_flows(), seq.active_flows());
+            }
+        }
+    }
+}
+
+/// A serial NED engine that panics on its next `panics_left` iterations —
+/// the fault injector for shard-panic containment.
+#[derive(Debug)]
+struct PanickyEngine {
+    inner: flowtune_alloc::SerialAllocator,
+    panics_left: u32,
+}
+
+impl flowtune_alloc::RateAllocator for PanickyEngine {
+    fn add_flow(
+        &mut self,
+        id: flowtune_topo::FlowId,
+        src_server: usize,
+        dst_server: usize,
+        weight: f64,
+        path: &flowtune_topo::Path,
+    ) {
+        self.inner
+            .add_flow(id, src_server, dst_server, weight, path);
+    }
+
+    fn remove_flow(&mut self, id: flowtune_topo::FlowId) -> bool {
+        self.inner.remove_flow(id)
+    }
+
+    fn iterate(&mut self) {
+        if self.panics_left > 0 {
+            self.panics_left -= 1;
+            panic!("injected engine fault");
+        }
+        self.inner.iterate();
+    }
+
+    fn flow_count(&self) -> usize {
+        self.inner.flow_count()
+    }
+
+    fn rates(&self) -> Vec<flowtune_alloc::FlowRate> {
+        self.inner.rates()
+    }
+
+    fn flow_rate(&self, id: flowtune_topo::FlowId) -> Option<flowtune_alloc::FlowRate> {
+        self.inner.flow_rate(id)
+    }
+
+    fn name(&self) -> &'static str {
+        "panicky"
+    }
+}
+
+#[test]
+fn a_panicking_shard_is_contained_not_fatal() {
+    use flowtune::ServiceError;
+    let fabric = fabric();
+    for parallel in [true, false] {
+        let cfg = FlowtuneConfig {
+            parallel_shards: parallel,
+            ..FlowtuneConfig::default()
+        };
+        let shard = |panics_left: u32| {
+            AllocatorService::with_engine(
+                &fabric,
+                cfg,
+                PanickyEngine {
+                    inner: flowtune_alloc::SerialAllocator::new(
+                        &fabric,
+                        flowtune_alloc::AllocConfig::default(),
+                    ),
+                    panics_left,
+                },
+            )
+        };
+        // Shard 1's engine dies on the first tick's iteration; shard 0 is
+        // healthy throughout.
+        let mut svc = ShardedService::from_shards(vec![shard(0), shard(1)]);
+        svc.on_message(start(&fabric, 1, 0, 12)).unwrap(); // shard 0
+        svc.on_message(start(&fabric, 2, 8, 4)).unwrap(); // shard 1
+        let err = svc.try_tick().expect_err("shard 1 must panic");
+        assert_eq!(
+            err,
+            ServiceError::ShardPanicked { shard: 1 },
+            "parallel={parallel}"
+        );
+        // The sibling completed its tick despite the dead shard: shard
+        // 0's flow already carries a converging rate.
+        assert!(
+            svc.flow_rate_gbps(Token::new(1)).unwrap() > 0.0,
+            "parallel={parallel}: sibling shard's tick was lost"
+        );
+        // Neither the pool nor the service is poisoned: the next tick
+        // succeeds and serves *both* shards (the recovered shard's flow
+        // gets its first update now).
+        let updates = svc.try_tick().expect("recovered tick");
+        assert!(
+            updates
+                .iter()
+                .any(|(_, m)| matches!(m, Message::RateUpdate { token, .. } if token.get() == 2)),
+            "parallel={parallel}: recovered shard must emit an update"
+        );
+        for t in [1u32, 2] {
+            assert!(svc.flow_rate_gbps(Token::new(t)).unwrap() > 0.0);
+        }
+        assert_eq!(svc.stats().starts, 2);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -35,6 +35,8 @@
 //! Figure 12) and `flowtune_fastpass::FastpassAdapter` (per-packet
 //! timeslot arbitration, §6.1).
 
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod flowblock;
 pub mod gradient;

@@ -29,6 +29,7 @@ fn bench_sim(c: &mut Criterion) {
                         servers: 32,
                         server_link_bps: 10_000_000_000,
                         seed: 1,
+                        affinity: None,
                     });
                     for e in gen.events_until(2 * MS) {
                         sim.add_flow(e.at_ps, e.src as u16, e.dst as u16, e.bytes);

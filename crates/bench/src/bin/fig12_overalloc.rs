@@ -12,14 +12,34 @@
 //! prices shared links for its own flows alone (persistent
 //! over-allocation on cross-shard hot links), with `--exchange-every K`
 //! the shards price true totals and the row drops back to the unsharded
-//! NED's transient-only over-allocation.
+//! NED's transient-only over-allocation. The `exchange_bytes` column
+//! prices that correction: the exchange's cumulative wire cost over the
+//! whole run (warmup included — identical across rows, so rows compare).
+//!
+//! Passing `--placement traffic[:refine]` adds a placed twin of the
+//! exchanging sharded row: same engine, same cadence, but endpoints
+//! partitioned by the workload's sampled traffic matrix instead of
+//! contiguous ranges. To quantify the placement win, run it on a
+//! rack-affine workload with a realistic delta filter —
+//!
+//! ```text
+//! fig12_overalloc --quick --shards 2 --exchange-every 1 \
+//!     --placement traffic --pair-affinity 0.8 --exchange-delta-eps 0.001
+//! ```
+//!
+//! — the placed row then ships markedly fewer exchange bytes at the same
+//! (non-)over-allocation: communicating racks share a shard, so fewer
+//! links are priced from two sides. (With the default `eps = 0` every
+//! float wiggle of every loaded link re-ships each round, identically
+//! under any placement, and the comparison drowns.)
 //!
 //! Flags: `--engine` picks the base engine of the sharded rows' inner
-//! services, `--shards N` their shard count (default 2), and
-//! `--exchange-every K` the exchange cadence of the exchanging row
-//! (default 1).
+//! services, `--shards N` their shard count (default 2),
+//! `--exchange-every K` the exchange cadence of the exchanging rows
+//! (default 1), `--placement P` the placed row's placement and
+//! `--pair-affinity F` the workload's rack-affine skew.
 
-use flowtune::{Engine, FlowtuneConfig};
+use flowtune::{Engine, FlowtuneConfig, PlacementSpec};
 use flowtune_bench::{overallocation_gbps, FluidDriver, Opts};
 use flowtune_workload::Workload;
 
@@ -27,7 +47,10 @@ fn main() {
     let opts = Opts::parse();
     let warmup = opts.scaled(5_000_000_000, 1_000_000_000);
     let window = opts.scaled(50_000_000_000, 5_000_000_000);
-    let servers = if opts.quick { 32 } else { 144 };
+    // Quick mode runs 4 racks (not fig7's 2) so the sharded/placement
+    // rows have a real rack topology to partition: with only 2 racks a
+    // 2-shard placement has one rack per shard whatever the matrix says.
+    let servers = if opts.quick { 64 } else { 144 };
     let loads: &[f64] = if opts.quick {
         &[0.25, 0.5, 0.75]
     } else {
@@ -36,34 +59,58 @@ fn main() {
     // The sharded rows shard the *base* engine; same row shape as
     // fig13's sharded panel.
     let (base, shards, cadence) = opts.sharded_comparison();
-    let rows: Vec<(String, Engine, u64)> = vec![
-        ("NED".into(), Engine::Serial, 0),
-        ("Gradient".into(), Engine::Gradient, 0),
+    let mut rows: Vec<(String, Engine, u64, PlacementSpec)> = vec![
+        ("NED".into(), Engine::Serial, 0, PlacementSpec::Contiguous),
+        (
+            "Gradient".into(),
+            Engine::Gradient,
+            0,
+            PlacementSpec::Contiguous,
+        ),
         (
             format!("{}-sharded{shards}-noexchange", base.name()),
             base.clone().sharded(shards),
             0,
+            PlacementSpec::Contiguous,
         ),
         (
             format!("{}-sharded{shards}-x{cadence}", base.name()),
-            base.sharded(shards),
+            base.clone().sharded(shards),
             cadence,
+            PlacementSpec::Contiguous,
         ),
     ];
+    if opts.placement != PlacementSpec::Contiguous {
+        rows.push((
+            format!(
+                "{}-sharded{shards}-x{cadence}-{}",
+                base.name(),
+                opts.placement.name()
+            ),
+            base.sharded(shards),
+            cadence,
+            opts.placement,
+        ));
+    }
     println!(
         "# Figure 12 — mean over-capacity allocation (Gbit/s) without normalization, service path"
     );
-    println!("engine,load,mean_overallocation_gbps,p99_overallocation_gbps");
-    for (label, engine, exchange_every) in &rows {
+    println!("engine,load,mean_overallocation_gbps,p99_overallocation_gbps,exchange_bytes");
+    for (label, engine, exchange_every, placement) in &rows {
         for &load in loads {
+            // Base on the parsed options so `--exchange-delta-eps` and
+            // `--parallel-shards` reach the rows too; each row then pins
+            // its own cadence and placement.
             let cfg = FlowtuneConfig {
                 f_norm: false,
                 exchange_every: *exchange_every,
-                ..FlowtuneConfig::default()
+                placement: *placement,
+                ..opts.config()
             };
-            let mut driver = FluidDriver::with_engine(
+            let mut driver = FluidDriver::with_affinity(
                 Workload::Web,
                 load,
+                opts.pair_affinity,
                 servers,
                 cfg,
                 opts.seed,
@@ -75,7 +122,8 @@ fn main() {
             });
             let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
             let p99 = flowtune_sim::metrics::percentile(&mut samples, 99.0).unwrap_or(0.0);
-            println!("{label},{load},{mean:.2},{p99:.2}");
+            let bytes = driver.control_stats().exchange_bytes;
+            println!("{label},{load},{mean:.2},{p99:.2},{bytes}");
         }
     }
 }

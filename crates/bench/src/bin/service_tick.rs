@@ -28,7 +28,10 @@
 
 use std::time::Instant;
 
-use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, TickDriver};
+use flowtune::{
+    AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, PlacementSpec, TickDriver,
+    TrafficMatrix,
+};
 use flowtune_proto::{Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
 
@@ -100,12 +103,22 @@ impl Opts {
     }
 }
 
-/// One measured configuration. `parallel` is `None` for unsharded rows.
+/// One measured configuration. `parallel` is `None` for unsharded rows;
+/// `affine` rows load the interleaved rack-affine flow set (the
+/// communicating-racks workload shard placement exists for) instead of
+/// the pseudo-uniform one.
 struct RowSpec {
     label: &'static str,
     engine: Engine,
     exchange_every: u64,
     parallel: Option<bool>,
+    placement: PlacementSpec,
+    affine: bool,
+    /// Exchange delta filter for the row (the placement pair runs a
+    /// small positive eps, as a deployment would: with eps = 0 the
+    /// decay tails of never-loaded links' duals ship from every shard
+    /// identically under any placement and drown the comparison).
+    delta_eps: f64,
 }
 
 fn rows() -> Vec<RowSpec> {
@@ -114,6 +127,18 @@ fn rows() -> Vec<RowSpec> {
         engine,
         exchange_every,
         parallel,
+        placement: PlacementSpec::Contiguous,
+        affine: false,
+        delta_eps: 0.0,
+    };
+    let placed = |label, placement, affine| RowSpec {
+        label,
+        engine: Engine::Serial.sharded(2),
+        exchange_every: 1,
+        parallel: None,
+        placement,
+        affine,
+        delta_eps: 1e-3,
     };
     vec![
         row("serial", Engine::Serial, 0, None),
@@ -122,6 +147,17 @@ fn rows() -> Vec<RowSpec> {
         row("gradient", Engine::Gradient, 0, None),
         row("sharded2", Engine::Serial.sharded(2), 0, None),
         row("sharded2x1", Engine::Serial.sharded(2), 1, None),
+        // The placement pair: identical rack-affine flows with a
+        // per-tick exchange, partitioned contiguously vs by the traffic
+        // matrix. The placed row prices almost every link from one side
+        // only, so its exchange (and tick) stays cheaper — the
+        // `exchange_bytes` gap is printed alongside the table.
+        placed("sharded2aff", PlacementSpec::Contiguous, true),
+        placed(
+            "sharded2place",
+            PlacementSpec::Traffic { refine: true },
+            true,
+        ),
         // The headline pair: identical 4-shard work with a per-tick
         // exchange, ticked sequentially vs on per-shard OS threads.
         row("sharded4seq", Engine::Serial.sharded(4), 1, Some(false)),
@@ -129,29 +165,66 @@ fn rows() -> Vec<RowSpec> {
     ]
 }
 
-/// Loads `flows` pseudo-random flowlets into a fresh driver and
-/// converges it so measurement sees the suppressed steady state.
-fn loaded_driver(fabric: &TwoTierClos, spec: &RowSpec, flows: usize) -> BoxTickDriver {
-    let cfg = FlowtuneConfig {
-        exchange_every: spec.exchange_every,
-        parallel_shards: spec
-            .parallel
-            .unwrap_or(FlowtuneConfig::default().parallel_shards),
-        ..FlowtuneConfig::default()
-    };
-    let mut svc = AllocatorService::builder()
-        .fabric(fabric)
-        .config(cfg)
-        .engine(spec.engine.clone())
-        .build_driver()
-        .expect("fabric is set and the engine spec is sane");
+/// The `(src, dst)` endpoint pair of pseudo-random flow `f`: uniform by
+/// default, or — for the placement rows — rack-affine over two
+/// interleaved rack classes (destination rack shares `src`'s class
+/// parity but is never the source rack itself).
+fn endpoints(fabric: &TwoTierClos, f: usize, affine: bool) -> (usize, usize) {
     let servers = fabric.config().server_count();
-    for f in 0..flows {
-        let src = (f * 7919) % servers;
+    let src = (f * 7919) % servers;
+    if !affine {
         let mut dst = (f * 104_729 + 13) % servers;
         if dst == src {
             dst = (dst + 1) % servers;
         }
+        return (src, dst);
+    }
+    let spr = fabric.config().servers_per_rack;
+    let racks = servers / spr;
+    let src_rack = src / spr;
+    // Same-parity racks, excluding the source rack.
+    let class = src_rack % 2;
+    let choices = racks / 2 - 1;
+    let mut pick = class + 2 * ((f * 104_729 + 13) % choices);
+    if pick >= src_rack {
+        pick += 2;
+    }
+    (src, pick * spr + (f * 31) % spr)
+}
+
+/// Loads `flows` pseudo-random flowlets into a fresh driver and
+/// converges it so measurement sees the suppressed steady state. The
+/// placement rows feed the placer the exact traffic matrix of the flow
+/// set they load.
+fn loaded_driver(fabric: &TwoTierClos, spec: &RowSpec, flows: usize) -> BoxTickDriver {
+    let cfg = FlowtuneConfig {
+        exchange_every: spec.exchange_every,
+        exchange_delta_eps: spec.delta_eps,
+        parallel_shards: spec
+            .parallel
+            .unwrap_or(FlowtuneConfig::default().parallel_shards),
+        placement: spec.placement,
+        ..FlowtuneConfig::default()
+    };
+    let mut builder = AllocatorService::builder()
+        .fabric(fabric)
+        .config(cfg)
+        .engine(spec.engine.clone());
+    if spec.placement != PlacementSpec::Contiguous {
+        let spr = fabric.config().servers_per_rack;
+        let racks = fabric.config().server_count() / spr;
+        let mut matrix = TrafficMatrix::new(racks);
+        for f in 0..flows {
+            let (src, dst) = endpoints(fabric, f, spec.affine);
+            matrix.add(src / spr, dst / spr, 1_000_000.0);
+        }
+        builder = builder.traffic_matrix(matrix);
+    }
+    let mut svc = builder
+        .build_driver()
+        .expect("fabric is set and the engine spec is sane");
+    for f in 0..flows {
+        let (src, dst) = endpoints(fabric, f, spec.affine);
         let spine = fabric.ecmp_spine(src, dst, flowtune_topo::FlowId(f as u64));
         svc.on_message(Message::FlowletStart {
             token: Token::new(f as u32),
@@ -252,13 +325,24 @@ fn main() {
     let fabric = TwoTierClos::build(ClosConfig::multicore(4, 2, 16));
 
     let mut measured: Vec<(String, f64)> = Vec::new();
+    let mut exchange_bytes: Vec<(&'static str, u64)> = Vec::new();
     for spec in rows() {
         let mut svc = loaded_driver(&fabric, &spec, opts.flows);
         let us = measure(&mut svc, opts.ticks, opts.samples);
         if !opts.json {
-            println!("service_tick/{:<12} {:>10.2} µs/tick", spec.label, us);
+            println!("service_tick/{:<13} {:>10.2} µs/tick", spec.label, us);
+        }
+        if spec.affine {
+            exchange_bytes.push((spec.label, svc.stats().exchange_bytes));
         }
         measured.push((spec.label.to_string(), us));
+    }
+    if !opts.json {
+        // The placement story in one line: same affine flows, same
+        // exchange cadence, contiguous vs traffic-matrix placement.
+        for (label, bytes) in &exchange_bytes {
+            println!("exchange bytes {label:<13} {bytes:>12}");
+        }
     }
 
     let speedup = {

@@ -1,6 +1,37 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
-use flowtune::{Engine, FlowtuneConfig};
+use flowtune::{Engine, FlowtuneConfig, PlacementSpec};
+
+/// The experiment binaries' shared usage text (`--help`). Every
+/// [`FlowtuneConfig`] knob the CLI can set appears here with its flag —
+/// audited by the `every_config_knob_has_a_documented_flag` test, so a
+/// knob added to [`Opts::config`] without a usage line fails the build's
+/// tests rather than shipping undocumented.
+pub const USAGE: &str = "\
+shared experiment flags:
+  --quick                 reduced scale (default)
+  --full                  paper scale
+  --seed N                trace seed (default 42)
+  --engine E              allocation engine: serial|multicore|fastpass|gradient
+  --workers N             multicore engine thread cap (0 = size to host)
+  --shards N              shard the control plane N ways over --engine
+  --exchange-every K      inter-shard link-state exchange cadence in ticks
+                          (config exchange_every; 0 = off, the default)
+  --exchange-delta-eps X  exchange delta filter: re-ship a link only when its
+                          load, dual or Hessian moved by more than X
+                          (config exchange_delta_eps; default 0 = any change)
+  --parallel-shards[=on|off]
+                          concurrent vs sequential sharded tick, bit-for-bit
+                          identical output (config parallel_shards; default on)
+  --placement P           endpoint-to-shard placement:
+                          contiguous|traffic|traffic:refine
+                          (config placement; default contiguous; traffic
+                          groups communicating racks from the workload's
+                          sampled traffic matrix)
+  --pair-affinity F       rack-affine workload skew in [0,1]: probability a
+                          flowlet's destination stays in its source's
+                          interleaved rack class (default 0 = uniform)
+  --help                  print this help and exit";
 
 /// Common experiment options.
 #[derive(Debug, Clone)]
@@ -29,6 +60,18 @@ pub struct Opts {
     /// the default — leaves the config default, which is on). The output
     /// is bit-for-bit identical either way. Only affects sharded runs.
     pub parallel_shards: Option<bool>,
+    /// Endpoint-to-shard placement
+    /// (`--placement contiguous|traffic|traffic:refine`; contiguous —
+    /// the default — is the historical equal-range split). Traffic
+    /// placement groups communicating racks into the same shard from the
+    /// workload's sampled traffic matrix. Only affects sharded runs.
+    pub placement: PlacementSpec,
+    /// Rack-affine workload skew (`--pair-affinity F` in `[0, 1]`; 0 —
+    /// the default — keeps destinations uniform): the probability a
+    /// flowlet's destination is drawn from its source's interleaved rack
+    /// class, the communicating-racks structure traffic placement
+    /// exploits.
+    pub pair_affinity: f64,
 }
 
 impl Default for Opts {
@@ -40,25 +83,21 @@ impl Default for Opts {
             exchange_every: 0,
             exchange_delta_eps: 0.0,
             parallel_shards: None,
+            placement: PlacementSpec::Contiguous,
+            pair_affinity: 0.0,
         }
     }
 }
 
 impl Opts {
-    /// Parses `--quick`, `--full`, `--seed N`,
-    /// `--engine serial|multicore|fastpass|gradient`, `--workers N`
-    /// (multicore thread cap; 0 = size to the host), `--shards N`
-    /// (shard the service N ways over the chosen engine),
-    /// `--exchange-every K` (inter-shard link-state exchange cadence in
-    /// ticks; 0 disables), `--exchange-delta-eps X` (the exchange's
-    /// delta filter: re-ship a link only when its load, dual or Hessian
-    /// moved by more than X; 0 re-ships any change) and
-    /// `--parallel-shards[=on|off]` (concurrent vs sequential sharded
-    /// tick; defaults to the config default, on) from `std::env::args`.
+    /// Parses the shared experiment flags (see [`USAGE`] for the full
+    /// list: scale/seed, engine composition, sharding, the exchange
+    /// knobs, placement and workload affinity) from `std::env::args`.
+    /// `--help` prints [`USAGE`] and exits.
     ///
     /// # Panics
-    /// Panics with a usage message on unknown flags or engine names (the
-    /// engine message lists the valid names).
+    /// Panics with the usage text on unknown flags, and with messages
+    /// listing the valid names on unknown engine or placement values.
     pub fn parse() -> Self {
         Self::from_args(std::env::args().skip(1))
     }
@@ -79,7 +118,10 @@ impl Opts {
                 }
                 "--engine" => {
                     let v = it.next().expect("--engine needs a value");
-                    opts.engine = Engine::parse(&v).unwrap_or_else(|e| panic!("{e}"));
+                    // The full usage rides along so the error names every
+                    // composition flag (--shards, the exchange knobs,
+                    // --placement), not just the engine names.
+                    opts.engine = Engine::parse(&v).unwrap_or_else(|e| panic!("{e}\n{USAGE}"));
                 }
                 "--workers" => {
                     let v = it.next().expect("--workers needs a value");
@@ -91,8 +133,7 @@ impl Opts {
                 }
                 "--exchange-every" => {
                     let v = it.next().expect("--exchange-every needs a value");
-                    opts.exchange_every =
-                        v.parse().expect("--exchange-every needs an integer");
+                    opts.exchange_every = v.parse().expect("--exchange-every needs an integer");
                 }
                 "--exchange-delta-eps" => {
                     let v = it.next().expect("--exchange-delta-eps needs a value");
@@ -109,9 +150,25 @@ impl Opts {
                 "--parallel-shards=off" | "--parallel-shards=false" => {
                     opts.parallel_shards = Some(false);
                 }
-                other => panic!(
-                    "unknown flag {other}; use --quick|--full|--seed N|--engine E|--workers N|--shards N|--exchange-every K|--exchange-delta-eps X|--parallel-shards[=on|off]"
-                ),
+                "--placement" => {
+                    let v = it.next().expect("--placement needs a value");
+                    opts.placement =
+                        PlacementSpec::parse(&v).unwrap_or_else(|e| panic!("{e}\n{USAGE}"));
+                }
+                "--pair-affinity" => {
+                    let v = it.next().expect("--pair-affinity needs a value");
+                    let p: f64 = v.parse().expect("--pair-affinity needs a number");
+                    assert!(
+                        (0.0..=1.0).contains(&p),
+                        "--pair-affinity needs a probability in [0, 1]"
+                    );
+                    opts.pair_affinity = p;
+                }
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}\n{USAGE}"),
             }
         }
         if let Some(w) = workers {
@@ -138,14 +195,15 @@ impl Opts {
 
     /// The control-plane configuration these options describe: paper
     /// defaults with the `--exchange-every` cadence,
-    /// `--exchange-delta-eps` filter and `--parallel-shards` choice
-    /// applied.
+    /// `--exchange-delta-eps` filter, `--parallel-shards` choice and
+    /// `--placement` spec applied.
     pub fn config(&self) -> FlowtuneConfig {
         let defaults = FlowtuneConfig::default();
         FlowtuneConfig {
             exchange_every: self.exchange_every,
             exchange_delta_eps: self.exchange_delta_eps,
             parallel_shards: self.parallel_shards.unwrap_or(defaults.parallel_shards),
+            placement: self.placement,
             ..defaults
         }
     }
@@ -265,9 +323,108 @@ mod tests {
     }
 
     #[test]
+    fn placement_and_affinity_reach_the_config() {
+        let d = parse(&[]);
+        assert_eq!(d.placement, PlacementSpec::Contiguous);
+        assert_eq!(d.pair_affinity, 0.0);
+        let o = parse(&["--placement", "traffic", "--pair-affinity", "0.8"]);
+        assert_eq!(o.placement, PlacementSpec::Traffic { refine: false });
+        assert_eq!(o.config().placement, o.placement);
+        assert_eq!(o.pair_affinity, 0.8);
+        assert_eq!(
+            parse(&["--placement", "traffic:refine"]).config().placement,
+            PlacementSpec::Traffic { refine: true }
+        );
+        assert_eq!(
+            parse(&["--placement", "contiguous"]).config().placement,
+            PlacementSpec::Contiguous
+        );
+    }
+
+    /// The satellite audit: every [`FlowtuneConfig`] knob the CLI can set
+    /// must (a) appear in the `--help` usage text under its flag name and
+    /// (b) actually reach [`Opts::config`] when the flag is passed. A
+    /// knob wired into `config()` without documentation — or documented
+    /// without effect — fails here.
+    #[test]
+    fn every_config_knob_has_a_documented_flag() {
+        // (config knob, flag, example invocation)
+        let knobs: &[(&str, &str, &[&str])] = &[
+            (
+                "exchange_every",
+                "--exchange-every",
+                &["--exchange-every", "4"],
+            ),
+            (
+                "exchange_delta_eps",
+                "--exchange-delta-eps",
+                &["--exchange-delta-eps", "0.5"],
+            ),
+            (
+                "parallel_shards",
+                "--parallel-shards",
+                &["--parallel-shards=off"],
+            ),
+            ("placement", "--placement", &["--placement", "traffic"]),
+        ];
+        let defaults = FlowtuneConfig::default();
+        for (knob, flag, invocation) in knobs {
+            assert!(
+                USAGE.contains(flag),
+                "knob `{knob}`: flag {flag} missing from USAGE"
+            );
+            assert!(
+                USAGE.contains(knob),
+                "knob `{knob}` not named in USAGE next to its flag"
+            );
+            let cfg = parse(invocation).config();
+            assert_ne!(
+                cfg, defaults,
+                "knob `{knob}`: {invocation:?} did not change the config"
+            );
+        }
+        // And the workload/composition flags that shape runs without
+        // living in FlowtuneConfig are documented too.
+        for flag in [
+            "--engine",
+            "--workers",
+            "--shards",
+            "--seed",
+            "--quick",
+            "--full",
+            "--pair-affinity",
+            "--help",
+        ] {
+            assert!(USAGE.contains(flag), "{flag} missing from USAGE");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "finite non-negative")]
     fn negative_delta_eps_panics() {
         let _ = parse(&["--exchange-delta-eps", "-1.0"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability in [0, 1]")]
+    fn out_of_range_affinity_panics() {
+        let _ = parse(&["--pair-affinity", "1.5"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid placements: contiguous, traffic, traffic:refine")]
+    fn bad_placement_message_lists_valid_names() {
+        let _ = parse(&["--placement", "quantum"]);
+    }
+
+    /// The satellite fix, pinned: a bad engine name's error now carries
+    /// the full usage, so it names the composition flags (PR 4's
+    /// `--parallel-shards` / `--exchange-delta-eps` and this PR's
+    /// `--placement`), not just the engine list.
+    #[test]
+    #[should_panic(expected = "--parallel-shards")]
+    fn bad_engine_message_names_the_composition_flags() {
+        let _ = parse(&["--engine", "quantum"]);
     }
 
     #[test]

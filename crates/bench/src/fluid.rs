@@ -11,10 +11,13 @@
 
 use std::collections::HashMap;
 
-use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, TickDriver, TickLoop};
+use flowtune::{
+    AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, PlacementSpec, ServiceStats,
+    TickDriver, TickLoop, TrafficMatrix,
+};
 use flowtune_proto::{codec, wire, Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
-use flowtune_workload::{TraceConfig, TraceGenerator, Workload};
+use flowtune_workload::{rack_traffic_matrix, RackAffinity, TraceConfig, TraceGenerator, Workload};
 
 /// Accounting of one fluid run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -95,6 +98,27 @@ impl FluidDriver {
         seed: u64,
         engine: Engine,
     ) -> Self {
+        Self::with_affinity(workload, load, 0.0, servers, cfg, seed, engine)
+    }
+
+    /// [`FluidDriver::with_engine`] with a rack-affine workload: with
+    /// probability `affinity` a flowlet's destination is drawn from the
+    /// source's rack-affinity class (two interleaved classes of 16-server
+    /// racks, see [`flowtune_workload::RackAffinity`]); 0.0 is the
+    /// uniform workload. When the configuration asks for traffic-aware
+    /// shard placement ([`FlowtuneConfig::placement`]), the placer's
+    /// matrix is sampled from this same trace configuration (first 4096
+    /// events — deterministic in the seed), so `--placement traffic` sees
+    /// exactly the workload it will place for.
+    pub fn with_affinity(
+        workload: Workload,
+        load: f64,
+        affinity: f64,
+        servers: usize,
+        cfg: FlowtuneConfig,
+        seed: u64,
+        engine: Engine,
+    ) -> Self {
         assert!(servers.is_multiple_of(16), "whole racks of 16 expected");
         let clos = ClosConfig {
             racks: servers / 16,
@@ -103,19 +127,32 @@ impl FluidDriver {
             ..ClosConfig::paper_eval()
         };
         let fabric = TwoTierClos::build(clos);
-        let service = AllocatorService::builder()
-            .fabric(&fabric)
-            .config(cfg)
-            .engine(engine)
-            .build_driver()
-            .expect("fabric is set and the engine spec is sane");
-        let trace = TraceGenerator::new(TraceConfig {
+        let trace_cfg = TraceConfig {
             workload,
             load,
             servers,
             server_link_bps: 10_000_000_000,
             seed,
-        });
+            affinity: (affinity > 0.0).then_some(RackAffinity {
+                probability: affinity,
+                ..RackAffinity::heavy()
+            }),
+        };
+        let mut builder = AllocatorService::builder()
+            .fabric(&fabric)
+            .config(cfg)
+            .engine(engine);
+        if cfg.placement != PlacementSpec::Contiguous {
+            let racks = servers / 16;
+            builder = builder.traffic_matrix(TrafficMatrix::from_weights(
+                racks,
+                rack_traffic_matrix(&trace_cfg, 16, 4096),
+            ));
+        }
+        let service = builder
+            .build_driver()
+            .expect("fabric is set and the engine spec is sane");
+        let trace = TraceGenerator::new(trace_cfg);
         Self {
             ticker: TickLoop::new(service, cfg.tick_interval_ps),
             trace,
@@ -241,6 +278,13 @@ impl FluidDriver {
     pub fn active(&self) -> usize {
         self.remaining.len()
     }
+
+    /// The control plane's own operating counters — exchange
+    /// rounds/bytes, intake, update filtering (aggregated over shards,
+    /// where applicable).
+    pub fn control_stats(&self) -> ServiceStats {
+        self.ticker.driver().stats()
+    }
 }
 
 /// Total over-capacity allocation of a control plane's current *raw*
@@ -308,6 +352,29 @@ mod tests {
             assert!(stats.flowlets > 0, "{}: no flowlets", engine.name());
             assert!(stats.updates_sent > 0, "{}: no updates", engine.name());
         }
+    }
+
+    #[test]
+    fn traffic_placement_runs_and_reports_exchange_stats() {
+        let cfg = FlowtuneConfig {
+            exchange_every: 1,
+            placement: PlacementSpec::Traffic { refine: true },
+            ..FlowtuneConfig::default()
+        };
+        let mut d = FluidDriver::with_affinity(
+            Workload::Web,
+            0.4,
+            0.9,
+            32,
+            cfg,
+            5,
+            Engine::Serial.sharded(2),
+        );
+        let stats = d.run(1_000_000_000, 4_000_000_000);
+        assert!(stats.flowlets > 0);
+        let svc = d.control_stats();
+        assert!(svc.exchange_rounds > 0, "exchange must run");
+        assert!(svc.exchange_bytes > 0);
     }
 
     #[test]

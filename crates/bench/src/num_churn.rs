@@ -50,6 +50,7 @@ impl NumChurn {
             servers: fabric.config().server_count(),
             server_link_bps: 10_000_000_000,
             seed,
+            affinity: None,
         });
         let pending = trace.next_event();
         Self {

@@ -87,6 +87,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         servers: spec.servers,
         server_link_bps: 10_000_000_000,
         seed: spec.seed,
+        affinity: None,
     });
     let events = gen.events_until(spec.horizon_ps);
     let offered = events.len();

@@ -1,5 +1,7 @@
 //! System configuration.
 
+use crate::placement::PlacementSpec;
+
 /// Tunables of a Flowtune deployment, with the paper's values as defaults.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowtuneConfig {
@@ -52,6 +54,28 @@ pub struct FlowtuneConfig {
     /// With one shard there is nothing to parallelize and the sequential
     /// path is always taken.
     pub parallel_shards: bool,
+    /// Sharded control plane only: how endpoints map to shards (the
+    /// `--placement` flag). [`PlacementSpec::Contiguous`] (the default)
+    /// is the historical equal-range split, bit-for-bit identical to
+    /// pre-placement builds; [`PlacementSpec::Traffic`] groups
+    /// communicating racks into the same shard from a traffic matrix
+    /// supplied to the builder
+    /// ([`ServiceBuilder::traffic_matrix`](crate::ServiceBuilder::traffic_matrix)),
+    /// which shrinks the link state the inter-shard exchange must ship
+    /// and falls back to contiguous when no matrix is available. Ignored
+    /// by unsharded services.
+    ///
+    /// This field is builder *input*, not service state: the
+    /// authoritative mapping is the materialized
+    /// [`Placement`](crate::Placement) reported by
+    /// [`ShardedService::placement`](crate::ShardedService::placement)
+    /// (whose `strategy()` honestly reports `contiguous` after a
+    /// fallback). Constructors with no traffic-matrix channel
+    /// ([`ShardedService::new`](crate::ShardedService::new),
+    /// [`ShardedService::from_shards`](crate::ShardedService::from_shards))
+    /// always materialize the contiguous fallback whatever this spec
+    /// says.
+    pub placement: PlacementSpec,
 }
 
 impl Default for FlowtuneConfig {
@@ -67,6 +91,7 @@ impl Default for FlowtuneConfig {
             exchange_every: 0,
             exchange_delta_eps: 0.0,
             parallel_shards: true,
+            placement: PlacementSpec::Contiguous,
         }
     }
 }
@@ -99,5 +124,8 @@ mod tests {
         // Sharded ticks run concurrently by default (the sequential path
         // is a debugging/bit-for-bit-checking fallback).
         assert!(c.parallel_shards);
+        // Placement defaults to the historical contiguous ranges, so
+        // existing sharded deployments keep their exact routing.
+        assert_eq!(c.placement, PlacementSpec::Contiguous);
     }
 }

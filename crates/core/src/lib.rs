@@ -75,10 +75,13 @@
 //!
 //! [`RateAllocator`]: flowtune_alloc::RateAllocator
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod driver;
 pub mod endpoint;
 pub mod flowlet;
+pub mod placement;
 pub mod service;
 pub mod sharded;
 pub mod token;
@@ -87,9 +90,12 @@ pub use config::FlowtuneConfig;
 pub use driver::{BoxTickDriver, TickDriver, TickLoop};
 pub use endpoint::EndpointAgent;
 pub use flowlet::FlowletTracker;
+pub use placement::{
+    ParsePlacementError, Placement, PlacementSpec, TrafficMatrix, PLACEMENT_NAMES,
+};
 pub use service::{
-    AllocatorService, DynAllocatorService, Engine, ParseEngineError, ServiceBuilder, ServiceError,
-    ServiceStats, ENGINE_NAMES,
+    AllocatorService, DynAllocatorService, Engine, FlowMigration, ParseEngineError, ServiceBuilder,
+    ServiceError, ServiceStats, ENGINE_NAMES,
 };
 pub use sharded::ShardedService;
 pub use token::TokenAllocator;

@@ -48,6 +48,31 @@ use crate::FlowtuneConfig;
 struct Registered {
     internal: FlowId,
     src: u16,
+    /// Destination, weight and spine are retained so a registration can
+    /// be re-created verbatim in another shard when a re-placement epoch
+    /// migrates the flow (see [`AllocatorService::extract_flow`]).
+    dst: u16,
+    weight_q8: u16,
+    spine: u8,
+}
+
+/// A flowlet registration detached from its service, carrying everything
+/// needed to re-register the flow elsewhere — the unit of flow-state
+/// migration between shards during a re-placement epoch
+/// ([`ShardedService::replace`](crate::ShardedService::replace)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowMigration {
+    /// The endpoint-visible flowlet token.
+    pub token: Token,
+    /// Source server index.
+    pub src: u16,
+    /// Destination server index.
+    pub dst: u16,
+    /// Proportional-fairness weight in Q8 fixed point (0 = the config
+    /// default), exactly as the original `FlowletStart` carried it.
+    pub weight_q8: u16,
+    /// The ECMP spine of the flow's path.
+    pub spine: u8,
 }
 
 /// Operating counters, mostly for the overhead experiments.
@@ -260,6 +285,7 @@ pub struct ServiceBuilder {
     fabric: Option<TwoTierClos>,
     cfg: FlowtuneConfig,
     engine: Engine,
+    matrix: Option<crate::placement::TrafficMatrix>,
 }
 
 impl ServiceBuilder {
@@ -332,6 +358,29 @@ impl ServiceBuilder {
         self
     }
 
+    /// Selects how endpoints map to shards
+    /// ([`crate::FlowtuneConfig::placement`]; defaults to
+    /// [`crate::PlacementSpec::Contiguous`]). A
+    /// [`crate::PlacementSpec::Traffic`] spec consumes the matrix set
+    /// with [`ServiceBuilder::traffic_matrix`] and falls back to
+    /// contiguous without one. Only meaningful with [`Engine::Sharded`]
+    /// via [`ServiceBuilder::build_driver`].
+    pub fn placement(mut self, spec: crate::PlacementSpec) -> Self {
+        self.cfg.placement = spec;
+        self
+    }
+
+    /// Supplies the rack-by-rack traffic matrix a
+    /// [`crate::PlacementSpec::Traffic`] placement partitions by —
+    /// sampled from the workload up front
+    /// (`flowtune_workload::rack_traffic_matrix`) or exported by a
+    /// running service
+    /// ([`ShardedService::observed_matrix`](crate::ShardedService::observed_matrix)).
+    pub fn traffic_matrix(mut self, matrix: crate::placement::TrafficMatrix) -> Self {
+        self.matrix = Some(matrix);
+        self
+    }
+
     /// Builds the service over the chosen engine.
     ///
     /// # Errors
@@ -390,17 +439,39 @@ impl ServiceBuilder {
                     return Err(ServiceError::BadShards("shards cannot nest"));
                 }
                 let fabric = self.fabric.ok_or(ServiceError::MissingFabric)?;
+                let clos = fabric.config();
+                let placement = match self.cfg.placement {
+                    crate::PlacementSpec::Contiguous => {
+                        crate::Placement::contiguous(clos.server_count(), shards)
+                    }
+                    crate::PlacementSpec::Traffic { refine } => {
+                        // Without a matrix the placer has no signal, and
+                        // Placement::traffic falls back to contiguous.
+                        let racks = clos.server_count() / clos.servers_per_rack;
+                        let empty = crate::placement::TrafficMatrix::new(racks);
+                        crate::Placement::traffic(
+                            clos.server_count(),
+                            clos.servers_per_rack,
+                            shards,
+                            self.matrix.as_ref().unwrap_or(&empty),
+                            refine,
+                        )
+                    }
+                };
                 let services = (0..shards)
                     .map(|_| {
                         ServiceBuilder {
                             fabric: Some(fabric.clone()),
                             cfg: self.cfg,
                             engine: (*inner).clone(),
+                            matrix: None,
                         }
                         .build()
                     })
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Box::new(crate::ShardedService::from_shards(services)))
+                Ok(Box::new(crate::ShardedService::with_placement(
+                    services, placement,
+                )))
             }
             _ => Ok(Box::new(self.build()?)),
         }
@@ -512,19 +583,7 @@ impl<E: RateAllocator> AllocatorService<E> {
                     self.stats.rejected += 1;
                     return Err(ServiceError::MalformedStart(token));
                 }
-                let internal = FlowId(self.next_internal);
-                self.next_internal += 1;
-                let weight = if weight_q8 == 0 {
-                    self.cfg.default_weight
-                } else {
-                    weight_q8 as f64 / 256.0
-                };
-                let path = self
-                    .fabric
-                    .path_via_spine(src as usize, dst as usize, spine as usize);
-                self.engine
-                    .add_flow(internal, src as usize, dst as usize, weight, &path);
-                self.registry.insert(token, Registered { internal, src });
+                self.register(token, src, dst, weight_q8, spine);
                 self.stats.starts += 1;
                 Ok(())
             }
@@ -576,6 +635,81 @@ impl<E: RateAllocator> AllocatorService<E> {
     pub fn flow_rate_gbps(&self, token: Token) -> Option<f64> {
         let reg = self.registry.get(&token)?;
         Some(self.engine.flow_rate(reg.internal)?.normalized)
+    }
+
+    /// Source server of an active flowlet — the key re-placement routing
+    /// decisions are made on.
+    pub fn flow_source(&self, token: Token) -> Option<u16> {
+        Some(self.registry.get(&token)?.src)
+    }
+
+    /// Removes an active flowlet and returns its detached registration,
+    /// for re-registration in another shard via
+    /// [`AllocatorService::adopt_flow`]. Unlike a `FlowletEnd` this is a
+    /// *migration*, not churn: no counter moves (`starts`/`ends`/bytes
+    /// stay put, so aggregate stats are placement-invariant). The flow's
+    /// threshold-filter memory is dropped — the adopting shard reports a
+    /// fresh rate once the flow re-converges there.
+    pub fn extract_flow(&mut self, token: Token) -> Option<FlowMigration> {
+        let reg = self.registry.remove(&token)?;
+        self.engine.remove_flow(reg.internal);
+        self.filter.forget(token);
+        Some(FlowMigration {
+            token,
+            src: reg.src,
+            dst: reg.dst,
+            weight_q8: reg.weight_q8,
+            spine: reg.spine,
+        })
+    }
+
+    /// Registers a flowlet previously detached with
+    /// [`AllocatorService::extract_flow`] — the receiving half of a
+    /// migration. The flow re-enters the engine at its initial rate and
+    /// re-converges under this shard's prices; the fields were validated
+    /// at original intake, so only token freshness is re-checked. No
+    /// counter moves.
+    ///
+    /// # Errors
+    /// [`ServiceError::DuplicateToken`] if the token is already active
+    /// here.
+    pub fn adopt_flow(&mut self, m: FlowMigration) -> Result<(), ServiceError> {
+        if self.registry.contains_key(&m.token) {
+            return Err(ServiceError::DuplicateToken(m.token));
+        }
+        self.register(m.token, m.src, m.dst, m.weight_q8, m.spine);
+        Ok(())
+    }
+
+    /// The single registration path intake and migration share: mint the
+    /// internal id, decode the Q8 weight, build the path, seat the flow
+    /// in the engine and the registry. One implementation, so migrated
+    /// flows can never diverge from freshly started ones in weight or
+    /// path rules. The token must be fresh and the endpoint fields
+    /// validated by the caller.
+    fn register(&mut self, token: Token, src: u16, dst: u16, weight_q8: u16, spine: u8) {
+        let internal = FlowId(self.next_internal);
+        self.next_internal += 1;
+        let weight = if weight_q8 == 0 {
+            self.cfg.default_weight
+        } else {
+            weight_q8 as f64 / 256.0
+        };
+        let path = self
+            .fabric
+            .path_via_spine(src as usize, dst as usize, spine as usize);
+        self.engine
+            .add_flow(internal, src as usize, dst as usize, weight, &path);
+        self.registry.insert(
+            token,
+            Registered {
+                internal,
+                src,
+                dst,
+                weight_q8,
+                spine,
+            },
+        );
     }
 
     /// Number of active flowlets.

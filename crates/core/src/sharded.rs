@@ -9,13 +9,28 @@
 //! partitioned).
 //!
 //! [`ShardedService`] routes every `FlowletStart` to the shard that owns
-//! its **source endpoint** (contiguous, equal server ranges; when the
-//! shard count equals the fabric's block count a shard's range is exactly
-//! one §5 block, so a shard's flows enter the fabric through its own
-//! up-LinkBlock). Token-addressed messages (`FlowletEnd`) follow a
-//! token→shard routing table. Each shard runs a full
-//! [`AllocatorService`] over the whole fabric but sees only its own
-//! flows.
+//! its **source endpoint**, as decided by a
+//! [`Placement`]: the default is contiguous,
+//! equal server ranges (when the shard count equals the fabric's block count a
+//! shard's range is exactly one §5 block, so a shard's flows enter the
+//! fabric through its own up-LinkBlock), and a traffic-aware placement
+//! groups communicating racks instead (see [`crate::placement`]).
+//! Token-addressed messages (`FlowletEnd`) follow a token→shard routing
+//! table. Each shard runs a full [`AllocatorService`] over the whole
+//! fabric but sees only its own flows.
+//!
+//! A placement can be swapped at run time — a **re-placement epoch** —
+//! with [`ShardedService::replace`]: tokens whose source endpoint now
+//! belongs to a different shard are migrated deterministically (in
+//! ascending token order, engine state detached from the old shard and
+//! re-registered in the new one), after which the migrated flows
+//! re-converge under their new shard's prices. The service accumulates
+//! the signals a re-placement decision needs while it runs: a rack-level
+//! traffic matrix from flowlet intake ([`ShardedService::observed_matrix`])
+//! and the exchange's cumulative per-link ship counters
+//! ([`ShardedService::exchange_shipped_counts`] — links that keep
+//! re-shipping under churn are the shared hot links a better placement
+//! would unshare).
 //!
 //! # The two-phase tick
 //!
@@ -105,6 +120,24 @@
 //! engines), in both directions (deltas out; changed background sums and
 //! consensus duals back in).
 //!
+//! Inbound, the exchange is **subscription-pruned**: a shard imports
+//! (and is charged for) another shard's entry only on links it currently
+//! prices itself — its own fresh export carries a positive load there
+//! (the un-filtered export, so even a load too small to pass the
+//! outbound delta filter still subscribes its shard). Link state on
+//! a link a shard has no flows on cannot change its allocation (prices
+//! enter rates only through flows' paths), so those imports are pure
+//! waste; skipping them makes the inbound cost proportional to how many
+//! links the partition actually *shares*. That is the lever
+//! exchange-aware placement (see [`crate::placement`]) pulls: grouping
+//! communicating racks into one shard unshares the hot links, and both
+//! the double-shipping and the cross-subscriptions disappear. A shard
+//! that gains a flow on a new link subscribes the same round it first
+//! exports a load for it (exports are taken after the tick, installs
+//! after the exports), so pruning adds no staleness beyond the exchange
+//! cadence itself; an unsubscribed link's local dual simply keeps
+//! decaying, exactly as if the link were idle.
+//!
 //! The cadence remains a staleness/bandwidth trade-off: between
 //! exchanges a shard prices other shards' traffic at its last imported
 //! value, so `exchange_every = 1` tracks cross-shard churn within a tick
@@ -127,6 +160,7 @@ use flowtune_proto::{Message, Token};
 use flowtune_topo::TwoTierClos;
 
 use crate::driver::TickDriver;
+use crate::placement::{Placement, TrafficMatrix};
 use crate::service::{AllocatorService, ServiceError, ServiceStats};
 use crate::FlowtuneConfig;
 
@@ -165,7 +199,18 @@ pub struct ShardedService<E: RateAllocator = SerialAllocator> {
     shards: Vec<AllocatorService<E>>,
     /// token → shard, for `FlowletEnd` routing and rate queries.
     route: HashMap<Token, u32>,
-    servers: usize,
+    /// The endpoint→shard mapping `FlowletStart`s route by; swapped by
+    /// [`ShardedService::replace`].
+    placement: Placement,
+    /// Servers per rack, for the observed matrix's rack granularity.
+    servers_per_rack: usize,
+    /// Rack-level traffic matrix accumulated from accepted starts — the
+    /// online placement signal.
+    observed: TrafficMatrix,
+    /// Cumulative count of exchange entries shipped per link (summed
+    /// over shards) — the re-placement *trigger* signal: links that keep
+    /// re-shipping are shared hot links.
+    shipped_totals: Vec<u64>,
     /// Counters for messages the routing layer disposed of itself
     /// (duplicates, unknown ends, stray rate updates) and for the
     /// link-state exchange — folded into [`ShardedService::stats`] so the
@@ -203,6 +248,15 @@ pub struct ShardedService<E: RateAllocator = SerialAllocator> {
     /// Scratch, reused across rounds: per-link count of shards that
     /// shipped the link this round.
     dirty_count: Vec<u32>,
+    /// Scratch, reused across rounds: per-link count of shards whose
+    /// last-shipped tuple is non-zero (someone holds state worth a
+    /// catch-up transfer when a new subscriber appears).
+    state_count: Vec<u32>,
+    /// Each shard's subscription mask from the previous exchange round,
+    /// shard-major (`shard * n_links + link`): a link subscribed now but
+    /// not then is a *new* subscription and pays a catch-up entry for
+    /// the state it is handed from the `last` tables.
+    sub_prev: Vec<bool>,
 }
 
 impl ShardedService {
@@ -223,22 +277,49 @@ impl ShardedService {
 
 impl<E: RateAllocator> ShardedService<E> {
     /// Assembles the service from already-built shards (all over the same
-    /// fabric). Shard `i` owns the `i`-th contiguous slice of the server
-    /// space.
+    /// fabric) under the contiguous placement: shard `i` owns the `i`-th
+    /// contiguous slice of the server space. The shards'
+    /// [`FlowtuneConfig::placement`](crate::FlowtuneConfig) spec is *not*
+    /// consulted — this constructor has no traffic-matrix channel, and a
+    /// `Traffic` spec without a matrix falls back to contiguous anyway;
+    /// to materialize a traffic-aware mapping go through
+    /// [`ServiceBuilder::build_driver`](crate::ServiceBuilder::build_driver)
+    /// or pass an explicit [`Placement`] to
+    /// [`ShardedService::with_placement`].
     ///
     /// # Panics
     /// Panics if `shards` is empty or the shards disagree on the fabric
-    /// or on the exchange/parallelism configuration.
+    /// or on the exchange/parallelism/placement configuration.
     pub fn from_shards(shards: Vec<AllocatorService<E>>) -> Self {
         assert!(
             !shards.is_empty(),
             "a sharded service needs at least one shard"
         );
-        let servers = shards[0].fabric().config().server_count();
+        let placement =
+            Placement::contiguous(shards[0].fabric().config().server_count(), shards.len());
+        Self::with_placement(shards, placement)
+    }
+
+    /// [`ShardedService::from_shards`] with an explicit endpoint→shard
+    /// [`Placement`] (built by [`crate::Placement::contiguous`] or
+    /// [`crate::Placement::traffic`];
+    /// [`ServiceBuilder::build_driver`](crate::ServiceBuilder::build_driver)
+    /// materializes one from
+    /// [`FlowtuneConfig::placement`](crate::FlowtuneConfig) and the
+    /// builder's traffic matrix).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty, the shards disagree on the fabric or
+    /// on the exchange/parallelism/placement configuration, or the
+    /// placement's shape (server count, shard count) does not match.
+    pub fn with_placement(shards: Vec<AllocatorService<E>>, placement: Placement) -> Self {
         assert!(
-            shards
-                .iter()
-                .all(|s| s.fabric().config() == shards[0].fabric().config()),
+            !shards.is_empty(),
+            "a sharded service needs at least one shard"
+        );
+        let clos = shards[0].fabric().config().clone();
+        assert!(
+            shards.iter().all(|s| *s.fabric().config() == clos),
             "all shards must serve the same fabric"
         );
         let cfg = shards[0].config();
@@ -248,15 +329,30 @@ impl<E: RateAllocator> ShardedService<E> {
                 c.exchange_every == cfg.exchange_every
                     && c.exchange_delta_eps == cfg.exchange_delta_eps
                     && c.parallel_shards == cfg.parallel_shards
+                    && c.placement == cfg.placement
             }),
-            "all shards must agree on the exchange and parallelism configuration"
+            "all shards must agree on the exchange, parallelism and placement configuration"
+        );
+        assert_eq!(
+            placement.servers(),
+            clos.server_count(),
+            "placement must cover exactly the fabric's servers"
+        );
+        assert_eq!(
+            placement.shard_count(),
+            shards.len(),
+            "placement must map onto exactly the built shards"
         );
         let n = shards.len();
+        let racks = clos.server_count() / clos.servers_per_rack;
         Self {
             parallel: cfg.parallel_shards && n > 1,
             shards,
             route: HashMap::new(),
-            servers,
+            placement,
+            servers_per_rack: clos.servers_per_rack,
+            observed: TrafficMatrix::new(racks),
+            shipped_totals: Vec::new(),
             local: ServiceStats::default(),
             exchange_every: cfg.exchange_every,
             exchange_delta_eps: cfg.exchange_delta_eps.max(0.0),
@@ -269,6 +365,8 @@ impl<E: RateAllocator> ShardedService<E> {
             num: Vec::new(),
             dirty: Vec::new(),
             dirty_count: Vec::new(),
+            state_count: Vec::new(),
+            sub_prev: Vec::new(),
         }
     }
 
@@ -298,14 +396,91 @@ impl<E: RateAllocator> ShardedService<E> {
         &self.shards
     }
 
-    /// The shard owning source endpoint `src`: contiguous equal ranges of
-    /// the server space (shard = block when the shard count equals the
-    /// fabric's block count). Out-of-range endpoints clamp to the last
-    /// shard, whose service rejects them as
-    /// [`ServiceError::MalformedStart`].
+    /// The shard owning source endpoint `src`, per the current
+    /// [`Placement`] (under the default contiguous placement, shard =
+    /// block when the shard count equals the fabric's block count).
+    /// Out-of-range endpoints clamp to the last server's shard, whose
+    /// service rejects them as [`ServiceError::MalformedStart`].
     pub fn shard_of(&self, src: u16) -> usize {
-        let n = self.shards.len();
-        ((src as usize).min(self.servers.saturating_sub(1)) * n / self.servers).min(n - 1)
+        self.placement.shard_of(src)
+    }
+
+    /// The endpoint→shard mapping currently routing `FlowletStart`s.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The rack-level traffic matrix accumulated from accepted flowlet
+    /// starts since construction (offered bytes by `size_hint`, floored
+    /// at 1 so zero-hint flowlets still register) — the online signal
+    /// [`crate::Placement::traffic`] consumes for a re-placement epoch.
+    pub fn observed_matrix(&self) -> &TrafficMatrix {
+        &self.observed
+    }
+
+    /// Cumulative count of exchange entries shipped per link (summed over
+    /// shards; indexed by global link id, empty until the first exchange
+    /// round). Links that keep re-shipping under steady churn are the
+    /// shared hot links an exchange-aware placement would unshare — a
+    /// rising tail here is the signal to compute a fresh placement from
+    /// [`ShardedService::observed_matrix`] and call
+    /// [`ShardedService::replace`].
+    pub fn exchange_shipped_counts(&self) -> &[u64] {
+        &self.shipped_totals
+    }
+
+    /// Installs a new [`Placement`] — a **re-placement epoch**. Every
+    /// active flowlet whose source endpoint now belongs to a different
+    /// shard is migrated: detached from its old shard (engine state and
+    /// threshold-filter memory dropped) and re-registered in the new one,
+    /// in ascending token order so the epoch is deterministic. Migrated
+    /// flows re-enter their engine at the initial rate and re-converge
+    /// under the new shard's prices (F-NORM keeps the transient
+    /// feasible); unmoved flows are untouched. Aggregate stats do not
+    /// move — migration is not intake churn. Returns the number of flows
+    /// migrated.
+    ///
+    /// The exchange's last-shipped tables are deliberately kept: they
+    /// record what the other shards are still pricing, and the delta
+    /// filter re-ships exactly what the migration moved on the next
+    /// round.
+    ///
+    /// # Panics
+    /// Panics if the placement's shape (server count, shard count) does
+    /// not match this service.
+    pub fn replace(&mut self, placement: Placement) -> usize {
+        assert_eq!(
+            placement.servers(),
+            self.placement.servers(),
+            "replacement must cover the same server space"
+        );
+        assert_eq!(
+            placement.shard_count(),
+            self.shards.len(),
+            "replacement must map onto the same shard count"
+        );
+        let mut tokens: Vec<(Token, u32)> = self.route.iter().map(|(&t, &s)| (t, s)).collect();
+        tokens.sort_unstable_by_key(|&(t, _)| t);
+        let mut moved = 0;
+        for (token, old) in tokens {
+            let src = self.shards[old as usize]
+                .flow_source(token)
+                .expect("routed token must be registered in its shard");
+            let new = placement.shard_of(src) as u32;
+            if new == old {
+                continue;
+            }
+            let migration = self.shards[old as usize]
+                .extract_flow(token)
+                .expect("routed token must be extractable");
+            self.shards[new as usize]
+                .adopt_flow(migration)
+                .expect("tokens are unique across shards");
+            self.route.insert(token, new);
+            moved += 1;
+        }
+        self.placement = placement;
+        moved
     }
 
     /// The shard an active flowlet is registered in.
@@ -322,7 +497,13 @@ impl<E: RateAllocator> ShardedService<E> {
     /// [`ServiceError::UnexpectedRateUpdate`] raised at the routing layer.
     pub fn on_message(&mut self, msg: Message) -> Result<(), ServiceError> {
         match msg {
-            Message::FlowletStart { token, src, .. } => {
+            Message::FlowletStart {
+                token,
+                src,
+                dst,
+                size_hint,
+                ..
+            } => {
                 if self.route.contains_key(&token) {
                     // Cross-shard duplicate detection must happen here: the
                     // original may live in a different shard than the one
@@ -334,6 +515,11 @@ impl<E: RateAllocator> ShardedService<E> {
                 let shard = self.shard_of(src);
                 self.shards[shard].on_message(msg)?;
                 self.route.insert(token, shard as u32);
+                // Accepted (so src/dst are in range): feed the online
+                // placement signal at rack granularity.
+                let rack_of = |s: u16| s as usize / self.servers_per_rack;
+                self.observed
+                    .add(rack_of(src), rack_of(dst), f64::from(size_hint.max(1)));
                 Ok(())
             }
             Message::FlowletEnd { token } => match self.route.remove(&token) {
@@ -492,6 +678,7 @@ impl<E: RateAllocator> ShardedService<E> {
         self.dirty.resize(n * n_links, false);
         self.dirty_count.clear();
         self.dirty_count.resize(n_links, 0);
+        self.shipped_totals.resize(n_links, 0);
         let mut bytes = 0u64;
         for i in 0..n {
             let slot = &self.slots[i];
@@ -519,6 +706,7 @@ impl<E: RateAllocator> ShardedService<E> {
                     }
                     self.dirty[i * n_links + l] = true;
                     self.dirty_count[l] += 1;
+                    self.shipped_totals[l] += 1;
                     shipped += 1;
                 }
             }
@@ -526,10 +714,34 @@ impl<E: RateAllocator> ShardedService<E> {
             bytes += shipped * entry_bytes(2 + has_h as u64);
         }
 
+        // Receiver-side subscription: a shard imports link state only for
+        // links it currently prices (its own *fresh export* carries a
+        // positive load — not the delta-filtered last-shipped table,
+        // which under a positive eps can hold 0 for a link whose real
+        // load never moved past the filter). Background loads/Hessians
+        // and consensus duals on a link a shard has no flows on cannot
+        // change that shard's allocation — link prices enter rates only
+        // through flows' paths — so not shipping them is free, and it
+        // makes the exchange's inbound cost proportional to how *shared*
+        // the partition left the links: an exchange-aware placement that
+        // unshares the hot links drives it toward zero. A shard that
+        // gains a flow on a new link exports a positive load for it the
+        // same round (exports are taken after the tick), so it
+        // subscribes — and imports background — with no added staleness
+        // over the exchange cadence itself. This single predicate is the
+        // subscription rule for all three install paths below.
+        let subscribed = |slot: &ShardSlot, l: usize| slot.loads.get(l).is_some_and(|&v| v > 0.0);
+
         // Load aggregation: each shard imports Σ of the *other* shards'
-        // shipped loads.
+        // shipped loads on its subscribed links (zero elsewhere — no
+        // knowledge, and the local dual just decays as if idle).
         for i in 0..n {
             sum_last_into(&self.last, |s| &s.loads, Some(i), n_links, &mut self.bg);
+            for l in 0..n_links {
+                if !subscribed(&self.slots[i], l) {
+                    self.bg[l] = 0.0;
+                }
+            }
             self.shards[i].set_background_loads(&self.bg);
         }
 
@@ -542,18 +754,27 @@ impl<E: RateAllocator> ShardedService<E> {
                     continue;
                 }
                 sum_last_into(&self.last, |s| &s.hessians, Some(i), n_links, &mut self.bg);
+                for l in 0..n_links {
+                    if !subscribed(&self.slots[i], l) {
+                        self.bg[l] = 0.0;
+                    }
+                }
                 self.shards[i].set_background_hessians(&self.bg);
             }
         }
 
         // Dual consensus: load-weighted mean price per loaded link, from
-        // the shipped tables.
+        // the shipped tables. The same scan counts, per link, how many
+        // shards hold any non-zero shipped state there — what a new
+        // subscriber would have to be caught up on.
         self.bg.clear();
         self.bg.resize(n_links, f64::NAN);
         self.weight.clear();
         self.weight.resize(n_links, 0.0);
         self.num.clear();
         self.num.resize(n_links, 0.0);
+        self.state_count.clear();
+        self.state_count.resize(n_links, 0);
         for last in &self.last {
             if last.loads.is_empty() {
                 continue;
@@ -563,8 +784,15 @@ impl<E: RateAllocator> ShardedService<E> {
                     self.num[l] += last.loads[l] * last.prices[l];
                     self.weight[l] += last.loads[l];
                 }
+                if last.loads[l] != 0.0
+                    || last.prices[l] != 0.0
+                    || last.hessians.get(l).is_some_and(|&h| h != 0.0)
+                {
+                    self.state_count[l] += 1;
+                }
             }
         }
+        self.sub_prev.resize(n * n_links, false);
         for l in 0..n_links {
             if self.weight[l] > 0.0 {
                 self.bg[l] = self.num[l] / self.weight[l];
@@ -575,14 +803,44 @@ impl<E: RateAllocator> ShardedService<E> {
             if slot.loads.is_empty() {
                 continue;
             }
-            shard.set_link_prices(&self.bg);
-            // Inbound: a shard receives fresh background-load and
-            // consensus-dual entries (+ background Hessian, for
-            // second-order engines) for every link some *other* shard
-            // re-shipped this round.
+            // Subscription pruning again: consensus duals install (and
+            // count) only on links this shard prices; elsewhere NaN
+            // keeps its own (decaying) dual. `num` is free scratch now —
+            // the consensus numerators were folded into `bg` above.
+            self.num.clear();
+            let bg = &self.bg;
+            self.num
+                .extend((0..n_links).map(|l| if subscribed(slot, l) { bg[l] } else { f64::NAN }));
+            shard.set_link_prices(&self.num);
+            // Inbound: a shard receives an entry for a subscribed link
+            // when some *other* shard re-shipped it this round — or, on
+            // a link the shard newly subscribed to, as a catch-up
+            // transfer of the state other shards already shipped in past
+            // rounds (without it, a late subscriber would be handed the
+            // `last` tables' contents for free and `exchange_bytes`
+            // would under-count what a real wire protocol must carry).
             let recv = (0..n_links)
-                .filter(|&l| self.dirty_count[l] > u32::from(self.dirty[i * n_links + l]))
+                .filter(|&l| {
+                    if !subscribed(slot, l) {
+                        return false;
+                    }
+                    let fresh = self.dirty_count[l] > u32::from(self.dirty[i * n_links + l]);
+                    // `state_count` includes this shard's own table; an
+                    // *other* shard holds state iff the count exceeds
+                    // this shard's own membership in it.
+                    let own_state = {
+                        let last = &self.last[i];
+                        last.loads.get(l).is_some_and(|&v| v != 0.0)
+                            || last.prices.get(l).is_some_and(|&v| v != 0.0)
+                            || last.hessians.get(l).is_some_and(|&v| v != 0.0)
+                    };
+                    let others_hold_state = self.state_count[l] > u32::from(own_state);
+                    fresh || (!self.sub_prev[i * n_links + l] && others_hold_state)
+                })
                 .count() as u64;
+            for l in 0..n_links {
+                self.sub_prev[i * n_links + l] = subscribed(slot, l);
+            }
             let has_h = !slot.hessians.is_empty();
             bytes += recv * entry_bytes(2 + (has_h && any_h) as u64);
         }
@@ -1003,26 +1261,42 @@ mod tests {
         let twin = mk(0);
         assert_eq!(twin.stats().exchange_bytes, 0, "twin must not exchange");
         let entry = 4 + 8 * 3; // id + load + dual + Hessian (serial NED)
-        let dirty: Vec<usize> = twin
+        let exports: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = twin
             .shards()
             .iter()
-            .map(|s| {
-                let (loads, prices, hess) = (s.link_loads(), s.link_prices(), s.link_hessians());
+            .map(|s| (s.link_loads(), s.link_prices(), s.link_hessians()))
+            .collect();
+        let dirty: Vec<Vec<bool>> = exports
+            .iter()
+            .map(|(loads, prices, hess)| {
                 (0..loads.len())
-                    .filter(|&l| loads[l] != 0.0 || prices[l] != 0.0 || hess[l] != 0.0)
-                    .count()
+                    .map(|l| loads[l] != 0.0 || prices[l] != 0.0 || hess[l] != 0.0)
+                    .collect()
             })
             .collect();
-        // Out: each shard's dirty entries. In: each shard receives the
-        // entries the *other* shard shipped.
-        let entries = (dirty[0] + dirty[1]) * 2;
+        // Out: each shard's dirty entries. In: each shard *subscribes*
+        // only to the links it prices (its own load is positive), so it
+        // receives the other shard's dirty entries on exactly those.
+        let out: usize = dirty.iter().map(|d| d.iter().filter(|&&x| x).count()).sum();
+        let recv_into = |me: usize, other: usize| -> usize {
+            dirty[other]
+                .iter()
+                .enumerate()
+                .filter(|&(l, &d)| d && exports[me].0[l] > 0.0)
+                .count()
+        };
+        let entries = out + recv_into(0, 1) + recv_into(1, 0);
         assert!(entries > 0, "a first round must ship something");
-        // Only shipped entries are counted (the satellite fix: the old
-        // dense accounting charged six full vectors per shard whatever
-        // moved) — here every link happens to be dirty on a fresh
-        // system (initial duals are decaying everywhere), and the
+        // Only shipped entries are counted (the PR 4 satellite fix: the
+        // old dense accounting charged six full vectors per shard
+        // whatever moved), and inbound only on subscribed links (this
+        // PR: a shard with no flows on a link imports nothing for it).
+        // On this fresh system every link is dirty outbound (initial
+        // duals are decaying everywhere), but each shard's two disjoint
+        // flows subscribe it to just its own four path links; the
         // delta-filter test covers the converged end where almost
-        // nothing is.
+        // nothing ships at all.
+        assert!(entries < 2 * dirty[0].len() * 2, "pruning must bite");
         assert_eq!(svc.stats().exchange_bytes, (entries * entry) as u64);
     }
 
@@ -1059,6 +1333,50 @@ mod tests {
             st.exchange_bytes < dense / 5,
             "sparse {} vs dense {dense}",
             st.exchange_bytes
+        );
+    }
+
+    #[test]
+    fn a_new_subscriber_pays_catch_up_for_state_it_is_handed() {
+        // Two runs, identical except for where the late flow lands: on a
+        // receiver whose links shard 0 already prices (shared), or on a
+        // fully disjoint path. In both, the late shard newly subscribes
+        // to 4 links and ships 4 entries; in the shared case the round
+        // additionally carries shard 0's fresh imports of the 2 shared
+        // entries — the difference the wire must pay for sharing a
+        // receiver. (Catch-up for state held from the decay era is
+        // charged identically in both runs: `last` tables hold nonzero
+        // final-shipped prices everywhere.)
+        let f = fabric();
+        let cfg = FlowtuneConfig {
+            exchange_every: 1,
+            exchange_delta_eps: 1e-3,
+            ..FlowtuneConfig::default()
+        };
+        let run = |late_dst: u16| {
+            let mut svc = ShardedService::new(&f, cfg, 2);
+            svc.on_message(start(1, 0, 12)).unwrap(); // shard 0
+            for _ in 0..300 {
+                svc.tick();
+            }
+            let settled = svc.stats().exchange_bytes;
+            svc.tick();
+            assert_eq!(svc.stats().exchange_bytes, settled, "must be converged");
+            svc.on_message(start(2, 8, late_dst)).unwrap(); // shard 1
+            svc.tick();
+            svc.stats().exchange_bytes - settled
+        };
+        // start() pins spine 1, so (8 → 12) shares exactly two links with
+        // (0 → 12): the spine→ToR down link and the receiver's access
+        // link. (8 → 4) shares none.
+        let shared = run(12);
+        let disjoint = run(4);
+        assert!(disjoint > 0, "a new flow's links must ship");
+        let entry = 4 + 8 * 3;
+        assert_eq!(
+            shared,
+            disjoint + 2 * entry,
+            "sharing a receiver must cost exactly the 2 shared links' fresh imports"
         );
     }
 
@@ -1108,6 +1426,111 @@ mod tests {
         // over all links is 4 hops × ~39.6 G × 2 flows.
         let total: f64 = loads.iter().sum();
         assert!((total - 2.0 * 4.0 * 39.6).abs() < 1.0, "total {total}");
+    }
+
+    #[test]
+    fn default_placement_is_contiguous_and_shapes_must_match() {
+        let svc = sharded(2);
+        assert_eq!(svc.placement().strategy(), "contiguous");
+        assert_eq!(svc.placement().servers(), 16);
+        assert_eq!(svc.placement().shard_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shard count")]
+    fn replace_rejects_a_mismatched_shard_count() {
+        let mut svc = sharded(2);
+        svc.replace(crate::Placement::contiguous(16, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly the built shards")]
+    fn with_placement_rejects_a_mismatched_placement() {
+        let f = fabric();
+        let shards: Vec<AllocatorService> = (0..2)
+            .map(|_| AllocatorService::new(&f, FlowtuneConfig::default()))
+            .collect();
+        let _ = ShardedService::with_placement(shards, crate::Placement::contiguous(16, 3));
+    }
+
+    #[test]
+    fn replace_migrates_moved_tokens_and_reroutes() {
+        // Swap the two shards' endpoint ranges: every active flow moves.
+        let mut svc = sharded(2);
+        svc.on_message(start(1, 0, 12)).unwrap(); // shard 0
+        svc.on_message(start(2, 8, 4)).unwrap(); // shard 1
+        for _ in 0..50 {
+            svc.tick();
+        }
+        let starts_before = svc.stats().starts;
+        // A signal-free traffic placement falls back to contiguous — a
+        // no-op replace that migrates nothing.
+        let fallback = crate::Placement::traffic(16, 8, 2, &TrafficMatrix::new(2), false);
+        assert_eq!(svc.replace(fallback), 0);
+        // Now actually move everything: over two 8-server units, a matrix
+        // that makes unit 1 the heavy anchor lands it in shard 0 —
+        // reversing the contiguous ranges.
+        let mut m = TrafficMatrix::new(2);
+        m.add(1, 1, 100.0);
+        m.add(0, 0, 1.0);
+        let reversed = crate::Placement::traffic(16, 8, 2, &m, false);
+        assert_eq!(reversed.shard_of(8), 0, "heavy rack 1 anchors shard 0");
+        assert_eq!(reversed.shard_of(0), 1);
+        let moved = svc.replace(reversed);
+        assert_eq!(moved, 2, "both flows changed shards");
+        assert_eq!(svc.shard_for_token(Token::new(1)), Some(1));
+        assert_eq!(svc.shard_for_token(Token::new(2)), Some(0));
+        assert_eq!(svc.active_flows(), 2);
+        // Migration is not churn: intake counters are unmoved.
+        assert_eq!(svc.stats().starts, starts_before);
+        assert_eq!(svc.stats().ends, 0);
+        // The service keeps operating: both flows re-converge.
+        for _ in 0..200 {
+            svc.tick();
+        }
+        for t in [1u32, 2] {
+            let rate = svc.flow_rate_gbps(Token::new(t)).unwrap();
+            assert!((rate - 39.6).abs() < 0.2, "token {t}: {rate}");
+        }
+        // New starts route by the new placement.
+        svc.on_message(start(3, 0, 12)).unwrap();
+        assert_eq!(svc.shard_for_token(Token::new(3)), Some(1));
+    }
+
+    #[test]
+    fn observed_matrix_accumulates_accepted_starts_only() {
+        let mut svc = sharded(2);
+        svc.on_message(start(1, 0, 12)).unwrap(); // rack 0 → rack 3
+        svc.on_message(start(2, 1, 13)).unwrap(); // rack 0 → rack 3
+        svc.on_message(start(1, 5, 9)).unwrap_err(); // duplicate: no signal
+        svc.on_message(Message::FlowletEnd {
+            token: Token::new(99),
+        })
+        .unwrap(); // unknown end: no signal
+        let m = svc.observed_matrix();
+        assert_eq!(m.racks(), 4, "4 racks of 4 servers");
+        assert_eq!(m.get(0, 3), 2.0 * 100_000.0, "both accepted starts counted");
+        assert_eq!(m.total(), 2.0 * 100_000.0);
+    }
+
+    #[test]
+    fn shipped_counts_track_exchange_activity() {
+        let f = fabric();
+        let cfg = FlowtuneConfig {
+            exchange_every: 1,
+            ..FlowtuneConfig::default()
+        };
+        let mut svc = ShardedService::new(&f, cfg, 2);
+        assert!(svc.exchange_shipped_counts().is_empty(), "no round yet");
+        svc.on_message(start(1, 0, 12)).unwrap();
+        svc.on_message(start(2, 8, 4)).unwrap();
+        for _ in 0..5 {
+            svc.tick();
+        }
+        let counts = svc.exchange_shipped_counts();
+        assert_eq!(counts.len(), f.topology().link_count());
+        let total: u64 = counts.iter().sum();
+        assert!(total > 0, "five exchange rounds shipped something");
     }
 
     #[test]

@@ -21,6 +21,37 @@ pub struct FlowletEvent {
     pub id: u64,
 }
 
+/// Destination skew toward a source's rack-affinity class — the
+/// "communicating racks" structure exchange-aware shard placement
+/// exploits. Racks are striped into `classes` interleaved classes (rack
+/// `r` belongs to class `r % classes`), so class members are *never*
+/// contiguous: a contiguous equal-range shard split always separates
+/// them, which is exactly the adversarial case a traffic-aware placement
+/// repairs by grouping each class into one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackAffinity {
+    /// Probability that a flowlet's destination is drawn from the
+    /// source's own class (the remainder stays uniform over all
+    /// servers). 0 disables the skew.
+    pub probability: f64,
+    /// Servers per rack (the class granularity).
+    pub servers_per_rack: usize,
+    /// Number of interleaved rack classes (≥ 2 for any skew to exist).
+    pub classes: usize,
+}
+
+impl RackAffinity {
+    /// The benchmark default: strong (90%) affinity over two interleaved
+    /// classes of 16-server racks.
+    pub fn heavy() -> Self {
+        Self {
+            probability: 0.9,
+            servers_per_rack: 16,
+            classes: 2,
+        }
+    }
+}
+
 /// Trace parameters.
 #[derive(Debug, Clone)]
 pub struct TraceConfig {
@@ -28,12 +59,16 @@ pub struct TraceConfig {
     pub workload: Workload,
     /// Average server load in (0, 1].
     pub load: f64,
-    /// Number of servers; sources and destinations are uniform.
+    /// Number of servers; sources are uniform, destinations are uniform
+    /// unless `affinity` skews them.
     pub servers: usize,
     /// Server access-link capacity (bits/s) for the load calibration.
     pub server_link_bps: u64,
     /// RNG seed — traces are fully reproducible.
     pub seed: u64,
+    /// Optional rack-affine destination skew (`None` = uniform, the
+    /// historical behavior).
+    pub affinity: Option<RackAffinity>,
 }
 
 /// An infinite, lazily-generated Poisson flowlet trace.
@@ -83,7 +118,7 @@ impl TraceGenerator {
     pub fn next_event(&mut self) -> FlowletEvent {
         self.clock_ps += self.arrivals.next_gap_ps(&mut self.rng).max(1);
         let src = self.rng.random_range(0..self.cfg.servers) as u32;
-        let mut dst = self.rng.random_range(0..self.cfg.servers) as u32;
+        let mut dst = self.pick_dst(src);
         if dst == src {
             dst = (dst + 1) % self.cfg.servers as u32;
         }
@@ -97,6 +132,27 @@ impl TraceGenerator {
             bytes,
             id,
         }
+    }
+
+    /// The destination draw: uniform, or — with the configured affinity
+    /// probability — uniform over the servers of the source's rack class.
+    fn pick_dst(&mut self, src: u32) -> u32 {
+        if let Some(aff) = self.cfg.affinity {
+            let spr = aff.servers_per_rack;
+            // Guard before dividing: a zero rack size falls back to the
+            // uniform draw instead of panicking.
+            let racks = self.cfg.servers.checked_div(spr).unwrap_or(0);
+            let usable = aff.probability > 0.0 && aff.classes >= 2 && racks >= aff.classes;
+            if usable && self.rng.random::<f64>() < aff.probability {
+                // Racks of the source's class: src_class, src_class + classes, …
+                let src_class = (src as usize / spr) % aff.classes;
+                let class_racks = (racks - src_class).div_ceil(aff.classes);
+                let pick = self.rng.random_range(0..class_racks * spr);
+                let rack = src_class + (pick / spr) * aff.classes;
+                return (rack * spr + pick % spr) as u32;
+            }
+        }
+        self.rng.random_range(0..self.cfg.servers) as u32
     }
 
     /// Collects every flowlet arriving before `horizon_ps`.
@@ -113,6 +169,35 @@ impl TraceGenerator {
             out.push(e);
         }
     }
+}
+
+/// Samples the rack-by-rack traffic matrix a trace configuration offers:
+/// row-major `racks × racks` offered bytes, estimated from the first
+/// `samples` events of a **fresh** generator (the caller's own event
+/// stream is untouched, and the same config + seed always yields the
+/// same matrix — the determinism exchange-aware shard placement relies
+/// on). Racks are `servers_per_rack`-sized server ranges.
+///
+/// # Panics
+/// Panics if `servers_per_rack` is 0 or does not divide the config's
+/// server count.
+pub fn rack_traffic_matrix(cfg: &TraceConfig, servers_per_rack: usize, samples: usize) -> Vec<f64> {
+    assert!(
+        servers_per_rack > 0 && cfg.servers.is_multiple_of(servers_per_rack),
+        "servers_per_rack must divide the server count"
+    );
+    let racks = cfg.servers / servers_per_rack;
+    let mut weights = vec![0.0; racks * racks];
+    let mut gen = TraceGenerator::new(cfg.clone());
+    for _ in 0..samples {
+        let e = gen.next_event();
+        let (src, dst) = (
+            e.src as usize / servers_per_rack,
+            e.dst as usize / servers_per_rack,
+        );
+        weights[src * racks + dst] += e.bytes as f64;
+    }
+    weights
 }
 
 /// The §6.3 convergence experiment: five senders to one receiver, one
@@ -166,6 +251,7 @@ mod tests {
             servers: 144,
             server_link_bps: 10_000_000_000,
             seed,
+            affinity: None,
         }
     }
 
@@ -240,6 +326,84 @@ mod tests {
         let t = 45_000_000_000u64;
         let active = sched.iter().filter(|&&(a, b)| a <= t && t < b).count();
         assert_eq!(active, 5);
+    }
+
+    #[test]
+    fn affine_traces_stay_reproducible_and_in_class() {
+        // 8 racks of 4 servers, two interleaved classes, full affinity.
+        let mk = |seed| TraceConfig {
+            workload: Workload::Web,
+            load: 0.5,
+            servers: 32,
+            server_link_bps: 10_000_000_000,
+            seed,
+            affinity: Some(RackAffinity {
+                probability: 1.0,
+                servers_per_rack: 4,
+                classes: 2,
+            }),
+        };
+        let mut a = TraceGenerator::new(mk(9));
+        let mut b = TraceGenerator::new(mk(9));
+        for _ in 0..300 {
+            let e = a.next_event();
+            assert_eq!(e, b.next_event(), "same seed, same affine trace");
+            assert_ne!(e.src, e.dst);
+            // Full affinity: destination rack shares the source's class
+            // (modulo the src==dst nudge, which stays in or next to the
+            // source rack — both in class).
+            let (sr, dr) = (e.src as usize / 4, e.dst as usize / 4);
+            assert!(
+                sr % 2 == dr % 2 || dr == (sr + 1) % 8,
+                "src rack {sr} → dst rack {dr} left its class"
+            );
+        }
+    }
+
+    #[test]
+    fn rack_matrix_reflects_the_affinity_classes() {
+        let base = TraceConfig {
+            workload: Workload::Web,
+            load: 0.5,
+            servers: 32,
+            server_link_bps: 10_000_000_000,
+            seed: 11,
+            affinity: Some(RackAffinity {
+                probability: 1.0,
+                servers_per_rack: 4,
+                classes: 2,
+            }),
+        };
+        let m = rack_traffic_matrix(&base, 4, 2000);
+        assert_eq!(m.len(), 64);
+        // Deterministic: same config → same matrix.
+        assert_eq!(m, rack_traffic_matrix(&base, 4, 2000));
+        let (mut in_class, mut cross) = (0.0, 0.0);
+        for s in 0..8 {
+            for d in 0..8 {
+                if s % 2 == d % 2 {
+                    in_class += m[s * 8 + d];
+                } else {
+                    cross += m[s * 8 + d];
+                }
+            }
+        }
+        assert!(
+            in_class > 20.0 * cross.max(1.0),
+            "in-class {in_class} vs cross {cross}"
+        );
+        // A uniform config spreads weight across classes instead.
+        let uniform = TraceConfig {
+            affinity: None,
+            ..base
+        };
+        let mu = rack_traffic_matrix(&uniform, 4, 2000);
+        let cross_u: f64 = (0..8)
+            .flat_map(|s| (0..8).map(move |d| (s, d)))
+            .filter(|&(s, d)| s % 2 != d % 2)
+            .map(|(s, d)| mu[s * 8 + d])
+            .sum();
+        assert!(cross_u > 0.0, "uniform traffic crosses classes");
     }
 
     #[test]

@@ -22,5 +22,8 @@ pub mod poisson;
 
 pub use dist::EmpiricalCdf;
 pub use facebook::{Workload, CACHE, HADOOP, WEB};
-pub use generator::{ConvergenceScenario, FlowletEvent, TraceConfig, TraceGenerator};
+pub use generator::{
+    rack_traffic_matrix, ConvergenceScenario, FlowletEvent, RackAffinity, TraceConfig,
+    TraceGenerator,
+};
 pub use poisson::PoissonArrivals;

@@ -34,6 +34,7 @@ fn main() {
             servers,
             server_link_bps: 10_000_000_000,
             seed: 42,
+            affinity: None,
         });
         for e in gen.events_until(horizon) {
             sim.add_flow(e.at_ps, e.src as u16, e.dst as u16, e.bytes);

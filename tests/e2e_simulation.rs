@@ -26,6 +26,7 @@ fn run_trace(scheme: Scheme, load: f64, horizon_ms: u64, seed: u64) -> Simulatio
         servers: 32,
         server_link_bps: 10_000_000_000,
         seed,
+        affinity: None,
     });
     for e in gen.events_until(horizon_ms * MS) {
         sim.add_flow(e.at_ps, e.src as u16, e.dst as u16, e.bytes);

@@ -17,6 +17,7 @@ fn trace_flows(fabric: &TwoTierClos, n: usize, seed: u64) -> Vec<(FlowId, usize,
         servers,
         server_link_bps: 40_000_000_000,
         seed,
+        affinity: None,
     });
     (0..n)
         .map(|_| {

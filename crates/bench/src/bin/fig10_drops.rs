@@ -9,6 +9,7 @@ use flowtune_workload::Workload;
 
 fn main() {
     let opts = Opts::parse();
+    opts.require_in_process("fig10_drops");
     let servers = opts.scaled(144, 48) as usize;
     let horizon = opts.scaled(60 * MS, 8 * MS);
     let drain = opts.scaled(40 * MS, 30 * MS);

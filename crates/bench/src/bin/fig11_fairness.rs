@@ -11,6 +11,7 @@ use flowtune_workload::Workload;
 
 fn main() {
     let opts = Opts::parse();
+    opts.require_in_process("fig11_fairness");
     let servers = opts.scaled(144, 48) as usize;
     let horizon = opts.scaled(60 * MS, 8 * MS);
     let drain = opts.scaled(40 * MS, 30 * MS);

@@ -40,6 +40,7 @@
 //! `--pair-affinity F` the workload's rack-affine skew.
 
 use flowtune::{Engine, FlowtuneConfig, PlacementSpec};
+use flowtune_bench::cli::WireTransport;
 use flowtune_bench::{overallocation_gbps, FluidDriver, Opts};
 use flowtune_workload::Workload;
 
@@ -107,7 +108,19 @@ fn main() {
                 placement: *placement,
                 ..opts.config()
             };
-            let mut driver = FluidDriver::with_affinity(
+            // `--transport` puts the sharded rows on the wire; the
+            // unsharded baselines and the traffic-placement row have no
+            // wire equivalent and stay in-process (output is bit-for-bit
+            // identical either way, so the rows remain comparable).
+            let wire = match (engine, placement) {
+                (Engine::Sharded { inner, .. }, PlacementSpec::Contiguous)
+                    if **inner == Engine::Serial =>
+                {
+                    opts.transport
+                }
+                _ => WireTransport::InProcess,
+            };
+            let mut driver = FluidDriver::with_transport(
                 Workload::Web,
                 load,
                 opts.pair_affinity,
@@ -115,6 +128,7 @@ fn main() {
                 cfg,
                 opts.seed,
                 engine.clone(),
+                wire,
             );
             let mut samples = Vec::new();
             driver.run_sampled(warmup, window, &mut |drv| {

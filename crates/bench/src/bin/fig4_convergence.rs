@@ -13,6 +13,7 @@ use flowtune_workload::ConvergenceScenario;
 
 fn main() {
     let opts = Opts::parse();
+    opts.require_in_process("fig4_convergence");
     let scen = ConvergenceScenario::paper_default();
     // Quick mode shrinks the stagger to 2 ms so the run is 20 ms.
     let stagger = opts.scaled(scen.stagger_ps, 2 * MS);

@@ -18,13 +18,15 @@ fn main() {
     println!("workload,load,from_alloc_fraction,to_alloc_fraction,flowlets_per_s,updates_per_s");
     for workload in Workload::ALL {
         for load in [0.2, 0.4, 0.6, 0.8] {
-            let mut d = FluidDriver::with_engine(
+            let mut d = FluidDriver::with_transport(
                 workload,
                 load,
+                0.0,
                 servers,
                 FlowtuneConfig::default(),
                 opts.seed,
                 opts.engine.clone(),
+                opts.transport,
             );
             let stats = d.run(warmup, window);
             let secs = window as f64 / 1e12;

@@ -24,13 +24,15 @@ fn main() {
                     update_threshold: t,
                     ..FlowtuneConfig::default()
                 };
-                let mut d = FluidDriver::with_engine(
+                let mut d = FluidDriver::with_transport(
                     workload,
                     load,
+                    0.0,
                     servers,
                     cfg,
                     opts.seed,
                     opts.engine.clone(),
+                    opts.transport,
                 );
                 let stats = d.run(warmup, window);
                 if t == 0.01 {

@@ -12,6 +12,7 @@ use flowtune_workload::Workload;
 
 fn main() {
     let opts = Opts::parse();
+    opts.require_in_process("fig8_p99_fct");
     let servers = opts.scaled(144, 48) as usize;
     let horizon = opts.scaled(60 * MS, 8 * MS);
     let drain = opts.scaled(60 * MS, 40 * MS);

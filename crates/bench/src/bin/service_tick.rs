@@ -32,6 +32,7 @@ use flowtune::{
     AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, PlacementSpec, TickDriver,
     TrafficMatrix,
 };
+use flowtune_bench::cli::{self, WireTransport};
 use flowtune_proto::{Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
 
@@ -119,6 +120,10 @@ struct RowSpec {
     /// decay tails of never-loaded links' duals ship from every shard
     /// identically under any placement and drown the comparison).
     delta_eps: f64,
+    /// The wire for the row's exchange: `InProcess` keeps the historic
+    /// `ShardedService`; a wire transport runs the same shards as
+    /// `ShardPeer`s speaking the serialized frames over it.
+    wire: WireTransport,
 }
 
 fn rows() -> Vec<RowSpec> {
@@ -130,6 +135,7 @@ fn rows() -> Vec<RowSpec> {
         placement: PlacementSpec::Contiguous,
         affine: false,
         delta_eps: 0.0,
+        wire: WireTransport::InProcess,
     };
     let placed = |label, placement, affine| RowSpec {
         label,
@@ -139,6 +145,7 @@ fn rows() -> Vec<RowSpec> {
         placement,
         affine,
         delta_eps: 1e-3,
+        wire: WireTransport::InProcess,
     };
     vec![
         row("serial", Engine::Serial, 0, None),
@@ -147,6 +154,14 @@ fn rows() -> Vec<RowSpec> {
         row("gradient", Engine::Gradient, 0, None),
         row("sharded2", Engine::Serial.sharded(2), 0, None),
         row("sharded2x1", Engine::Serial.sharded(2), 1, None),
+        // The wire row: the same 2-shard per-tick exchange as
+        // `sharded2x1`, but each shard is a `ShardPeer` and every frame
+        // crosses a real Unix-domain socket. The gap between the two is
+        // the price of serialization plus the kernel round-trip.
+        RowSpec {
+            wire: WireTransport::Uds,
+            ..row("sharded2uds", Engine::Serial.sharded(2), 1, None)
+        },
         // The placement pair: identical rack-affine flows with a
         // per-tick exchange, partitioned contiguously vs by the traffic
         // matrix. The placed row prices almost every link from one side
@@ -206,23 +221,37 @@ fn loaded_driver(fabric: &TwoTierClos, spec: &RowSpec, flows: usize) -> BoxTickD
         placement: spec.placement,
         ..FlowtuneConfig::default()
     };
-    let mut builder = AllocatorService::builder()
-        .fabric(fabric)
-        .config(cfg)
-        .engine(spec.engine.clone());
-    if spec.placement != PlacementSpec::Contiguous {
-        let spr = fabric.config().servers_per_rack;
-        let racks = fabric.config().server_count() / spr;
-        let mut matrix = TrafficMatrix::new(racks);
-        for f in 0..flows {
-            let (src, dst) = endpoints(fabric, f, spec.affine);
-            matrix.add(src / spr, dst / spr, 1_000_000.0);
+    let mut svc = if spec.wire == WireTransport::InProcess {
+        let mut builder = AllocatorService::builder()
+            .fabric(fabric)
+            .config(cfg)
+            .engine(spec.engine.clone());
+        if spec.placement != PlacementSpec::Contiguous {
+            let spr = fabric.config().servers_per_rack;
+            let racks = fabric.config().server_count() / spr;
+            let mut matrix = TrafficMatrix::new(racks);
+            for f in 0..flows {
+                let (src, dst) = endpoints(fabric, f, spec.affine);
+                matrix.add(src / spr, dst / spr, 1_000_000.0);
+            }
+            builder = builder.traffic_matrix(matrix);
         }
-        builder = builder.traffic_matrix(matrix);
-    }
-    let mut svc = builder
-        .build_driver()
-        .expect("fabric is set and the engine spec is sane");
+        builder
+            .build_driver()
+            .expect("fabric is set and the engine spec is sane")
+    } else {
+        let opts = cli::Opts {
+            engine: spec.engine.clone(),
+            exchange_every: spec.exchange_every,
+            exchange_delta_eps: spec.delta_eps,
+            parallel_shards: spec.parallel,
+            placement: spec.placement,
+            transport: spec.wire,
+            ..cli::Opts::default()
+        };
+        opts.wire_driver(fabric)
+            .expect("wire row has a wire transport")
+    };
     for f in 0..flows {
         let (src, dst) = endpoints(fabric, f, spec.affine);
         let spine = fabric.ecmp_spine(src, dst, flowtune_topo::FlowId(f as u64));
@@ -454,7 +483,7 @@ mod tests {
     #[test]
     fn the_headline_rows_are_measured() {
         let labels: Vec<&str> = rows().iter().map(|r| r.label).collect();
-        for needed in ["serial", "sharded4seq", "sharded4par"] {
+        for needed in ["serial", "sharded2uds", "sharded4seq", "sharded4par"] {
             assert!(labels.contains(&needed), "{needed} missing from {labels:?}");
         }
     }

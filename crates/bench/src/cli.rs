@@ -1,6 +1,8 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
-use flowtune::{Engine, FlowtuneConfig, PlacementSpec};
+use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, PlacementSpec};
+use flowtune_net::{mem_mesh, tcp_mesh, uds_mesh, PeerCluster, ShardPeer, Transport};
+use flowtune_topo::TwoTierClos;
 
 /// The experiment binaries' shared usage text (`--help`). Every
 /// [`FlowtuneConfig`] knob the CLI can set appears here with its flag —
@@ -23,6 +25,12 @@ shared experiment flags:
   --parallel-shards[=on|off]
                           concurrent vs sequential sharded tick, bit-for-bit
                           identical output (config parallel_shards; default on)
+  --transport T           wire for the sharded control plane:
+                          inproc|mem|uds|tcp (default inproc = the in-process
+                          ShardedService; the others run one ShardPeer per
+                          shard over that transport — serial engine only;
+                          honored by the fluid-driver figures fig5/6/7/12 and
+                          service_tick, rejected by the packet-sim binaries)
   --placement P           endpoint-to-shard placement:
                           contiguous|traffic|traffic:refine
                           (config placement; default contiguous; traffic
@@ -32,6 +40,147 @@ shared experiment flags:
                           flowlet's destination stays in its source's
                           interleaved rack class (default 0 = uniform)
   --help                  print this help and exit";
+
+/// The wire the sharded control plane runs over (`--transport`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireTransport {
+    /// The in-process `ShardedService` (the default): shards are plain
+    /// struct fields and the exchange is a buffer handoff.
+    #[default]
+    InProcess,
+    /// One `ShardPeer` per shard over the in-memory channel mesh — the
+    /// wire codec and peer runtime with no kernel in the path.
+    Mem,
+    /// One `ShardPeer` per shard over Unix-domain sockets.
+    Uds,
+    /// One `ShardPeer` per shard over loopback TCP.
+    Tcp,
+}
+
+impl WireTransport {
+    /// Parses a `--transport` value.
+    ///
+    /// # Errors
+    /// Unknown name; the message lists the valid ones.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "inproc" | "in-process" => Ok(Self::InProcess),
+            "mem" => Ok(Self::Mem),
+            "uds" => Ok(Self::Uds),
+            "tcp" => Ok(Self::Tcp),
+            other => Err(format!(
+                "unknown transport `{other}`; valid transports: inproc, mem, uds, tcp"
+            )),
+        }
+    }
+}
+
+/// Builds the sharded control plane `transport` asks for over `fabric`
+/// with exactly `cfg`: one serial-engine [`ShardPeer`] per shard, driven
+/// in lockstep by a [`PeerCluster`]. Returns `None` for
+/// [`WireTransport::InProcess`] — callers keep their existing
+/// `AllocatorService::builder()` path, so wire support is purely
+/// additive. Taking `cfg` (rather than deriving it from [`Opts`]) lets
+/// the figure drivers put *their* per-row configuration on the wire; the
+/// flag-derived entry point is [`Opts::wire_driver`].
+///
+/// # Panics
+/// The wire transports run one serial-engine service per shard: panics
+/// when `engine` asks for anything else, when `cfg` asks for a
+/// non-contiguous placement (the peers bootstrap with the contiguous
+/// endpoint map; re-placement is a runtime epoch, not a config knob),
+/// and on transport setup failure (socket dir, port probe, mesh
+/// bootstrap).
+pub fn wire_cluster(
+    transport: WireTransport,
+    engine: &Engine,
+    fabric: &TwoTierClos,
+    cfg: FlowtuneConfig,
+) -> Option<BoxTickDriver> {
+    use std::time::Duration;
+
+    if transport == WireTransport::InProcess {
+        return None;
+    }
+    let shards = match engine {
+        Engine::Sharded { shards, inner } => {
+            assert_eq!(
+                **inner,
+                Engine::Serial,
+                "--transport {transport:?} runs the serial engine per shard; \
+                 got --engine {inner:?}"
+            );
+            *shards
+        }
+        Engine::Serial => 1,
+        other => panic!(
+            "--transport {transport:?} runs the serial engine per shard; got --engine {other:?}"
+        ),
+    };
+    assert_eq!(
+        cfg.placement,
+        PlacementSpec::Contiguous,
+        "--transport {transport:?} bootstraps the contiguous endpoint map; \
+         --placement traffic is in-process only"
+    );
+    let timeout = Duration::from_secs(5);
+    fn cluster<T: Transport + 'static>(
+        fabric: &TwoTierClos,
+        cfg: FlowtuneConfig,
+        timeout: std::time::Duration,
+        transports: Vec<T>,
+    ) -> PeerCluster<T> {
+        let peers = transports
+            .into_iter()
+            .map(|t| ShardPeer::new(AllocatorService::new(fabric, cfg), t, timeout))
+            .collect();
+        PeerCluster::from_peers(peers)
+    }
+    match transport {
+        WireTransport::InProcess => unreachable!("handled above"),
+        WireTransport::Mem => Some(Box::new(cluster(fabric, cfg, timeout, mem_mesh(shards)))),
+        WireTransport::Uds => {
+            static NEXT_MESH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "flowtune-bench-uds-{}-{}",
+                std::process::id(),
+                NEXT_MESH.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("create uds socket dir");
+            let transports = uds_mesh(&dir, shards as u16).expect("uds mesh bootstrap");
+            let built = cluster(fabric, cfg, timeout, transports);
+            // The streams are connected; the socket files have done
+            // their job.
+            let _ = std::fs::remove_dir_all(&dir);
+            Some(Box::new(built))
+        }
+        WireTransport::Tcp => {
+            // Probe a free run of loopback ports off a kernel-picked
+            // base.
+            let base = (0..16)
+                .find_map(|_| {
+                    let probe =
+                        std::net::TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).ok()?;
+                    let base = probe.local_addr().ok()?.port();
+                    drop(probe);
+                    base.checked_add(shards as u16)?;
+                    (0..shards as u16)
+                        .map(|i| {
+                            std::net::TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, base + i))
+                        })
+                        .all(|r| r.is_ok())
+                        .then_some(base)
+                })
+                .expect("no free loopback port run for the tcp mesh");
+            Some(Box::new(cluster(
+                fabric,
+                cfg,
+                timeout,
+                tcp_mesh(base, shards as u16).expect("tcp mesh bootstrap"),
+            )))
+        }
+    }
+}
 
 /// Common experiment options.
 #[derive(Debug, Clone)]
@@ -72,6 +221,12 @@ pub struct Opts {
     /// class, the communicating-racks structure traffic placement
     /// exploits.
     pub pair_affinity: f64,
+    /// The wire the sharded control plane runs over (`--transport
+    /// inproc|mem|uds|tcp`; inproc — the default — is the in-process
+    /// `ShardedService`). The wire choices drive the identical exchange
+    /// through the serialized frame codec and a real transport; see
+    /// [`Opts::wire_driver`]. Only affects sharded runs.
+    pub transport: WireTransport,
 }
 
 impl Default for Opts {
@@ -85,6 +240,7 @@ impl Default for Opts {
             parallel_shards: None,
             placement: PlacementSpec::Contiguous,
             pair_affinity: 0.0,
+            transport: WireTransport::InProcess,
         }
     }
 }
@@ -155,6 +311,11 @@ impl Opts {
                     opts.placement =
                         PlacementSpec::parse(&v).unwrap_or_else(|e| panic!("{e}\n{USAGE}"));
                 }
+                "--transport" => {
+                    let v = it.next().expect("--transport needs a value");
+                    opts.transport =
+                        WireTransport::parse(&v).unwrap_or_else(|e| panic!("{e}\n{USAGE}"));
+                }
                 "--pair-affinity" => {
                     let v = it.next().expect("--pair-affinity needs a value");
                     let p: f64 = v.parse().expect("--pair-affinity needs a number");
@@ -206,6 +367,37 @@ impl Opts {
             placement: self.placement,
             ..defaults
         }
+    }
+
+    /// Builds the control-plane driver a wire `--transport` asks for:
+    /// one serial-engine `ShardPeer` per shard over the chosen
+    /// transport, driven in lockstep by a `PeerCluster`. Returns `None`
+    /// for the default in-process transport — callers keep their
+    /// existing `AllocatorService::builder()` path, so the flag is
+    /// purely additive.
+    ///
+    /// # Panics
+    /// See [`wire_cluster`].
+    pub fn wire_driver(&self, fabric: &TwoTierClos) -> Option<BoxTickDriver> {
+        wire_cluster(self.transport, &self.engine, fabric, self.config())
+    }
+
+    /// Panics when a wire `--transport` was requested: `bin` drives a
+    /// surface (packet simulator, numeric study, single-service table)
+    /// with no sharded control plane to put on a wire. Binaries that
+    /// cannot honor the flag call this right after [`Opts::parse`] so
+    /// the request fails loudly instead of being silently ignored.
+    ///
+    /// # Panics
+    /// Whenever `--transport` is anything but the default `inproc`.
+    pub fn require_in_process(&self, bin: &str) {
+        assert_eq!(
+            self.transport,
+            WireTransport::InProcess,
+            "{bin} does not support --transport {:?}; wire transports apply to the \
+             fluid-driver figures (fig5/6/7/12) and the service_tick bench",
+            self.transport
+        );
     }
 
     /// The shape shared by the figures' sharded comparison rows: the
@@ -393,10 +585,102 @@ mod tests {
             "--quick",
             "--full",
             "--pair-affinity",
+            "--transport",
             "--help",
         ] {
             assert!(USAGE.contains(flag), "{flag} missing from USAGE");
         }
+    }
+
+    #[test]
+    fn transport_parses_and_defaults_to_in_process() {
+        assert_eq!(parse(&[]).transport, WireTransport::InProcess);
+        assert_eq!(
+            parse(&["--transport", "inproc"]).transport,
+            WireTransport::InProcess
+        );
+        assert_eq!(parse(&["--transport", "mem"]).transport, WireTransport::Mem);
+        assert_eq!(parse(&["--transport", "uds"]).transport, WireTransport::Uds);
+        assert_eq!(parse(&["--transport", "tcp"]).transport, WireTransport::Tcp);
+        // The flag composes with sharding like the other wire knobs.
+        let o = parse(&[
+            "--shards",
+            "2",
+            "--exchange-every",
+            "1",
+            "--transport",
+            "mem",
+        ]);
+        assert_eq!(o.engine, Engine::Serial.sharded(2));
+        assert_eq!(o.transport, WireTransport::Mem);
+    }
+
+    #[test]
+    fn wire_driver_builds_a_cluster_only_for_wire_transports() {
+        use flowtune::TickDriver;
+        use flowtune_topo::ClosConfig;
+        let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 4));
+        assert!(parse(&["--shards", "2"]).wire_driver(&fabric).is_none());
+        let opts = parse(&[
+            "--shards",
+            "2",
+            "--exchange-every",
+            "1",
+            "--transport",
+            "mem",
+        ]);
+        let mut driver = opts.wire_driver(&fabric).expect("mem wire builds");
+        assert_eq!(driver.engine_name(), "peer-cluster");
+        assert!(driver.tick().is_empty(), "no flows yet, no updates");
+    }
+
+    #[test]
+    #[should_panic(expected = "valid transports: inproc, mem, uds, tcp")]
+    fn bad_transport_message_lists_valid_names() {
+        let _ = parse(&["--transport", "pigeon"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "serial engine per shard")]
+    fn wire_transport_rejects_non_serial_engines() {
+        use flowtune_topo::ClosConfig;
+        let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 4));
+        let opts = parse(&[
+            "--engine",
+            "gradient",
+            "--shards",
+            "2",
+            "--transport",
+            "mem",
+        ]);
+        let _ = opts.wire_driver(&fabric);
+    }
+
+    #[test]
+    #[should_panic(expected = "--placement traffic is in-process only")]
+    fn wire_transport_rejects_traffic_placement() {
+        use flowtune_topo::ClosConfig;
+        let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 4));
+        let opts = parse(&[
+            "--shards",
+            "2",
+            "--transport",
+            "mem",
+            "--placement",
+            "traffic",
+        ]);
+        let _ = opts.wire_driver(&fabric);
+    }
+
+    #[test]
+    #[should_panic(expected = "fig9_queueing does not support --transport")]
+    fn require_in_process_rejects_wire_transports() {
+        parse(&["--transport", "uds"]).require_in_process("fig9_queueing");
+    }
+
+    #[test]
+    fn require_in_process_accepts_the_default() {
+        parse(&[]).require_in_process("fig9_queueing");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use crate::cli::{self, WireTransport};
 use flowtune::{
     AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, PlacementSpec, ServiceStats,
     TickDriver, TickLoop, TrafficMatrix,
@@ -20,7 +21,7 @@ use flowtune_topo::{ClosConfig, TwoTierClos};
 use flowtune_workload::{rack_traffic_matrix, RackAffinity, TraceConfig, TraceGenerator, Workload};
 
 /// Accounting of one fluid run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FluidStats {
     /// Payload bytes endpoint→allocator (starts + ends).
     pub payload_to_alloc: u64,
@@ -119,6 +120,41 @@ impl FluidDriver {
         seed: u64,
         engine: Engine,
     ) -> Self {
+        Self::with_transport(
+            workload,
+            load,
+            affinity,
+            servers,
+            cfg,
+            seed,
+            engine,
+            WireTransport::InProcess,
+        )
+    }
+
+    /// [`FluidDriver::with_affinity`] with the control plane on a wire
+    /// (the binaries' `--transport` flag lands here): for a wire
+    /// transport a sharded engine runs as one serial-engine
+    /// [`flowtune_net::ShardPeer`] per shard over that transport, driven
+    /// in lockstep by a [`flowtune_net::PeerCluster`] — every rate and
+    /// control byte this driver accounts then crossed the real frame
+    /// codec (and, for `uds`/`tcp`, a kernel socket). Output is
+    /// bit-for-bit identical to the in-process run.
+    ///
+    /// # Panics
+    /// Wire transports run the serial engine per shard over the
+    /// contiguous placement; see [`cli::wire_cluster`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_transport(
+        workload: Workload,
+        load: f64,
+        affinity: f64,
+        servers: usize,
+        cfg: FlowtuneConfig,
+        seed: u64,
+        engine: Engine,
+        transport: WireTransport,
+    ) -> Self {
         assert!(servers.is_multiple_of(16), "whole racks of 16 expected");
         let clos = ClosConfig {
             racks: servers / 16,
@@ -138,20 +174,24 @@ impl FluidDriver {
                 ..RackAffinity::heavy()
             }),
         };
-        let mut builder = AllocatorService::builder()
-            .fabric(&fabric)
-            .config(cfg)
-            .engine(engine);
-        if cfg.placement != PlacementSpec::Contiguous {
-            let racks = servers / 16;
-            builder = builder.traffic_matrix(TrafficMatrix::from_weights(
-                racks,
-                rack_traffic_matrix(&trace_cfg, 16, 4096),
-            ));
-        }
-        let service = builder
-            .build_driver()
-            .expect("fabric is set and the engine spec is sane");
+        let service = if let Some(cluster) = cli::wire_cluster(transport, &engine, &fabric, cfg) {
+            cluster
+        } else {
+            let mut builder = AllocatorService::builder()
+                .fabric(&fabric)
+                .config(cfg)
+                .engine(engine);
+            if cfg.placement != PlacementSpec::Contiguous {
+                let racks = servers / 16;
+                builder = builder.traffic_matrix(TrafficMatrix::from_weights(
+                    racks,
+                    rack_traffic_matrix(&trace_cfg, 16, 4096),
+                ));
+            }
+            builder
+                .build_driver()
+                .expect("fabric is set and the engine spec is sane")
+        };
         let trace = TraceGenerator::new(trace_cfg);
         Self {
             ticker: TickLoop::new(service, cfg.tick_interval_ps),
@@ -375,6 +415,33 @@ mod tests {
         let svc = d.control_stats();
         assert!(svc.exchange_rounds > 0, "exchange must run");
         assert!(svc.exchange_bytes > 0);
+    }
+
+    #[test]
+    fn wire_transport_run_is_bit_for_bit_the_in_process_run() {
+        let cfg = FlowtuneConfig {
+            exchange_every: 1,
+            ..FlowtuneConfig::default()
+        };
+        let run = |transport: WireTransport| {
+            let mut d = FluidDriver::with_transport(
+                Workload::Web,
+                0.5,
+                0.0,
+                32,
+                cfg,
+                9,
+                Engine::Serial.sharded(2),
+                transport,
+            );
+            let stats = d.run(1_000_000_000, 4_000_000_000);
+            (stats, d.control_stats())
+        };
+        let (inproc, inproc_svc) = run(WireTransport::InProcess);
+        let (mem, mem_svc) = run(WireTransport::Mem);
+        assert_eq!(inproc, mem, "fluid accounting must not see the wire");
+        assert_eq!(inproc_svc, mem_svc, "control-plane stats must match");
+        assert!(mem_svc.exchange_rounds > 0, "exchange must have run");
     }
 
     #[test]

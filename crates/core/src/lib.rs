@@ -80,6 +80,7 @@
 pub mod config;
 pub mod driver;
 pub mod endpoint;
+pub mod exchange;
 pub mod flowlet;
 pub mod placement;
 pub mod service;
@@ -89,6 +90,7 @@ pub mod token;
 pub use config::FlowtuneConfig;
 pub use driver::{BoxTickDriver, TickDriver, TickLoop};
 pub use endpoint::EndpointAgent;
+pub use exchange::{ApplyError, ExchangeCore};
 pub use flowlet::FlowletTracker;
 pub use placement::{
     ParsePlacementError, Placement, PlacementSpec, TrafficMatrix, PLACEMENT_NAMES,
@@ -97,5 +99,5 @@ pub use service::{
     AllocatorService, DynAllocatorService, Engine, FlowMigration, ParseEngineError, ServiceBuilder,
     ServiceError, ServiceStats, ENGINE_NAMES,
 };
-pub use sharded::ShardedService;
+pub use sharded::{merge_by_token, ShardedService};
 pub use token::TokenAllocator;

@@ -105,6 +105,11 @@ pub struct ServiceStats {
     /// the background and consensus counterparts — up to six vectors of
     /// 8 bytes per link.
     pub exchange_bytes: u64,
+    /// Exchange frames that failed to decode or apply (truncated or
+    /// corrupt bytes off a transport, version mismatches, out-of-range
+    /// indices). Always 0 in-process; a distributed peer counts here
+    /// what a real socket handed it that it had to drop.
+    pub exchange_decode_errors: u64,
 }
 
 /// Why the allocator refused a control message or a build request.

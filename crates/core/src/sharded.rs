@@ -160,15 +160,10 @@ use flowtune_proto::{Message, Token};
 use flowtune_topo::TwoTierClos;
 
 use crate::driver::TickDriver;
+use crate::exchange::ExchangeCore;
 use crate::placement::{Placement, TrafficMatrix};
 use crate::service::{AllocatorService, ServiceError, ServiceStats};
 use crate::FlowtuneConfig;
-
-/// Bytes of one shipped exchange entry: a 4-byte link id plus 8 bytes per
-/// 64-bit vector element riding along (see the module docs).
-fn entry_bytes(vectors: u64) -> u64 {
-    4 + 8 * vectors
-}
 
 /// Per-shard tick outputs and export scratch, reused across ticks so the
 /// hot path stops allocating: phase 1 writes here, phase 2 reads.
@@ -177,16 +172,6 @@ struct ShardSlot {
     /// The shard's token-ordered update stream from this tick.
     updates: Vec<(u16, Message)>,
     /// Link-state exports, refreshed only on exchange rounds.
-    loads: Vec<f64>,
-    hessians: Vec<f64>,
-    prices: Vec<f64>,
-}
-
-/// A shard's last *shipped* link state — what every other shard is
-/// currently pricing. The delta filter diffs fresh exports against this
-/// and re-ships only moved links.
-#[derive(Debug, Default)]
-struct ShardLast {
     loads: Vec<f64>,
     hessians: Vec<f64>,
     prices: Vec<f64>,
@@ -233,30 +218,16 @@ pub struct ShardedService<E: RateAllocator = SerialAllocator> {
     ticks: u64,
     /// Per-shard tick outputs + export scratch (reused every tick).
     slots: Vec<ShardSlot>,
-    /// Per-shard last-shipped link state (the delta filter's reference).
-    last: Vec<ShardLast>,
-    /// Scratch, reused across rounds: the background (then consensus)
-    /// vector assembled for the shards.
-    bg: Vec<f64>,
-    /// Scratch, reused across rounds: consensus weights (Σ loads).
-    weight: Vec<f64>,
-    /// Scratch, reused across rounds: consensus numerator (Σ load·price).
-    num: Vec<f64>,
-    /// Scratch, reused across rounds: this round's dirty marks, shard-
-    /// major (`shard * n_links + link`), for the inbound byte accounting.
-    dirty: Vec<bool>,
-    /// Scratch, reused across rounds: per-link count of shards that
-    /// shipped the link this round.
-    dirty_count: Vec<u32>,
-    /// Scratch, reused across rounds: per-link count of shards whose
-    /// last-shipped tuple is non-zero (someone holds state worth a
-    /// catch-up transfer when a new subscriber appears).
-    state_count: Vec<u32>,
-    /// Each shard's subscription mask from the previous exchange round,
-    /// shard-major (`shard * n_links + link`): a link subscribed now but
-    /// not then is a *new* subscription and pays a catch-up entry for
-    /// the state it is handed from the `last` tables.
-    sub_prev: Vec<bool>,
+    /// Per-shard exchange protocol cores: each owns its shard's delta
+    /// filter, last-shipped replicas, and install math — the same
+    /// [`ExchangeCore`] a distributed shard peer runs, so the in-process
+    /// exchange exercises the real wire format every round.
+    cores: Vec<ExchangeCore>,
+    /// The round's serialized frames, all shards back to back in one
+    /// flat reusable buffer (no `Vec<Vec<u8>>` on the hot path).
+    wire_buf: Vec<u8>,
+    /// Frame boundaries within `wire_buf` (`n + 1` offsets).
+    frame_offs: Vec<usize>,
 }
 
 impl ShardedService {
@@ -359,14 +330,11 @@ impl<E: RateAllocator> ShardedService<E> {
             pool: None,
             ticks: 0,
             slots: (0..n).map(|_| ShardSlot::default()).collect(),
-            last: (0..n).map(|_| ShardLast::default()).collect(),
-            bg: Vec::new(),
-            weight: Vec::new(),
-            num: Vec::new(),
-            dirty: Vec::new(),
-            dirty_count: Vec::new(),
-            state_count: Vec::new(),
-            sub_prev: Vec::new(),
+            cores: (0..n)
+                .map(|i| ExchangeCore::new(i as u16, n, cfg.exchange_delta_eps))
+                .collect(),
+            wire_buf: Vec::new(),
+            frame_offs: Vec::new(),
         }
     }
 
@@ -480,6 +448,15 @@ impl<E: RateAllocator> ShardedService<E> {
             moved += 1;
         }
         self.placement = placement;
+        // Every shard re-ships its unmoved non-zero entries as catch-up
+        // records on the next round. In-process the replicas are already
+        // consistent, so this changes no state and no logical byte count
+        // — but it keeps the frames identical to what a distributed
+        // deployment (where an epoch may accompany a peer restart with
+        // empty replicas) puts on the wire.
+        for core in &mut self.cores {
+            core.request_resync();
+        }
         moved
     }
 
@@ -645,207 +622,73 @@ impl<E: RateAllocator> ShardedService<E> {
     ///    no shard loads keep their per-shard prices (`NaN` in the
     ///    consensus vector) and decay as usual.
     ///
-    /// All three parts consume the **last shipped** tables maintained by
-    /// the delta filter (see the module docs), so what is installed is
-    /// exactly what the wire carried. Shards whose engine exports nothing
-    /// (Fastpass) contribute zero weight and their imports are documented
-    /// no-ops; engines with no second-order term (gradient projection)
-    /// skip part 2 only.
+    /// All three parts run inside the per-shard [`ExchangeCore`]s, over
+    /// the **serialized frames** the cores write and read — the exact
+    /// bytes a distributed deployment puts on a socket. This routing
+    /// layer only orchestrates: every core encodes its shard's frame
+    /// into one flat reusable buffer, every core applies every other
+    /// core's frame to its replicas, and every core installs the
+    /// aggregation into its own shard. Shards whose engine exports
+    /// nothing (Fastpass) ship inactive frames and their installs are
+    /// documented no-ops; engines with no second-order term (gradient
+    /// projection) skip the Hessian part only.
     fn exchange_link_state(&mut self) {
         let n = self.shards.len();
-        let n_links = self
-            .slots
-            .iter()
-            .map(|s| s.loads.len())
-            .max()
-            .expect("at least one shard");
-        if n_links == 0 {
-            // No shard prices fabric links; nothing to exchange.
-            return;
-        }
 
-        // Delta filter: diff fresh exports against the last shipped
-        // tables, ship (= update the tables and count) only moved links.
-        // The whole entry is keyed — load, dual, and Hessian — so a link
-        // whose dual keeps decaying while its load sits still is still
-        // re-shipped; filtering on loads alone would freeze that dual at
-        // its first shipped value and install the stale price forever.
-        // With eps = 0 an unshipped entry is therefore *bit-identical*
-        // to the fresh export, which is what makes the sparse protocol's
-        // installed sums equal to a dense exchange's.
-        let eps = self.exchange_delta_eps;
-        self.dirty.clear();
-        self.dirty.resize(n * n_links, false);
-        self.dirty_count.clear();
-        self.dirty_count.resize(n_links, 0);
-        self.shipped_totals.resize(n_links, 0);
-        let mut bytes = 0u64;
+        // Encode: one state frame per shard, back to back.
+        self.wire_buf.clear();
+        self.frame_offs.clear();
+        self.frame_offs.push(0);
         for i in 0..n {
             let slot = &self.slots[i];
-            if slot.loads.is_empty() {
-                continue;
-            }
-            debug_assert_eq!(slot.loads.len(), n_links, "short export from shard {i}");
-            let last = &mut self.last[i];
-            last.loads.resize(n_links, 0.0);
-            last.prices.resize(n_links, 0.0);
-            let has_h = !slot.hessians.is_empty();
-            if has_h {
-                last.hessians.resize(n_links, 0.0);
-            }
-            let mut shipped = 0u64;
-            for l in 0..n_links {
-                let moved = (slot.loads[l] - last.loads[l]).abs() > eps
-                    || (slot.prices[l] - last.prices[l]).abs() > eps
-                    || (has_h && (slot.hessians[l] - last.hessians[l]).abs() > eps);
-                if moved {
-                    last.loads[l] = slot.loads[l];
-                    last.prices[l] = slot.prices[l];
-                    if has_h {
-                        last.hessians[l] = slot.hessians[l];
-                    }
-                    self.dirty[i * n_links + l] = true;
-                    self.dirty_count[l] += 1;
-                    self.shipped_totals[l] += 1;
-                    shipped += 1;
-                }
-            }
-            // Outbound: id + load + dual (+ Hessian) per shipped entry.
-            bytes += shipped * entry_bytes(2 + has_h as u64);
+            self.cores[i].begin_round(
+                self.ticks,
+                &slot.loads,
+                &slot.hessians,
+                &slot.prices,
+                &mut self.wire_buf,
+            );
+            self.frame_offs.push(self.wire_buf.len());
         }
 
-        // Receiver-side subscription: a shard imports link state only for
-        // links it currently prices (its own *fresh export* carries a
-        // positive load — not the delta-filtered last-shipped table,
-        // which under a positive eps can hold 0 for a link whose real
-        // load never moved past the filter). Background loads/Hessians
-        // and consensus duals on a link a shard has no flows on cannot
-        // change that shard's allocation — link prices enter rates only
-        // through flows' paths — so not shipping them is free, and it
-        // makes the exchange's inbound cost proportional to how *shared*
-        // the partition left the links: an exchange-aware placement that
-        // unshares the hot links drives it toward zero. A shard that
-        // gains a flow on a new link exports a positive load for it the
-        // same round (exports are taken after the tick), so it
-        // subscribes — and imports background — with no added staleness
-        // over the exchange cadence itself. This single predicate is the
-        // subscription rule for all three install paths below.
-        let subscribed = |slot: &ShardSlot, l: usize| slot.loads.get(l).is_some_and(|&v| v > 0.0);
-
-        // Load aggregation: each shard imports Σ of the *other* shards'
-        // shipped loads on its subscribed links (zero elsewhere — no
-        // knowledge, and the local dual just decays as if idle).
-        for i in 0..n {
-            sum_last_into(&self.last, |s| &s.loads, Some(i), n_links, &mut self.bg);
-            for l in 0..n_links {
-                if !subscribed(&self.slots[i], l) {
-                    self.bg[l] = 0.0;
-                }
-            }
-            self.shards[i].set_background_loads(&self.bg);
-        }
-
-        // Hessian aggregation (engines without a second-order term export
-        // nothing and receive nothing).
-        let any_h = self.slots.iter().any(|s| !s.hessians.is_empty());
-        if any_h {
+        // Apply: every core consumes every other shard's frame. These
+        // frames were encoded in-process, so a decode failure is a bug —
+        // but it is counted (never silently dropped), exactly as a peer
+        // counts a corrupt frame off a socket.
+        for j in 0..n {
             for i in 0..n {
-                if self.slots[i].hessians.is_empty() {
+                if i == j {
                     continue;
                 }
-                sum_last_into(&self.last, |s| &s.hessians, Some(i), n_links, &mut self.bg);
-                for l in 0..n_links {
-                    if !subscribed(&self.slots[i], l) {
-                        self.bg[l] = 0.0;
-                    }
+                let frame = &self.wire_buf[self.frame_offs[i]..self.frame_offs[i + 1]];
+                if let Err(e) = self.cores[j].apply_frame(frame) {
+                    self.local.exchange_decode_errors += 1;
+                    debug_assert!(false, "in-process frame failed to apply: {e}");
                 }
-                self.shards[i].set_background_hessians(&self.bg);
             }
         }
 
-        // Dual consensus: load-weighted mean price per loaded link, from
-        // the shipped tables. The same scan counts, per link, how many
-        // shards hold any non-zero shipped state there — what a new
-        // subscriber would have to be caught up on.
-        self.bg.clear();
-        self.bg.resize(n_links, f64::NAN);
-        self.weight.clear();
-        self.weight.resize(n_links, 0.0);
-        self.num.clear();
-        self.num.resize(n_links, 0.0);
-        self.state_count.clear();
-        self.state_count.resize(n_links, 0);
-        for last in &self.last {
-            if last.loads.is_empty() {
-                continue;
-            }
-            for l in 0..n_links {
-                if last.loads[l] > 0.0 {
-                    self.num[l] += last.loads[l] * last.prices[l];
-                    self.weight[l] += last.loads[l];
-                }
-                if last.loads[l] != 0.0
-                    || last.prices[l] != 0.0
-                    || last.hessians.get(l).is_some_and(|&h| h != 0.0)
-                {
-                    self.state_count[l] += 1;
-                }
+        // Install: each core recomputes the aggregation from its
+        // replicas and installs into its own shard. `None` means no
+        // shard exported any links — the round does not count.
+        let mut bytes = 0u64;
+        let mut counted = false;
+        for i in 0..n {
+            let core = &mut self.cores[i];
+            if let Some(b) = core.install(&mut self.shards[i]) {
+                bytes += b;
+                counted = true;
             }
         }
-        self.sub_prev.resize(n * n_links, false);
-        for l in 0..n_links {
-            if self.weight[l] > 0.0 {
-                self.bg[l] = self.num[l] / self.weight[l];
+        if counted {
+            let ships = self.cores[0].round_ship_counts();
+            self.shipped_totals.resize(ships.len(), 0);
+            for (total, &c) in self.shipped_totals.iter_mut().zip(ships) {
+                *total += u64::from(c);
             }
+            self.local.exchange_rounds += 1;
+            self.local.exchange_bytes += bytes;
         }
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let slot = &self.slots[i];
-            if slot.loads.is_empty() {
-                continue;
-            }
-            // Subscription pruning again: consensus duals install (and
-            // count) only on links this shard prices; elsewhere NaN
-            // keeps its own (decaying) dual. `num` is free scratch now —
-            // the consensus numerators were folded into `bg` above.
-            self.num.clear();
-            let bg = &self.bg;
-            self.num
-                .extend((0..n_links).map(|l| if subscribed(slot, l) { bg[l] } else { f64::NAN }));
-            shard.set_link_prices(&self.num);
-            // Inbound: a shard receives an entry for a subscribed link
-            // when some *other* shard re-shipped it this round — or, on
-            // a link the shard newly subscribed to, as a catch-up
-            // transfer of the state other shards already shipped in past
-            // rounds (without it, a late subscriber would be handed the
-            // `last` tables' contents for free and `exchange_bytes`
-            // would under-count what a real wire protocol must carry).
-            let recv = (0..n_links)
-                .filter(|&l| {
-                    if !subscribed(slot, l) {
-                        return false;
-                    }
-                    let fresh = self.dirty_count[l] > u32::from(self.dirty[i * n_links + l]);
-                    // `state_count` includes this shard's own table; an
-                    // *other* shard holds state iff the count exceeds
-                    // this shard's own membership in it.
-                    let own_state = {
-                        let last = &self.last[i];
-                        last.loads.get(l).is_some_and(|&v| v != 0.0)
-                            || last.prices.get(l).is_some_and(|&v| v != 0.0)
-                            || last.hessians.get(l).is_some_and(|&v| v != 0.0)
-                    };
-                    let others_hold_state = self.state_count[l] > u32::from(own_state);
-                    fresh || (!self.sub_prev[i * n_links + l] && others_hold_state)
-                })
-                .count() as u64;
-            for l in 0..n_links {
-                self.sub_prev[i * n_links + l] = subscribed(slot, l);
-            }
-            let has_h = !slot.hessians.is_empty();
-            bytes += recv * entry_bytes(2 + (has_h && any_h) as u64);
-        }
-        self.local.exchange_rounds += 1;
-        self.local.exchange_bytes += bytes;
     }
 
     /// Per-link loads of the whole control plane's raw allocation: the
@@ -897,6 +740,7 @@ impl<E: RateAllocator> ShardedService<E> {
                 rejected,
                 exchange_rounds,
                 exchange_bytes,
+                exchange_decode_errors,
             } = s.stats();
             total.starts += starts;
             total.ends += ends;
@@ -911,6 +755,7 @@ impl<E: RateAllocator> ShardedService<E> {
             // aggregate anyway so the destructuring stays exhaustive.
             total.exchange_rounds += exchange_rounds;
             total.exchange_bytes += exchange_bytes;
+            total.exchange_decode_errors += exchange_decode_errors;
         }
         total
     }
@@ -981,31 +826,6 @@ fn tick_shard<E: RateAllocator>(
     }
 }
 
-/// Element-wise sum of the shards' last-shipped vectors (selected by
-/// `pick`) into `out` (cleared and sized to `n_links`), skipping shard
-/// `skip` (the importer, for sum-of-others semantics) and shards with
-/// empty tables (engines that export nothing).
-fn sum_last_into(
-    last: &[ShardLast],
-    pick: fn(&ShardLast) -> &Vec<f64>,
-    skip: Option<usize>,
-    n_links: usize,
-    out: &mut Vec<f64>,
-) {
-    out.clear();
-    out.resize(n_links, 0.0);
-    for (j, shard) in last.iter().enumerate() {
-        let values = pick(shard);
-        if Some(j) == skip || values.is_empty() {
-            continue;
-        }
-        debug_assert_eq!(values.len(), n_links, "short table for shard {j}");
-        for (acc, x) in out.iter_mut().zip(values) {
-            *acc += x;
-        }
-    }
-}
-
 fn update_token(msg: &Message) -> Token {
     match msg {
         Message::RateUpdate { token, .. }
@@ -1020,7 +840,9 @@ fn update_token(msg: &Message) -> Token {
 /// the per-tick update volume once the shard count grows). Token sets are
 /// disjoint across shards so ties cannot occur; the stream index in the
 /// heap key makes the order deterministic even if a caller violated that.
-fn merge_by_token(mut streams: Vec<Vec<(u16, Message)>>) -> Vec<(u16, Message)> {
+/// Public because a distributed peer cluster merges its peers' streams
+/// with exactly the same rule.
+pub fn merge_by_token(mut streams: Vec<Vec<(u16, Message)>>) -> Vec<(u16, Message)> {
     if streams.len() == 1 {
         // Single shard: the stream is already the merged order.
         return streams.pop().expect("len checked");

@@ -1,0 +1,514 @@
+//! `flowtune-arbiterd` — one shard of the distributed Flowtune control
+//! plane as an OS process, plus a `--demo` launcher that spawns a whole
+//! N-process cluster and checks it against the unsharded optimum.
+//!
+//! Peer mode (`--shard I --shards N`) joins the mesh over the chosen
+//! transport, feeds its contiguous-placement share of the demo's
+//! cross-shard incast workload (the same one the repository's
+//! `cross_shard_incast` test pins), drives `--ticks` allocator ticks
+//! with the wire exchange every `--exchange-every` ticks, and prints
+//! machine-readable `key=value` lines: each owned flow's converged rate
+//! (with its exact bit pattern) and the shard's exchange / wire
+//! counters.
+//!
+//! Demo mode (`--demo N`) spawns N peer processes of itself, computes
+//! the unsharded reference allocation in-process, and asserts what the
+//! paper's §5 aggregation promises one level up: every flow's rate
+//! matches the unsharded service within the update-threshold tolerance,
+//! no link is over-subscribed, real bytes moved on the wire, and no
+//! frame was dropped as undecodable.
+
+use std::io::{self, Write};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use flowtune::{AllocatorService, FlowtuneConfig, Placement};
+use flowtune_net::{tcp_connect, uds_connect, ShardPeer, Transport};
+use flowtune_proto::{Message, Token};
+use flowtune_topo::{ClosConfig, FlowId, TwoTierClos};
+
+/// The demo workload, shared verbatim with `tests/cross_shard_incast.rs`:
+/// 4 sources per block of a 2-block fabric, all sending to server 15.
+const SOURCES: [u16; 8] = [0, 1, 2, 3, 8, 9, 10, 11];
+const RECEIVER: u16 = 15;
+
+const USAGE: &str = "flowtune-arbiterd: distributed Flowtune shard peer / demo launcher
+
+Peer mode (one process per shard):
+  flowtune-arbiterd --shard I --shards N [options]
+
+Demo mode (spawns an N-process cluster of itself, checks convergence):
+  flowtune-arbiterd --demo N [options]
+
+Options:
+  --shard I            this peer's shard id (peer mode)
+  --shards N           total shards in the cluster (peer mode)
+  --demo N             launch N peer processes and verify the result
+  --transport T        uds | tcp (default uds; demo and peer mode)
+  --dir PATH           socket directory for uds (peer mode; demo makes its own)
+  --base-port P        first TCP port, peer i binds P+i (tcp; demo probes one)
+  --ticks N            allocator ticks to run (default 400)
+  --exchange-every K   exchange cadence in ticks (default 1)
+  --timeout-ms M       per-peer round timeout (default 1000)
+  --help               this text
+";
+
+#[derive(Debug, Clone)]
+struct Opts {
+    shard: Option<u16>,
+    shards: u16,
+    demo: Option<u16>,
+    transport: String,
+    dir: String,
+    base_port: u16,
+    ticks: u64,
+    exchange_every: u64,
+    timeout_ms: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            shard: None,
+            shards: 0,
+            demo: None,
+            transport: "uds".to_string(),
+            dir: String::new(),
+            base_port: 0,
+            ticks: 400,
+            exchange_every: 1,
+            timeout_ms: 1000,
+        }
+    }
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--shard" => {
+                opts.shard = Some(
+                    value("--shard")?
+                        .parse()
+                        .map_err(|e| format!("--shard: {e}"))?,
+                )
+            }
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--demo" => {
+                opts.demo = Some(
+                    value("--demo")?
+                        .parse()
+                        .map_err(|e| format!("--demo: {e}"))?,
+                )
+            }
+            "--transport" => opts.transport = value("--transport")?,
+            "--dir" => opts.dir = value("--dir")?,
+            "--base-port" => {
+                opts.base_port = value("--base-port")?
+                    .parse()
+                    .map_err(|e| format!("--base-port: {e}"))?
+            }
+            "--ticks" => {
+                opts.ticks = value("--ticks")?
+                    .parse()
+                    .map_err(|e| format!("--ticks: {e}"))?
+            }
+            "--exchange-every" => {
+                opts.exchange_every = value("--exchange-every")?
+                    .parse()
+                    .map_err(|e| format!("--exchange-every: {e}"))?
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if !matches!(opts.transport.as_str(), "uds" | "tcp") {
+        return Err(format!(
+            "--transport {} (expected uds or tcp)",
+            opts.transport
+        ));
+    }
+    Ok(opts)
+}
+
+fn fabric() -> TwoTierClos {
+    TwoTierClos::build(ClosConfig::multicore(2, 2, 4))
+}
+
+fn config(exchange_every: u64) -> FlowtuneConfig {
+    FlowtuneConfig {
+        exchange_every,
+        ..FlowtuneConfig::default()
+    }
+}
+
+fn start(fabric: &TwoTierClos, token: u32, src: u16, dst: u16) -> Message {
+    let spine = fabric.ecmp_spine(src as usize, dst as usize, FlowId(u64::from(token)));
+    Message::FlowletStart {
+        token: Token::new(token),
+        src,
+        dst,
+        size_hint: 1_000_000,
+        weight_q8: 256,
+        spine: spine as u8,
+    }
+}
+
+/// The demo's flow set: `(token, src)` pairs, token = 1-based index.
+fn incast_flows() -> Vec<(u32, u16)> {
+    SOURCES
+        .iter()
+        .enumerate()
+        .map(|(i, &src)| (i as u32 + 1, src))
+        .collect()
+}
+
+// ---------------------------------------------------------------- peer
+
+fn run_peer_on<T: Transport>(transport: T, opts: &Opts) -> io::Result<()> {
+    let fabric = fabric();
+    let svc = AllocatorService::new(&fabric, config(opts.exchange_every));
+    let mut peer = ShardPeer::new(svc, transport, Duration::from_millis(opts.timeout_ms));
+    let placement = Placement::contiguous(fabric.config().server_count(), opts.shards as usize);
+    let mine: Vec<(u32, u16)> = incast_flows()
+        .into_iter()
+        .filter(|&(_, src)| placement.shard_of(src) == usize::from(peer.shard()))
+        .collect();
+    for &(token, src) in &mine {
+        peer.on_message(start(&fabric, token, src, RECEIVER))
+            .expect("demo workload is well-formed");
+    }
+    for _ in 0..opts.ticks {
+        peer.tick()?;
+    }
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for &(token, _) in &mine {
+        let rate = peer
+            .service()
+            .flow_rate_gbps(Token::new(token))
+            .expect("fed flow is active");
+        writeln!(
+            out,
+            "rate token={token} gbps={rate} bits={:016x}",
+            rate.to_bits()
+        )?;
+    }
+    let st = peer.exchange_stats();
+    let wire = peer.wire_stats();
+    writeln!(
+        out,
+        "stats shard={} rounds={} logical_bytes={} decode_errors={} tx_bytes={} rx_bytes={} tx_frames={} rx_frames={} late_rounds={}",
+        peer.shard(),
+        st.exchange_rounds,
+        st.exchange_bytes,
+        st.exchange_decode_errors,
+        wire.tx_bytes,
+        wire.rx_bytes,
+        wire.tx_frames,
+        wire.rx_frames,
+        wire.late_rounds,
+    )?;
+    Ok(())
+}
+
+fn run_peer(opts: &Opts) -> io::Result<()> {
+    let shard = opts.shard.expect("peer mode needs --shard");
+    assert!(
+        shard < opts.shards,
+        "--shard {shard} out of range for --shards {}",
+        opts.shards
+    );
+    match opts.transport.as_str() {
+        "uds" => {
+            assert!(!opts.dir.is_empty(), "uds transport needs --dir");
+            let t = uds_connect(std::path::Path::new(&opts.dir), shard, opts.shards)?;
+            run_peer_on(t, opts)
+        }
+        "tcp" => {
+            assert!(opts.base_port != 0, "tcp transport needs --base-port");
+            let t = tcp_connect(opts.base_port, shard, opts.shards)?;
+            run_peer_on(t, opts)
+        }
+        other => unreachable!("transport {other} was validated at parse time"),
+    }
+}
+
+// ---------------------------------------------------------------- demo
+
+#[derive(Debug, Default)]
+struct PeerReport {
+    rates: Vec<(u32, f64)>,
+    tx_bytes: u64,
+    rx_bytes: u64,
+    decode_errors: u64,
+    late_rounds: u64,
+    rounds: u64,
+    logical_bytes: u64,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('='))
+}
+
+fn parse_report(stdout: &str, report: &mut PeerReport) -> Result<(), String> {
+    for line in stdout.lines() {
+        if line.starts_with("rate ") {
+            let token: u32 = field(line, "token")
+                .ok_or("rate line without token")?
+                .parse()
+                .map_err(|e| format!("token: {e}"))?;
+            let bits =
+                u64::from_str_radix(field(line, "bits").ok_or("rate line without bits")?, 16)
+                    .map_err(|e| format!("bits: {e}"))?;
+            report.rates.push((token, f64::from_bits(bits)));
+        } else if line.starts_with("stats ") {
+            let get = |key: &str| -> Result<u64, String> {
+                field(line, key)
+                    .ok_or_else(|| format!("stats line without {key}"))?
+                    .parse()
+                    .map_err(|e| format!("{key}: {e}"))
+            };
+            report.rounds = get("rounds")?;
+            report.logical_bytes = get("logical_bytes")?;
+            report.decode_errors = get("decode_errors")?;
+            report.tx_bytes = get("tx_bytes")?;
+            report.rx_bytes = get("rx_bytes")?;
+            report.late_rounds = get("late_rounds")?;
+        }
+    }
+    Ok(())
+}
+
+/// The unsharded reference: same workload, one service, same tick count.
+fn unsharded_rates(ticks: u64) -> Vec<(u32, f64)> {
+    let fabric = fabric();
+    let mut svc = AllocatorService::new(&fabric, config(1));
+    for &(token, src) in &incast_flows() {
+        svc.on_message(start(&fabric, token, src, RECEIVER))
+            .expect("demo workload is well-formed");
+    }
+    for _ in 0..ticks {
+        svc.tick();
+    }
+    incast_flows()
+        .iter()
+        .map(|&(token, _)| {
+            (
+                token,
+                svc.flow_rate_gbps(Token::new(token)).expect("flow active"),
+            )
+        })
+        .collect()
+}
+
+/// Probe a run of `n` free loopback ports and return the base.
+fn probe_tcp_base(n: u16) -> io::Result<u16> {
+    for _ in 0..16 {
+        let probe = std::net::TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        let base = probe.local_addr()?.port();
+        drop(probe);
+        if base.checked_add(n).is_none() {
+            continue;
+        }
+        let holds: Vec<_> = (0..n)
+            .map(|i| std::net::TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, base + i)))
+            .collect();
+        if holds.iter().all(Result::is_ok) {
+            return Ok(base);
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::AddrInUse,
+        "no free loopback port run found",
+    ))
+}
+
+fn run_demo(opts: &Opts) -> Result<(), String> {
+    let n = opts.demo.expect("demo mode needs --demo");
+    assert!(n >= 1, "--demo needs at least one shard");
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("flowtune-arbiterd-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let base_port = if opts.transport == "tcp" {
+        if opts.base_port != 0 {
+            opts.base_port
+        } else {
+            probe_tcp_base(n).map_err(|e| format!("port probe: {e}"))?
+        }
+    } else {
+        0
+    };
+
+    println!(
+        "demo: {n} {} peers x {} ticks, exchange every {}",
+        opts.transport, opts.ticks, opts.exchange_every
+    );
+    let mut children = Vec::new();
+    for shard in 0..n {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--shard")
+            .arg(shard.to_string())
+            .arg("--shards")
+            .arg(n.to_string())
+            .arg("--transport")
+            .arg(&opts.transport)
+            .arg("--ticks")
+            .arg(opts.ticks.to_string())
+            .arg("--exchange-every")
+            .arg(opts.exchange_every.to_string())
+            .arg("--timeout-ms")
+            .arg(opts.timeout_ms.to_string())
+            .stdout(Stdio::piped());
+        if opts.transport == "uds" {
+            cmd.arg("--dir").arg(&dir);
+        } else {
+            cmd.arg("--base-port").arg(base_port.to_string());
+        }
+        children.push(
+            cmd.spawn()
+                .map_err(|e| format!("spawn shard {shard}: {e}"))?,
+        );
+    }
+
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for (shard, child) in children.into_iter().enumerate() {
+        let output = child
+            .wait_with_output()
+            .map_err(|e| format!("wait shard {shard}: {e}"))?;
+        let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+        if !output.status.success() {
+            eprintln!("shard {shard} exited with {}:\n{stdout}", output.status);
+            failed = true;
+            continue;
+        }
+        let mut report = PeerReport::default();
+        parse_report(&stdout, &mut report).map_err(|e| format!("shard {shard}: {e}"))?;
+        reports.push(report);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if failed {
+        return Err("a shard process failed".to_string());
+    }
+
+    // Gather the distributed rates and check them against the unsharded
+    // reference the tentpole promises (tolerance: the repository's
+    // cross_shard_incast criterion).
+    let reference = unsharded_rates(opts.ticks);
+    let mut distributed: Vec<(u32, f64)> = reports.iter().flat_map(|r| r.rates.clone()).collect();
+    distributed.sort_unstable_by_key(|&(t, _)| t);
+    if distributed.len() != reference.len() {
+        return Err(format!(
+            "expected {} flows across peers, got {}",
+            reference.len(),
+            distributed.len()
+        ));
+    }
+    let fabric = fabric();
+    let cfg = config(opts.exchange_every);
+    let tol = cfg.update_threshold;
+    let mut ok = true;
+    for (&(token, a), &(dt, b)) in reference.iter().zip(&distributed) {
+        assert_eq!(token, dt, "token sets must match");
+        let pass = (a - b).abs() <= tol * a.max(1.0);
+        println!(
+            "check token={token} unsharded={a:.4} distributed={b:.4} {}",
+            if pass { "ok" } else { "FAIL" }
+        );
+        ok &= pass;
+    }
+
+    // Feasibility: sum each flow's endpoint-visible rate over its path;
+    // no link may exceed its capacity.
+    let mut loads = vec![0.0f64; fabric.topology().link_count()];
+    for &(token, rate) in &distributed {
+        let src = SOURCES[(token - 1) as usize];
+        let spine = fabric.ecmp_spine(src as usize, RECEIVER as usize, FlowId(u64::from(token)));
+        let path = fabric.path_via_spine(src as usize, RECEIVER as usize, spine);
+        for link in path.iter() {
+            loads[link.index()] += rate;
+        }
+    }
+    let over = fabric
+        .topology()
+        .links()
+        .iter()
+        .enumerate()
+        .map(|(l, link)| (loads[l] / (link.capacity_bps as f64 / 1e9)) - 1.0)
+        .fold(0.0f64, f64::max);
+    println!(
+        "check worst_oversubscription={over:.2e} {}",
+        if over <= 1e-6 { "ok" } else { "FAIL" }
+    );
+    ok &= over <= 1e-6;
+
+    // Wire health: real bytes moved (for any actual multi-peer run) and
+    // nothing arrived undecodable.
+    let tx: u64 = reports.iter().map(|r| r.tx_bytes).sum();
+    let rx: u64 = reports.iter().map(|r| r.rx_bytes).sum();
+    let decode_errors: u64 = reports.iter().map(|r| r.decode_errors).sum();
+    let late: u64 = reports.iter().map(|r| r.late_rounds).sum();
+    let logical: u64 = reports.iter().map(|r| r.logical_bytes).sum();
+    println!("wire tx_bytes={tx} rx_bytes={rx} logical_bytes={logical} decode_errors={decode_errors} late_rounds={late}");
+    if n > 1 {
+        let wire_ok = tx > 0 && rx > 0;
+        println!(
+            "check wire_bytes_nonzero {}",
+            if wire_ok { "ok" } else { "FAIL" }
+        );
+        ok &= wire_ok;
+    }
+    let decode_ok = decode_errors == 0;
+    println!(
+        "check decode_errors_zero {}",
+        if decode_ok { "ok" } else { "FAIL" }
+    );
+    ok &= decode_ok;
+
+    if ok {
+        println!("demo: PASS");
+        Ok(())
+    } else {
+        Err("demo assertions failed".to_string())
+    }
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("flowtune-arbiterd: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if opts.demo.is_some() {
+        if let Err(e) = run_demo(&opts) {
+            eprintln!("flowtune-arbiterd: {e}");
+            std::process::exit(1);
+        }
+    } else if opts.shard.is_some() {
+        if let Err(e) = run_peer(&opts) {
+            eprintln!("flowtune-arbiterd: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!("flowtune-arbiterd: pass --shard I --shards N or --demo N\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,40 @@
+//! # Flowtune distributed control plane
+//!
+//! Shard peers and the link-state exchange protocol on a real wire.
+//!
+//! The core crate's `ShardedService` partitions the allocator across
+//! shards inside one process; this crate takes the next step and puts
+//! the shards in separate processes (or hosts). The pieces:
+//!
+//! * [`Transport`] — moves encoded exchange frames between peers and
+//!   reports on-wire bytes. Three implementations: the in-process
+//!   [`MemTransport`] mesh (the bit-for-bit reference), length-prefixed
+//!   Unix-domain sockets ([`UdsTransport`]) and TCP
+//!   ([`TcpTransport`]).
+//! * [`BufferPool`] — size-classed recycling for frame buffers in
+//!   flight, so the steady-state exchange allocates nothing.
+//! * [`ShardPeer`] — one shard's `AllocatorService` plus its side of
+//!   the exchange (the same `ExchangeCore` the in-process service
+//!   runs), tolerating late or lost rounds by installing from
+//!   last-shipped state.
+//! * [`PeerCluster`] — a lockstep `TickDriver` over a set of peers,
+//!   replicating the in-process routing layer exactly; over
+//!   [`MemTransport`] it is bit-for-bit identical to `ShardedService`.
+//! * `flowtune-arbiterd` (this crate's binary) — one shard peer per
+//!   process, plus a `--demo` launcher that spawns an N-process
+//!   cluster and checks it converges to the unsharded optimum.
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod peer;
+pub mod pool;
+pub mod transport;
+
+pub use cluster::PeerCluster;
+pub use peer::{ShardPeer, WireStats};
+pub use pool::BufferPool;
+pub use transport::{
+    mem_mesh, tcp_connect, tcp_mesh, uds_connect, uds_mesh, uds_socket_path, FrameStream,
+    MemTransport, SocketTransport, TcpTransport, Transport, UdsTransport,
+};

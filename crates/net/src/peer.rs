@@ -1,0 +1,404 @@
+//! One shard of the distributed control plane: a full
+//! [`AllocatorService`] plus the exchange protocol run over a real
+//! [`Transport`].
+//!
+//! A [`ShardPeer`] is the distributed twin of one shard inside the
+//! in-process `ShardedService`: it owns the same [`ExchangeCore`]
+//! state machine, so an exchange round is the same three calls —
+//! export-and-broadcast ([`ShardPeer::tick_export`]), apply every
+//! peer's frame, install ([`ShardPeer::exchange_finish`]) — with the
+//! frames now crossing a wire instead of a `Vec` slice. When every
+//! peer's frame for the round arrives in time, the arithmetic is
+//! bit-for-bit identical to the in-process service; when a peer's frame
+//! is **late or lost**, the round installs from the last state that
+//! peer shipped (the replica simply is not updated), the miss is
+//! counted in [`WireStats::late_rounds`], and the next frame that does
+//! arrive heals the replica — the same degrade-to-stale-background
+//! behavior a larger exchange cadence produces on purpose.
+//!
+//! The peer reports two byte counts: the *logical* hub-model accounting
+//! (`ServiceStats::exchange_bytes`, identical to in-process) and the
+//! actual on-wire bytes its transport moved ([`WireStats`]), frame
+//! headers, record tags and length prefixes included.
+
+use std::io;
+use std::time::Duration;
+
+use flowtune::{AllocatorService, ExchangeCore, FlowMigration, ServiceError, ServiceStats};
+use flowtune_alloc::{RateAllocator, SerialAllocator};
+use flowtune_proto::exchange::{
+    decode_header, encode_header, encode_record, FrameHeader, FrameKind, Record, RecordIter,
+};
+use flowtune_proto::{Message, Token};
+
+use crate::transport::Transport;
+
+/// On-wire counters of one peer's transport use (separate from the
+/// logical `ServiceStats::exchange_bytes` accounting — see the module
+/// docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Bytes shipped to peers (length prefixes included).
+    pub tx_bytes: u64,
+    /// Bytes received from peers (length prefixes included).
+    pub rx_bytes: u64,
+    /// Frames shipped.
+    pub tx_frames: u64,
+    /// Frames received.
+    pub rx_frames: u64,
+    /// Exchange rounds in which at least one peer's frame missed the
+    /// round timeout and the round installed from last-shipped state.
+    pub late_rounds: u64,
+}
+
+/// One shard's allocator service plus its side of the wire exchange.
+#[derive(Debug)]
+pub struct ShardPeer<T: Transport, E: RateAllocator = SerialAllocator> {
+    svc: AllocatorService<E>,
+    core: ExchangeCore,
+    transport: T,
+    exchange_every: u64,
+    round_timeout: Duration,
+    ticks: u64,
+    /// An exchange round was exported this tick and awaits
+    /// [`ShardPeer::exchange_finish`].
+    round_due: bool,
+    // Reusable export/frame scratch: the encode path allocates nothing
+    // once these are warm.
+    loads: Vec<f64>,
+    hessians: Vec<f64>,
+    prices: Vec<f64>,
+    frame_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
+    /// This peer's exchange counters (rounds, logical bytes, decode
+    /// errors) — the distributed share of what the in-process routing
+    /// layer counts centrally.
+    local: ServiceStats,
+    wire: WireStats,
+}
+
+impl<T: Transport, E: RateAllocator> ShardPeer<T, E> {
+    /// Wrap `svc` as the shard `transport.shard()` peer of a
+    /// `transport.peers()`-shard cluster. The exchange cadence and
+    /// delta filter come from the service's configuration;
+    /// `round_timeout` bounds how long [`ShardPeer::exchange_finish`]
+    /// waits per peer before falling back to last-installed state.
+    pub fn new(svc: AllocatorService<E>, transport: T, round_timeout: Duration) -> Self {
+        let cfg = svc.config();
+        let core = ExchangeCore::new(transport.shard(), transport.peers(), cfg.exchange_delta_eps);
+        ShardPeer {
+            svc,
+            core,
+            transport,
+            exchange_every: cfg.exchange_every,
+            round_timeout,
+            ticks: 0,
+            round_due: false,
+            loads: Vec::new(),
+            hessians: Vec::new(),
+            prices: Vec::new(),
+            frame_buf: Vec::new(),
+            recv_buf: Vec::new(),
+            local: ServiceStats::default(),
+            wire: WireStats::default(),
+        }
+    }
+
+    /// This peer's shard id.
+    pub fn shard(&self) -> u16 {
+        self.transport.shard()
+    }
+
+    /// Total peers in the cluster, this one included.
+    pub fn peers(&self) -> usize {
+        self.transport.peers()
+    }
+
+    /// Ticks driven so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The wrapped allocator service (message intake for flows this
+    /// shard owns goes through here).
+    pub fn service(&self) -> &AllocatorService<E> {
+        &self.svc
+    }
+
+    /// Mutable access to the wrapped service.
+    pub fn service_mut(&mut self) -> &mut AllocatorService<E> {
+        &mut self.svc
+    }
+
+    /// Hand an endpoint notification to this shard's service.
+    ///
+    /// # Errors
+    /// The service's [`ServiceError`]; the message is dropped and
+    /// counted.
+    pub fn on_message(&mut self, msg: Message) -> Result<(), ServiceError> {
+        self.svc.on_message(msg)
+    }
+
+    /// On-wire transport counters.
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire
+    }
+
+    /// This peer's exchange counters alone (logical bytes, rounds,
+    /// decode errors) — what a cluster aggregates across peers.
+    pub fn exchange_stats(&self) -> ServiceStats {
+        self.local
+    }
+
+    /// The service's counters plus this peer's exchange counters — the
+    /// per-shard slice of what `ShardedService::stats` reports for the
+    /// whole in-process cluster.
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = self.svc.stats();
+        total.exchange_rounds += self.local.exchange_rounds;
+        total.exchange_bytes += self.local.exchange_bytes;
+        total.exchange_decode_errors += self.local.exchange_decode_errors;
+        total
+    }
+
+    /// Phase 1 of a tick: run the service's allocator tick and, when an
+    /// exchange round is due, export this shard's link state, encode
+    /// one frame and broadcast it to every peer. Returns the tick's
+    /// rate-update stream. Must be followed by
+    /// [`ShardPeer::exchange_finish`] before the next tick.
+    ///
+    /// # Errors
+    /// A transport send failed; the tick's allocator work is done, the
+    /// exchange round is abandoned.
+    pub fn tick_export(&mut self) -> io::Result<Vec<(u16, Message)>> {
+        self.ticks += 1;
+        let updates = self.svc.tick();
+        let due = self.exchange_every > 0
+            && self.transport.peers() > 1
+            && self.ticks.is_multiple_of(self.exchange_every);
+        self.round_due = due;
+        if due {
+            self.svc.link_loads_into(&mut self.loads);
+            self.svc.link_hessians_into(&mut self.hessians);
+            self.svc.link_prices_into(&mut self.prices);
+            self.frame_buf.clear();
+            self.core.begin_round(
+                self.ticks,
+                &self.loads,
+                &self.hessians,
+                &self.prices,
+                &mut self.frame_buf,
+            );
+            self.broadcast_frame_buf()?;
+        }
+        Ok(updates)
+    }
+
+    /// Phase 2 of a tick: collect every peer's frame for the round
+    /// (draining any older frames first), apply them to the replicas,
+    /// and install the recomputed aggregation into the service. A peer
+    /// whose frame does not arrive within the round timeout is skipped
+    /// for the round — the install proceeds from the last background
+    /// state that peer shipped, and [`WireStats::late_rounds`] counts
+    /// the miss. Corrupt frames are counted in
+    /// `ServiceStats::exchange_decode_errors` and dropped. A no-op
+    /// when no round is due.
+    ///
+    /// # Errors
+    /// A transport receive failed (a torn frame or closed stream —
+    /// timeouts are handled, not errors).
+    pub fn exchange_finish(&mut self) -> io::Result<()> {
+        if !self.round_due {
+            return Ok(());
+        }
+        self.round_due = false;
+        let me = self.transport.shard();
+        for p in 0..self.transport.peers() as u16 {
+            if p == me {
+                continue;
+            }
+            loop {
+                match self
+                    .transport
+                    .recv(p, &mut self.recv_buf, self.round_timeout)?
+                {
+                    None => {
+                        // Late round: install from this peer's
+                        // last-shipped state; its next frame heals the
+                        // replica.
+                        self.wire.late_rounds += 1;
+                        break;
+                    }
+                    Some(bytes) => {
+                        self.wire.rx_bytes += bytes;
+                        self.wire.rx_frames += 1;
+                        let round = match decode_header(&self.recv_buf) {
+                            Ok(header) => header.round,
+                            Err(_) => {
+                                self.local.exchange_decode_errors += 1;
+                                continue;
+                            }
+                        };
+                        if self.core.apply_frame(&self.recv_buf).is_err() {
+                            self.local.exchange_decode_errors += 1;
+                        }
+                        if round >= self.ticks {
+                            break;
+                        }
+                        // An older round's frame (we fell behind or the
+                        // peer recovered): applied for its state, keep
+                        // draining toward the current round.
+                    }
+                }
+            }
+        }
+        if let Some(bytes) = self.core.install(&mut self.svc) {
+            self.local.exchange_rounds += 1;
+            self.local.exchange_bytes += bytes;
+        }
+        Ok(())
+    }
+
+    /// One whole tick: [`ShardPeer::tick_export`] +
+    /// [`ShardPeer::exchange_finish`]. For lockstep drivers; split the
+    /// phases when overlapping several peers in one thread.
+    ///
+    /// # Errors
+    /// Either phase's transport error.
+    pub fn tick(&mut self) -> io::Result<Vec<(u16, Message)>> {
+        let updates = self.tick_export()?;
+        self.exchange_finish()?;
+        Ok(updates)
+    }
+
+    /// Announce a placement epoch: broadcast an epoch frame carrying
+    /// this shard's leaving flows (each with the shard that adopts it)
+    /// and mark the exchange for a catch-up resync, exactly as the
+    /// in-process `ShardedService::replace` does. The counterpart
+    /// [`ShardPeer::gather_epoch`] must run on every peer.
+    ///
+    /// # Errors
+    /// A transport send failed.
+    pub fn broadcast_epoch(
+        &mut self,
+        epoch: u64,
+        leavers: &[(FlowMigration, u16)],
+    ) -> io::Result<()> {
+        self.frame_buf.clear();
+        encode_header(
+            &FrameHeader {
+                kind: FrameKind::Epoch,
+                shard: self.transport.shard(),
+                round: self.ticks,
+                n_links: 0,
+                active: false,
+                has_hessians: false,
+            },
+            &mut self.frame_buf,
+        );
+        encode_record(&Record::EpochBegin { epoch }, false, &mut self.frame_buf);
+        for &(m, dst_shard) in leavers {
+            encode_record(
+                &Record::Migration {
+                    token: m.token.get(),
+                    src: m.src,
+                    dst: m.dst,
+                    weight_q8: m.weight_q8,
+                    spine: m.spine,
+                    dst_shard,
+                },
+                false,
+                &mut self.frame_buf,
+            );
+        }
+        self.broadcast_frame_buf()?;
+        self.core.request_resync();
+        Ok(())
+    }
+
+    /// Collect one epoch frame from every peer, appending the
+    /// migrations addressed to this shard to `adopt` (unsorted; the
+    /// caller orders and adopts them). Stray state frames received
+    /// while waiting are applied to the replicas as usual.
+    ///
+    /// # Errors
+    /// A transport failure, or a peer whose epoch frame never arrived
+    /// within the round timeout — an epoch is a barrier, so unlike a
+    /// state round it cannot proceed without everyone.
+    pub fn gather_epoch(&mut self, adopt: &mut Vec<FlowMigration>) -> io::Result<()> {
+        let me = self.transport.shard();
+        for p in 0..self.transport.peers() as u16 {
+            if p == me {
+                continue;
+            }
+            loop {
+                match self
+                    .transport
+                    .recv(p, &mut self.recv_buf, self.round_timeout)?
+                {
+                    None => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("epoch frame from shard {p} never arrived"),
+                        ))
+                    }
+                    Some(bytes) => {
+                        self.wire.rx_bytes += bytes;
+                        self.wire.rx_frames += 1;
+                        let (header, records) = match RecordIter::new(&self.recv_buf) {
+                            Ok(decoded) => decoded,
+                            Err(_) => {
+                                self.local.exchange_decode_errors += 1;
+                                continue;
+                            }
+                        };
+                        if header.kind != FrameKind::Epoch {
+                            if self.core.apply_frame(&self.recv_buf).is_err() {
+                                self.local.exchange_decode_errors += 1;
+                            }
+                            continue;
+                        }
+                        for record in records {
+                            match record {
+                                Ok(Record::Migration {
+                                    token,
+                                    src,
+                                    dst,
+                                    weight_q8,
+                                    spine,
+                                    dst_shard,
+                                }) if dst_shard == me => adopt.push(FlowMigration {
+                                    token: Token::new(token),
+                                    src,
+                                    dst,
+                                    weight_q8,
+                                    spine,
+                                }),
+                                Ok(_) => {}
+                                Err(_) => {
+                                    self.local.exchange_decode_errors += 1;
+                                    break;
+                                }
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn broadcast_frame_buf(&mut self) -> io::Result<()> {
+        let me = self.transport.shard();
+        for p in 0..self.transport.peers() as u16 {
+            if p == me {
+                continue;
+            }
+            let bytes = self.transport.send(p, &self.frame_buf)?;
+            self.wire.tx_bytes += bytes;
+            self.wire.tx_frames += 1;
+        }
+        Ok(())
+    }
+}

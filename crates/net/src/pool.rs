@@ -1,0 +1,142 @@
+//! A size-classed buffer pool for exchange frames in flight.
+//!
+//! The in-memory transport hands every frame it ships to the receiving
+//! queue as an owned `Vec<u8>`; recycling those vectors through a pool
+//! keeps the steady-state exchange free of per-message allocation —
+//! the same discipline the in-process exchange gets from its one flat
+//! reusable buffer. Buffers are grouped into power-of-two size classes:
+//! every buffer stored in class `c` has capacity at least `2^c`, so a
+//! [`BufferPool::get`] for any capacity up to that is satisfied without
+//! touching the allocator.
+
+/// Buffers stored per size class; beyond this, returned buffers are
+/// dropped instead of pooled (a backstop against bursts, not a tuning
+/// knob — steady-state exchange traffic needs one buffer per in-flight
+/// frame).
+const MAX_PER_CLASS: usize = 64;
+
+/// Size classes tracked (class `c` holds buffers of capacity `≥ 2^c`);
+/// requests beyond `2^MAX_CLASSES` bytes are served unpooled.
+const MAX_CLASSES: usize = 28;
+
+/// A size-classed free list of `Vec<u8>` buffers (see the module docs).
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    classes: Vec<Vec<Vec<u8>>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The class a request of `capacity` bytes is served from: the smallest
+/// power of two that covers it.
+fn class_for_get(capacity: usize) -> usize {
+    capacity.next_power_of_two().trailing_zeros() as usize
+}
+
+/// The class a returned buffer is stored in: the largest power of two
+/// its capacity covers, so every stored buffer satisfies every get from
+/// its class.
+fn class_for_put(capacity: usize) -> usize {
+    (usize::BITS - 1 - capacity.leading_zeros()) as usize
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool {
+            classes: (0..=MAX_CLASSES).map(|_| Vec::new()).collect(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A cleared buffer with capacity at least `capacity` — recycled
+    /// when the matching class has one, freshly allocated otherwise.
+    pub fn get(&mut self, capacity: usize) -> Vec<u8> {
+        let class = class_for_get(capacity.max(1));
+        if let Some(free) = self.classes.get_mut(class) {
+            if let Some(mut buf) = free.pop() {
+                buf.clear();
+                self.hits += 1;
+                return buf;
+            }
+        }
+        self.misses += 1;
+        Vec::with_capacity(capacity.max(1).next_power_of_two())
+    }
+
+    /// Return a buffer to the pool (dropped when its class is full or
+    /// its capacity is off the tracked scale).
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let class = class_for_put(buf.capacity());
+        if let Some(free) = self.classes.get_mut(class) {
+            if free.len() < MAX_PER_CLASS {
+                free.push(buf);
+            }
+        }
+    }
+
+    /// Gets served by recycling a pooled buffer.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Gets that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_within_a_class() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.get(100);
+        assert!(buf.capacity() >= 100);
+        assert_eq!(pool.misses(), 1);
+        buf.extend_from_slice(&[1, 2, 3]);
+        let cap = buf.capacity();
+        pool.put(buf);
+        // Same class: the recycled buffer comes back cleared with its
+        // capacity intact.
+        let again = pool.get(100);
+        assert_eq!(pool.hits(), 1);
+        assert!(again.is_empty());
+        assert_eq!(again.capacity(), cap);
+    }
+
+    #[test]
+    fn a_stored_buffer_always_covers_its_class() {
+        let mut pool = BufferPool::new();
+        // A 100-byte-capacity buffer lands in class 6 (2^6 = 64 ≤ 100),
+        // so a get for ≤ 64 bytes may recycle it and a get for 128 may
+        // not.
+        pool.put(Vec::with_capacity(100));
+        let small = pool.get(64);
+        assert_eq!(pool.hits(), 1);
+        assert!(small.capacity() >= 64);
+        pool.put(small);
+        let large = pool.get(128);
+        assert!(large.capacity() >= 128);
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn class_overflow_drops_instead_of_growing() {
+        let mut pool = BufferPool::new();
+        for _ in 0..(MAX_PER_CLASS + 10) {
+            pool.put(Vec::with_capacity(256));
+        }
+        let stored = pool.classes[class_for_put(256)].len();
+        assert_eq!(stored, MAX_PER_CLASS);
+        // Zero-capacity buffers are never pooled.
+        pool.put(Vec::new());
+        assert_eq!(pool.classes[0].len(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Pins the tentpole's allocation discipline: after warm-up, an
+//! exchange round's encode + decode path (delta-filter, frame append,
+//! record walk, replica update) touches the heap zero times. The frame
+//! goes into one flat reusable buffer and the receiver's replicas are
+//! grown once; steady-state rounds only overwrite.
+//!
+//! A counting `#[global_allocator]` makes the claim checkable without
+//! tooling: it counts every `alloc`/`realloc`/`alloc_zeroed` while the
+//! measured window is open. This lives in its own integration-test
+//! binary so the counter sees nothing but this test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use flowtune::ExchangeCore;
+
+struct CountingAlloc;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const LINKS: usize = 48;
+const WARM_ROUNDS: u64 = 5;
+const MEASURED_ROUNDS: u64 = 50;
+
+#[test]
+fn steady_state_exchange_round_allocates_nothing() {
+    let mut a = ExchangeCore::new(0, 2, 0.0);
+    let mut b = ExchangeCore::new(1, 2, 0.0);
+
+    let mut loads_a = vec![1.0f64; LINKS];
+    let mut loads_b = vec![2.0f64; LINKS];
+    let hessians: Vec<f64> = vec![0.5; LINKS];
+    let prices: Vec<f64> = vec![0.25; LINKS];
+
+    // One generously pre-reserved flat buffer per side — the same
+    // discipline ShardPeer and ShardedService use.
+    let mut frame_a: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut frame_b: Vec<u8> = Vec::with_capacity(64 * 1024);
+
+    let mut round = 0u64;
+    let mut exchange = |a: &mut ExchangeCore,
+                        b: &mut ExchangeCore,
+                        loads_a: &[f64],
+                        loads_b: &[f64],
+                        frame_a: &mut Vec<u8>,
+                        frame_b: &mut Vec<u8>| {
+        round += 1;
+        frame_a.clear();
+        frame_b.clear();
+        a.begin_round(round, loads_a, &hessians, &prices, frame_a);
+        b.begin_round(round, loads_b, &hessians, &prices, frame_b);
+        a.apply_frame(frame_b).expect("peer frame decodes");
+        b.apply_frame(frame_a).expect("peer frame decodes");
+    };
+
+    // Warm-up: first rounds size the last-shipped tables, the replicas
+    // and the frame buffers.
+    for r in 0..WARM_ROUNDS {
+        for load in loads_a.iter_mut().chain(loads_b.iter_mut()) {
+            *load += 0.01 * (r + 1) as f64;
+        }
+        exchange(
+            &mut a,
+            &mut b,
+            &loads_a,
+            &loads_b,
+            &mut frame_a,
+            &mut frame_b,
+        );
+    }
+
+    // Measured window: every load moves every round, so every entry is
+    // re-shipped — the worst case for the encode path.
+    ALLOCS.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+    for r in 0..MEASURED_ROUNDS {
+        for load in loads_a.iter_mut().chain(loads_b.iter_mut()) {
+            *load += 0.001 * (r + 1) as f64;
+        }
+        exchange(
+            &mut a,
+            &mut b,
+            &loads_a,
+            &loads_b,
+            &mut frame_a,
+            &mut frame_b,
+        );
+    }
+    ENABLED.store(false, Ordering::Relaxed);
+
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        allocs, 0,
+        "steady-state exchange rounds must not allocate ({allocs} allocations over {MEASURED_ROUNDS} rounds)"
+    );
+}

@@ -104,20 +104,35 @@ pub fn encode(msg: &Message, buf: &mut BytesMut) {
     }
 }
 
-/// Decode error.
+/// Decode error, carrying the byte offset of the failure so a corrupt
+/// stream from a real socket is diagnosable. For [`decode`] the offset
+/// is relative to the front of the buffer (always 0 for a bad tag); for
+/// [`MessageIter`] it is the absolute offset within the iterated slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
     /// The buffer holds a partial message (need more bytes).
-    Truncated,
+    Truncated {
+        /// Byte offset at which the incomplete message starts.
+        offset: usize,
+    },
     /// Unknown tag byte.
-    BadTag(u8),
+    BadTag {
+        /// The tag byte found.
+        tag: u8,
+        /// Byte offset of the bad tag.
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecodeError::Truncated => write!(f, "truncated message"),
-            DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
+        match *self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "truncated message at byte {offset}")
+            }
+            DecodeError::BadTag { tag, offset } => {
+                write!(f, "unknown message tag {tag} at byte {offset}")
+            }
         }
     }
 }
@@ -127,17 +142,22 @@ impl std::error::Error for DecodeError {}
 /// Decodes one message from the front of `buf`, consuming its bytes.
 pub fn decode(buf: &mut Bytes) -> Result<Message, DecodeError> {
     if buf.is_empty() {
-        return Err(DecodeError::Truncated);
+        return Err(DecodeError::Truncated { offset: 0 });
     }
     let tag = buf[0];
     let need = match tag {
         TAG_START => START_BYTES,
         TAG_END => END_BYTES,
         TAG_RATE => RATE_BYTES,
-        other => return Err(DecodeError::BadTag(other)),
+        other => {
+            return Err(DecodeError::BadTag {
+                tag: other,
+                offset: 0,
+            })
+        }
     };
     if buf.len() < need {
-        return Err(DecodeError::Truncated);
+        return Err(DecodeError::Truncated { offset: 0 });
     }
     buf.advance(1);
     Ok(match tag {
@@ -168,17 +188,116 @@ pub fn decode(buf: &mut Bytes) -> Result<Message, DecodeError> {
     })
 }
 
-/// Decodes every complete message in `buf` (a TCP stream segment may end
-/// mid-message; the remainder stays in `buf` for the next call).
-pub fn decode_stream(buf: &mut Bytes) -> Result<Vec<Message>, DecodeError> {
-    let mut out = Vec::new();
-    loop {
-        match decode(buf) {
-            Ok(m) => out.push(m),
-            Err(DecodeError::Truncated) => return Ok(out),
-            Err(e) => return Err(e),
+/// Allocation-free iterator over the complete messages at the front of a
+/// byte slice. A stream segment may end mid-message; the iterator stops
+/// there (a partial tail is not an error) and [`MessageIter::consumed`]
+/// reports how many bytes were decoded so the caller can retain the
+/// remainder for the next segment. A bad tag yields one `Err` (with its
+/// absolute byte offset) and then the iterator fuses.
+///
+/// This is the hot-path variant of [`decode_stream`]: it never allocates,
+/// so a simulator draining thousands of control segments per tick does
+/// not pay a `Vec<Message>` per call.
+#[derive(Debug)]
+pub struct MessageIter<'a> {
+    buf: &'a [u8],
+    offset: usize,
+    done: bool,
+}
+
+impl<'a> MessageIter<'a> {
+    /// Iterate the messages at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        MessageIter {
+            buf,
+            offset: 0,
+            done: false,
         }
     }
+
+    /// Bytes decoded so far (the partial tail, if any, starts here).
+    pub fn consumed(&self) -> usize {
+        self.offset
+    }
+}
+
+fn u16_at(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+fn u24_at(buf: &[u8], off: usize) -> u32 {
+    ((buf[off] as u32) << 16) | (u16_at(buf, off + 1) as u32)
+}
+
+fn u32_at(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+impl Iterator for MessageIter<'_> {
+    type Item = Result<Message, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.offset >= self.buf.len() {
+            return None;
+        }
+        let tag = self.buf[self.offset];
+        let need = match tag {
+            TAG_START => START_BYTES,
+            TAG_END => END_BYTES,
+            TAG_RATE => RATE_BYTES,
+            other => {
+                self.done = true;
+                return Some(Err(DecodeError::BadTag {
+                    tag: other,
+                    offset: self.offset,
+                }));
+            }
+        };
+        if self.buf.len() < self.offset + need {
+            // Partial tail: stop without consuming it.
+            self.done = true;
+            return None;
+        }
+        let at = self.offset + 1;
+        let msg = match tag {
+            TAG_START => Message::FlowletStart {
+                token: Token::new(u24_at(self.buf, at)),
+                src: u16_at(self.buf, at + 3),
+                dst: u16_at(self.buf, at + 5),
+                size_hint: u32_at(self.buf, at + 7),
+                weight_q8: u16_at(self.buf, at + 11),
+                spine: self.buf[at + 13],
+            },
+            TAG_END => Message::FlowletEnd {
+                token: Token::new(u24_at(self.buf, at)),
+            },
+            _ => Message::RateUpdate {
+                token: Token::new(u24_at(self.buf, at)),
+                rate: Rate16::from_bits(u16_at(self.buf, at + 3)),
+            },
+        };
+        self.offset += need;
+        Some(Ok(msg))
+    }
+}
+
+/// Decodes every complete message in `buf` (a TCP stream segment may end
+/// mid-message; the remainder stays in `buf` for the next call). On a bad
+/// tag, the messages before it are consumed and the error's offset points
+/// at the offending byte. Allocates the returned `Vec`; hot paths should
+/// iterate [`MessageIter`] directly.
+pub fn decode_stream(buf: &mut Bytes) -> Result<Vec<Message>, DecodeError> {
+    let mut iter = MessageIter::new(&buf[..]);
+    let mut out = Vec::new();
+    let result = loop {
+        match iter.next() {
+            Some(Ok(m)) => out.push(m),
+            Some(Err(e)) => break Err(e),
+            None => break Ok(()),
+        }
+    };
+    buf.advance(iter.consumed());
+    result.map(|()| out)
 }
 
 #[cfg(test)]
@@ -275,7 +394,13 @@ mod tests {
     #[test]
     fn bad_tag_is_an_error() {
         let mut bytes = Bytes::from_static(&[0xFF, 0, 0, 0]);
-        assert_eq!(decode(&mut bytes), Err(DecodeError::BadTag(0xFF)));
+        assert_eq!(
+            decode(&mut bytes),
+            Err(DecodeError::BadTag {
+                tag: 0xFF,
+                offset: 0
+            })
+        );
     }
 
     #[test]
@@ -283,7 +408,71 @@ mod tests {
         let mut buf = BytesMut::new();
         encode(&start(), &mut buf);
         let mut partial = buf.freeze().slice(0..10);
-        assert_eq!(decode(&mut partial), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode(&mut partial),
+            Err(DecodeError::Truncated { offset: 0 })
+        );
         assert_eq!(partial.len(), 10, "nothing consumed");
+    }
+
+    #[test]
+    fn message_iter_matches_decode_stream() {
+        let mut buf = BytesMut::new();
+        encode(&start(), &mut buf);
+        encode(
+            &Message::FlowletEnd {
+                token: Token::new(7),
+            },
+            &mut buf,
+        );
+        encode(
+            &Message::RateUpdate {
+                token: Token::new(9),
+                rate: Rate16::encode(1.0),
+            },
+            &mut buf,
+        );
+        // Cut mid-third-message: the iterator decodes the first two and
+        // leaves the tail unconsumed, exactly like decode_stream.
+        let cut = START_BYTES + END_BYTES + 2;
+        let mut iter = MessageIter::new(&buf[..cut]);
+        let msgs: Vec<_> = iter.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(iter.consumed(), START_BYTES + END_BYTES);
+        let mut bytes = buf.clone().freeze().slice(0..cut);
+        assert_eq!(decode_stream(&mut bytes).unwrap(), msgs);
+        assert_eq!(bytes.len(), 2);
+    }
+
+    #[test]
+    fn message_iter_reports_bad_tag_offset_and_fuses() {
+        let mut buf = BytesMut::new();
+        encode(
+            &Message::FlowletEnd {
+                token: Token::new(3),
+            },
+            &mut buf,
+        );
+        buf.put_u8(0xEE);
+        let results: Vec<_> = MessageIter::new(&buf[..]).collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1],
+            Err(DecodeError::BadTag {
+                tag: 0xEE,
+                offset: END_BYTES
+            })
+        );
+        // decode_stream consumes the good prefix and surfaces the error.
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_stream(&mut bytes),
+            Err(DecodeError::BadTag {
+                tag: 0xEE,
+                offset: END_BYTES
+            })
+        );
+        assert_eq!(bytes.len(), 1, "good prefix consumed, bad byte retained");
     }
 }

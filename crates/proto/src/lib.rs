@@ -19,14 +19,17 @@
 //!
 //! [`ThresholdFilter`] implements the §6.4 update suppression, and
 //! [`wire`] the byte-accounting helpers (Ethernet minimum frame and
-//! header overheads) used by the overhead figures.
+//! header overheads) used by the overhead figures. [`exchange`] is the
+//! shard-to-shard side of the control plane: the versioned frame format
+//! the distributed arbiter peers speak over a real transport.
 
 pub mod codec;
+pub mod exchange;
 pub mod filter;
 pub mod rate16;
 pub mod wire;
 
-pub use codec::{decode, decode_stream, encode, Message};
+pub use codec::{decode, decode_stream, encode, Message, MessageIter};
 pub use filter::ThresholdFilter;
 pub use rate16::Rate16;
 

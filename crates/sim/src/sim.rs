@@ -178,6 +178,10 @@ pub struct Simulation {
     agents: Vec<EndpointAgent>,
     ctrl_up_buf: Vec<ByteBuf>,
     ctrl_down_buf: Vec<ByteBuf>,
+    // Reused across drain_ctrl_stream calls so the per-segment parse
+    // allocates nothing once warmed up.
+    ctrl_chunk: Vec<u8>,
+    ctrl_msgs: Vec<codec::Message>,
     sample_rotor: usize,
 }
 
@@ -253,6 +257,8 @@ impl Simulation {
             agents,
             ctrl_up_buf,
             ctrl_down_buf,
+            ctrl_chunk: Vec::new(),
+            ctrl_msgs: Vec::new(),
             sample_rotor: 0,
         };
 
@@ -628,19 +634,27 @@ impl Simulation {
     /// Parses newly delivered in-order bytes of a control stream.
     fn drain_ctrl_stream(&mut self, stream_id: u64) {
         let is_up = stream_id < CTRL_BASE * 2;
-        let (delivered, chunk) = {
+        // Scratch buffers are taken out of self so the parse can borrow
+        // them while the message handlers below take &mut self.
+        let mut chunk = std::mem::take(&mut self.ctrl_chunk);
+        let mut msgs = std::mem::take(&mut self.ctrl_msgs);
+        chunk.clear();
+        msgs.clear();
+        let delivered = {
             let buf = if is_up {
                 &self.ctrl_up_buf[(stream_id - CTRL_BASE) as usize]
             } else {
                 &self.ctrl_down_buf[(stream_id - CTRL_BASE * 2) as usize]
             };
             let delivered = self.flows[&stream_id].conn.delivered as usize;
-            (delivered, buf.data[buf.consumed..delivered].to_vec())
+            chunk.extend_from_slice(&buf.data[buf.consumed..delivered]);
+            delivered
         };
-        let mut bytes = bytes::Bytes::from(chunk);
-        let before = bytes.len();
-        let msgs = codec::decode_stream(&mut bytes).expect("control stream corrupt");
-        let parsed = before - bytes.len();
+        let mut iter = codec::MessageIter::new(&chunk);
+        for msg in iter.by_ref() {
+            msgs.push(msg.expect("control stream corrupt"));
+        }
+        let parsed = iter.consumed();
         {
             let buf = if is_up {
                 &mut self.ctrl_up_buf[(stream_id - CTRL_BASE) as usize]
@@ -650,7 +664,7 @@ impl Simulation {
             buf.consumed += parsed;
             debug_assert!(buf.consumed <= delivered);
         }
-        for msg in msgs {
+        for &msg in &msgs {
             if is_up {
                 // Arrived at the allocator. In production a rejection is
                 // a counted, survivable condition — but the sim's control
@@ -676,6 +690,8 @@ impl Simulation {
                 }
             }
         }
+        self.ctrl_chunk = chunk;
+        self.ctrl_msgs = msgs;
     }
 
     fn on_alloc_tick(&mut self) {

@@ -278,6 +278,100 @@ fn parallel_tick_is_bit_for_bit_sequential() {
     }
 }
 
+#[test]
+fn mem_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
+    // The distributed control plane's acceptance criterion: a cluster of
+    // `ShardPeer`s speaking the serialized exchange format over the
+    // in-memory transport is *indistinguishable* from the in-process
+    // `ShardedService` — same update stream every tick, same final rates
+    // to the bit, same aggregate counters — across shard counts, churn
+    // schedules, and exchange cadences. Everything the wire adds
+    // (framing, encode/decode, transport queues) must be behaviorally
+    // invisible.
+    use std::time::Duration;
+
+    use flowtune::TickDriver;
+    use flowtune_net::{mem_mesh, PeerCluster, ShardPeer};
+
+    let fabric = fabric();
+    for shards in [1usize, 2, 4] {
+        for exchange_every in [1u64, 3] {
+            for seed in [1u64, 7, 42] {
+                let cfg = FlowtuneConfig {
+                    exchange_every,
+                    ..FlowtuneConfig::default()
+                };
+                let mut svc = ShardedService::new(&fabric, cfg, shards);
+                let peers: Vec<_> = mem_mesh(shards)
+                    .into_iter()
+                    .map(|t| {
+                        ShardPeer::new(
+                            AllocatorService::new(&fabric, cfg),
+                            t,
+                            Duration::from_secs(5),
+                        )
+                    })
+                    .collect();
+                let mut cluster = PeerCluster::from_peers(peers);
+
+                let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut token = 0u32;
+                let mut live: Vec<u32> = Vec::new();
+                for round in 0..90 {
+                    if round % 3 == 0 {
+                        let r = xorshift(&mut rng);
+                        if r.is_multiple_of(4) && !live.is_empty() {
+                            let t = live.swap_remove((r >> 8) as usize % live.len());
+                            let end = Message::FlowletEnd {
+                                token: Token::new(t),
+                            };
+                            assert_eq!(svc.on_message(end), cluster.on_message(end));
+                        } else {
+                            token += 1;
+                            let src = (r % 16) as u16;
+                            let mut dst = ((r >> 16) % 16) as u16;
+                            if dst == src {
+                                dst = (dst + 1) % 16;
+                            }
+                            let msg = start(&fabric, token, src, dst);
+                            let a = svc.on_message(msg);
+                            assert_eq!(a, cluster.on_message(msg));
+                            if a.is_ok() {
+                                live.push(token);
+                            }
+                        }
+                    }
+                    let a = svc.tick();
+                    let b = cluster.tick();
+                    assert_eq!(
+                        a, b,
+                        "streams diverged: {shards} shards, exchange \
+                         {exchange_every}, seed {seed}, round {round}"
+                    );
+                }
+                for &t in &live {
+                    assert_eq!(
+                        svc.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
+                        cluster.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
+                        "rate of token {t} diverged ({shards} shards, \
+                         exchange {exchange_every}, seed {seed})"
+                    );
+                }
+                assert_eq!(svc.stats(), cluster.stats());
+                assert_eq!(svc.active_flows(), cluster.active_flows());
+                // Real frames moved through the transport whenever an
+                // exchange could have happened.
+                let wire = cluster.wire_stats();
+                if shards > 1 {
+                    assert!(wire.tx_bytes > 0, "no bytes on the mem wire");
+                    assert_eq!(wire.tx_frames, wire.rx_frames);
+                }
+                assert_eq!(wire.late_rounds, 0);
+            }
+        }
+    }
+}
+
 /// A serial NED engine that panics on its next `panics_left` iterations —
 /// the fault injector for shard-panic containment.
 #[derive(Debug)]

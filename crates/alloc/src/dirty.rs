@@ -1,0 +1,251 @@
+//! Dirty-set tracking for incremental NED iterations.
+//!
+//! At production scale most ticks are quiet: a handful of flowlet
+//! starts/ends against a steady mass of converged flows. A full sweep
+//! re-prices every flow anyway. [`DirtySet`] records *which FlowBlock
+//! workers could possibly produce different output* and lets the engine
+//! skip the rest:
+//!
+//! * a worker is **rate-dirty** when a flow was added to or removed from
+//!   it, or when the authoritative price of a link its flows traverse
+//!   moved by more than `eps` since the worker last ran its rate pass
+//!   (detected by diffing the freshly updated root prices against a
+//!   per-link snapshot, or by an exchange install overwriting a dual);
+//! * a worker is **norm-dirty** when a utilization ratio on a link its
+//!   flows traverse moved by more than `eps` this iteration (F-NORM
+//!   reads ratios, not prices).
+//!
+//! The correctness invariant is *output equivalence at `eps = 0`*: a
+//! clean worker's accumulators and rates are bitwise what a recompute
+//! would produce, because every input its kernels read (its flow set and
+//! the prices/ratios at the offsets those flows traverse — tracked by
+//! per-offset *touch counts*) is numerically unchanged since its last
+//! recompute. Dirty workers re-run the full per-worker kernel
+//! (`Accums::clear` + `rate_pass`), so accumulator clearing is *lazy*:
+//! instead of a per-tick global `clear`, each worker's accumulators are
+//! reset only in the iteration ("epoch") that actually recomputes it —
+//! `DirtySet::iter` is that epoch counter.
+//!
+//! The aggregate/price-update/distribute phases cost `O(B²·L)` (links,
+//! not flows) and run whenever any worker recomputed *or* any price or
+//! ratio is still in motion (`DirtySet::moving`) — the NED price update
+//! is not idempotent before convergence, so it must keep integrating
+//! until the whole system is numerically stationary. Once no worker is
+//! dirty and nothing moved beyond `eps` in the last diff, a quiet
+//! iteration skips the link phases entirely (exact at `eps = 0`: a
+//! markless diff means the update reproduced its input bitwise). Under a
+//! positive `eps`, skipped updates accumulate bounded staleness; a
+//! periodic full sweep (`full_sweep_every`) re-marks every worker to
+//! rebuild all accumulators from scratch and bound the drift.
+
+/// Dirty-state bookkeeping for one engine's B×B worker grid.
+///
+/// Owned by the engine's grid when
+/// [`AllocConfig::incremental`](crate::AllocConfig::incremental) is set;
+/// all mutation happens inside the engine's iterate/intake/install paths.
+#[derive(Debug)]
+pub struct DirtySet {
+    /// Price/ratio movement at or below this threshold is ignored.
+    pub(crate) eps: f64,
+    /// Force-mark every worker each time `iter` hits a multiple of this
+    /// (`0` = never).
+    pub(crate) full_sweep_every: u64,
+    /// Iterations run so far — the epoch counter behind the lazy
+    /// accumulator clears and the full-sweep schedule.
+    pub(crate) iter: u64,
+    /// Grid dimension B.
+    pub(crate) blocks: usize,
+    /// Worker must re-run its rate pass next iteration.
+    pub(crate) rate_dirty: Vec<bool>,
+    /// Worker must re-run F-NORM this iteration (a traversed ratio
+    /// moved); rebuilt during every diff phase.
+    pub(crate) norm_dirty: Vec<bool>,
+    /// Worker re-ran its rate pass *this* iteration (scratch).
+    pub(crate) recomputed: Vec<bool>,
+    /// Worker's rates/normalized may have changed since the last
+    /// [`take_changed_rates`](crate::RateAllocator::take_changed_rates)
+    /// drain (accumulates across iterations within a tick).
+    pub(crate) export_dirty: Vec<bool>,
+    /// Per worker, per upward-LinkBlock offset: how many of the worker's
+    /// flows traverse that link. A price move only dirties workers whose
+    /// count is positive — the others never read the moved price.
+    pub(crate) up_touch: Vec<Vec<u32>>,
+    /// Downward-LinkBlock touch counts.
+    pub(crate) down_touch: Vec<Vec<u32>>,
+    /// Per block: the upward root prices as of the last time each link
+    /// was marked (diffs compare against these, with `> eps` hysteresis).
+    pub(crate) prev_up_prices: Vec<Vec<f64>>,
+    /// Downward root price snapshots.
+    pub(crate) prev_down_prices: Vec<Vec<f64>>,
+    /// Upward root utilization-ratio snapshots.
+    pub(crate) prev_up_ratio: Vec<Vec<f64>>,
+    /// Downward root utilization-ratio snapshots.
+    pub(crate) prev_down_ratio: Vec<Vec<f64>>,
+    /// Per block, per upward offset: marked by intake since the last
+    /// iteration (observability: `dirty_link_ids`).
+    pub(crate) intake_up: Vec<Vec<bool>>,
+    /// Downward intake marks.
+    pub(crate) intake_down: Vec<Vec<bool>>,
+    /// Dedup'd `(up, block, offset)` list of the intake marks above, in
+    /// first-marked order.
+    pub(crate) intake_list: Vec<(bool, u32, u32)>,
+    /// Some price or ratio is still in motion: the last diff phase saw a
+    /// move beyond `eps` on *any* link — including links no flow touches
+    /// (the decay branch keeps evolving an unloaded link's dual long
+    /// after every touch count is zero) — or an exchange install
+    /// overwrote a dual since. While set, the aggregate/price/distribute
+    /// phases must keep running even with zero rate-dirty workers, or
+    /// the frozen trajectory would diverge from the full sweep's the
+    /// moment a new flow lands on one of those links.
+    pub(crate) moving: bool,
+    /// Cumulative count of flows whose rate pass was re-run.
+    pub(crate) dirty_flows: u64,
+    /// Cumulative count of (link, iteration) price moves beyond `eps`
+    /// (root diffs and exchange installs).
+    pub(crate) dirty_links: u64,
+}
+
+impl DirtySet {
+    /// A fresh set over a `blocks`×`blocks` grid whose LinkBlocks hold
+    /// `links_per_lb` links each. Every worker starts rate-dirty (the
+    /// first iteration is a full sweep by construction) and the price
+    /// snapshots start at the `PriceView::new` initial values.
+    pub fn new(blocks: usize, links_per_lb: usize, eps: f64, full_sweep_every: u64) -> Self {
+        let n = blocks * blocks;
+        Self {
+            eps,
+            full_sweep_every,
+            iter: 0,
+            blocks,
+            rate_dirty: vec![true; n],
+            norm_dirty: vec![false; n],
+            recomputed: vec![false; n],
+            export_dirty: vec![false; n],
+            up_touch: vec![vec![0; links_per_lb]; n],
+            down_touch: vec![vec![0; links_per_lb]; n],
+            // PriceView::new starts all prices at 1 and all ratios at 0.
+            prev_up_prices: vec![vec![1.0; links_per_lb]; blocks],
+            prev_down_prices: vec![vec![1.0; links_per_lb]; blocks],
+            prev_up_ratio: vec![vec![0.0; links_per_lb]; blocks],
+            prev_down_ratio: vec![vec![0.0; links_per_lb]; blocks],
+            intake_up: vec![vec![false; links_per_lb]; blocks],
+            intake_down: vec![vec![false; links_per_lb]; blocks],
+            intake_list: Vec::new(),
+            moving: true,
+            dirty_flows: 0,
+            dirty_links: 0,
+        }
+    }
+
+    /// The movement threshold the set was built with.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Cumulative `(dirty_flows, dirty_links)` counters: flows whose rate
+    /// pass re-ran, and per-iteration link price moves beyond `eps`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.dirty_flows, self.dirty_links)
+    }
+
+    /// Records a flow added to worker `w` traversing the given
+    /// upward/downward offsets: bumps the touch counts, marks the worker
+    /// rate-dirty, and marks the traversed links as intake-dirty.
+    pub(crate) fn note_add(&mut self, w: usize, up: &[u32], down: &[u32]) {
+        self.rate_dirty[w] = true;
+        let b = self.blocks;
+        for &o in up {
+            self.up_touch[w][o as usize] += 1;
+            self.mark_intake(true, (w / b) as u32, o);
+        }
+        for &o in down {
+            self.down_touch[w][o as usize] += 1;
+            self.mark_intake(false, (w % b) as u32, o);
+        }
+    }
+
+    /// Records a flow removed from worker `w` (offsets as stored in its
+    /// `BlockFlow`): decrements the touch counts, marks the worker
+    /// rate-dirty, and marks the traversed links as intake-dirty.
+    pub(crate) fn note_remove(&mut self, w: usize, up: &[u32], down: &[u32]) {
+        self.rate_dirty[w] = true;
+        let b = self.blocks;
+        for &o in up {
+            self.up_touch[w][o as usize] -= 1;
+            self.mark_intake(true, (w / b) as u32, o);
+        }
+        for &o in down {
+            self.down_touch[w][o as usize] -= 1;
+            self.mark_intake(false, (w % b) as u32, o);
+        }
+    }
+
+    /// Dedup-marks one link as intake-dirty.
+    fn mark_intake(&mut self, up: bool, block: u32, offset: u32) {
+        let grid = if up {
+            &mut self.intake_up
+        } else {
+            &mut self.intake_down
+        };
+        let cell = &mut grid[block as usize][offset as usize];
+        if !*cell {
+            *cell = true;
+            self.intake_list.push((up, block, offset));
+        }
+    }
+
+    /// Clears the intake marks (called at the start of each iteration,
+    /// after they have served their purpose of marking workers).
+    pub(crate) fn drain_intake(&mut self) {
+        for &(up, block, offset) in &self.intake_list {
+            let grid = if up {
+                &mut self.intake_up
+            } else {
+                &mut self.intake_down
+            };
+            grid[block as usize][offset as usize] = false;
+        }
+        self.intake_list.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_counts_follow_add_remove() {
+        let mut ds = DirtySet::new(2, 4, 0.0, 0);
+        ds.note_add(1, &[0, 2], &[3]);
+        assert_eq!(ds.up_touch[1][0], 1);
+        assert_eq!(ds.up_touch[1][2], 1);
+        assert_eq!(ds.down_touch[1][3], 1);
+        assert!(ds.rate_dirty[1]);
+        // Worker 1 = (row 0, col 1): up block 0, down block 1.
+        assert_eq!(
+            ds.intake_list,
+            vec![(true, 0, 0), (true, 0, 2), (false, 1, 3)]
+        );
+        // A second flow on a shared link dedups the intake mark.
+        ds.note_add(1, &[0], &[3]);
+        assert_eq!(ds.up_touch[1][0], 2);
+        assert_eq!(ds.intake_list.len(), 3);
+        ds.drain_intake();
+        assert!(ds.intake_list.is_empty());
+        ds.note_remove(1, &[0, 2], &[3]);
+        assert_eq!(ds.up_touch[1][0], 1);
+        assert_eq!(ds.up_touch[1][2], 0);
+        assert_eq!(ds.intake_list.len(), 3, "remove re-marks its links");
+    }
+
+    #[test]
+    fn counters_start_at_zero_and_workers_start_dirty() {
+        let ds = DirtySet::new(4, 8, 1e-9, 16);
+        assert_eq!(ds.counters(), (0, 0));
+        assert!(ds.rate_dirty.iter().all(|&d| d));
+        assert!(ds.export_dirty.iter().all(|&d| !d));
+        assert_eq!(ds.eps(), 1e-9);
+        assert_eq!(ds.prev_up_prices[0][0], 1.0);
+        assert_eq!(ds.prev_up_ratio[0][0], 0.0);
+    }
+}

@@ -64,6 +64,33 @@ pub trait RateAllocator: std::fmt::Debug + Send {
     /// One flow's current allocation, if registered.
     fn flow_rate(&self, id: FlowId) -> Option<FlowRate>;
 
+    /// [`RateAllocator::rates`] into a caller-provided buffer (cleared
+    /// first) — the per-tick export path, which must not allocate once
+    /// the buffer is warm. The default delegates to the allocating
+    /// variant; engines on the tick path override it.
+    fn rates_into(&self, out: &mut Vec<FlowRate>) {
+        out.clear();
+        out.extend_from_slice(&self.rates());
+    }
+
+    /// Exports only the flows whose rate may have changed since the last
+    /// drain into `out` (cleared first) and returns `true`; engines
+    /// without change tracking fall back to a full
+    /// [`RateAllocator::rates_into`] export and return `false` (meaning
+    /// `out` is the complete set, not a changed set).
+    fn take_changed_rates(&mut self, out: &mut Vec<FlowRate>) -> bool {
+        self.rates_into(out);
+        false
+    }
+
+    /// Cumulative `(dirty_flows, dirty_links)` counters for engines
+    /// running with incremental dirty-set tracking: flows whose rate pass
+    /// re-ran, and per-iteration link price moves beyond the configured
+    /// eps. `None` for engines running full sweeps (the default).
+    fn dirty_counters(&self) -> Option<(u64, u64)> {
+        None
+    }
+
     /// This engine's own per-link loads: for every fabric link (indexed
     /// by global [`LinkId`](flowtune_topo::LinkId)), the sum of the raw
     /// (pre-normalization) rates of *this engine's* flows crossing it —
@@ -205,6 +232,18 @@ impl RateAllocator for BoxEngine {
         (**self).flow_rate(id)
     }
 
+    fn rates_into(&self, out: &mut Vec<FlowRate>) {
+        (**self).rates_into(out);
+    }
+
+    fn take_changed_rates(&mut self, out: &mut Vec<FlowRate>) -> bool {
+        (**self).take_changed_rates(out)
+    }
+
+    fn dirty_counters(&self) -> Option<(u64, u64)> {
+        (**self).dirty_counters()
+    }
+
     fn link_loads(&self) -> Vec<f64> {
         (**self).link_loads()
     }
@@ -280,6 +319,18 @@ impl RateAllocator for crate::SerialAllocator {
 
     fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
         crate::SerialAllocator::flow_rate(self, id)
+    }
+
+    fn rates_into(&self, out: &mut Vec<FlowRate>) {
+        crate::SerialAllocator::rates_into(self, out);
+    }
+
+    fn take_changed_rates(&mut self, out: &mut Vec<FlowRate>) -> bool {
+        crate::SerialAllocator::take_changed_rates(self, out)
+    }
+
+    fn dirty_counters(&self) -> Option<(u64, u64)> {
+        crate::SerialAllocator::dirty_counters(self)
     }
 
     fn link_loads(&self) -> Vec<f64> {
@@ -359,6 +410,18 @@ impl RateAllocator for crate::MulticoreAllocator {
 
     fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
         crate::MulticoreAllocator::flow_rate(self, id)
+    }
+
+    fn rates_into(&self, out: &mut Vec<FlowRate>) {
+        crate::MulticoreAllocator::rates_into(self, out);
+    }
+
+    fn take_changed_rates(&mut self, out: &mut Vec<FlowRate>) -> bool {
+        crate::MulticoreAllocator::take_changed_rates(self, out)
+    }
+
+    fn dirty_counters(&self) -> Option<(u64, u64)> {
+        crate::MulticoreAllocator::dirty_counters(self)
     }
 
     fn link_loads(&self) -> Vec<f64> {

@@ -37,6 +37,7 @@
 
 #![deny(missing_docs)]
 
+pub mod dirty;
 pub mod engine;
 pub mod flowblock;
 pub mod gradient;
@@ -46,6 +47,7 @@ pub mod pool;
 pub mod reduce;
 pub mod serial;
 
+pub use dirty::DirtySet;
 pub use engine::{BoxEngine, RateAllocator};
 pub use flowblock::{BlockFlow, FlowRate};
 pub use gradient::GradientAllocator;
@@ -69,6 +71,23 @@ pub struct AllocConfig {
     /// threshold; with a 0.01 threshold, the allocator would allocate 99%
     /// of link capacities."
     pub capacity_fraction: f64,
+    /// Run iterations incrementally: a [`DirtySet`] tracks which
+    /// FlowBlock workers saw a price move (beyond [`AllocConfig::dirty_eps`])
+    /// on a link their flows traverse, or had flows added/removed, and the
+    /// rate/normalize passes touch only those. With `dirty_eps = 0` the
+    /// incremental path is bit-for-bit identical to the full sweep.
+    pub incremental: bool,
+    /// When incremental, force a full rate-pass sweep every this many
+    /// iterations to rebuild every accumulator from scratch and bound
+    /// float drift under a positive `dirty_eps` (`0` = never; at
+    /// `dirty_eps = 0` the sweep is a bitwise no-op).
+    pub full_sweep_every: u64,
+    /// Price/ratio movement below or at this threshold does not mark the
+    /// link's flows dirty. `0.0` (the default) means any bit change
+    /// marks, which keeps incremental output exactly equal to the full
+    /// sweep; small positive values trade bounded rate staleness for
+    /// fewer recomputations.
+    pub dirty_eps: f64,
 }
 
 impl Default for AllocConfig {
@@ -77,6 +96,9 @@ impl Default for AllocConfig {
             gamma: 0.4,
             f_norm: true,
             capacity_fraction: 1.0,
+            incremental: false,
+            full_sweep_every: 64,
+            dirty_eps: 0.0,
         }
     }
 }

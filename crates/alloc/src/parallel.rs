@@ -117,6 +117,24 @@ impl MulticoreAllocator {
         self.grid.rates()
     }
 
+    /// [`MulticoreAllocator::rates`] into a caller-provided buffer
+    /// (cleared first) — the allocation-free per-tick export.
+    pub fn rates_into(&self, out: &mut Vec<FlowRate>) {
+        self.grid.rates_into(out);
+    }
+
+    /// Drains the changed-rate set (see
+    /// [`crate::RateAllocator::take_changed_rates`]).
+    pub fn take_changed_rates(&mut self, out: &mut Vec<FlowRate>) -> bool {
+        self.grid.take_changed_rates(out)
+    }
+
+    /// Cumulative `(dirty_flows, dirty_links)` counters, when running
+    /// incrementally (see [`crate::RateAllocator::dirty_counters`]).
+    pub fn dirty_counters(&self) -> Option<(u64, u64)> {
+        self.grid.dirty_counters()
+    }
+
     /// One flow's current allocation.
     pub fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
         self.grid.flow_rate(id)
@@ -132,6 +150,19 @@ impl MulticoreAllocator {
     // in the tree-role lookups; an iterator would obscure that.
     #[allow(clippy::needless_range_loop)]
     pub fn run_iterations(&mut self, n: usize) -> Duration {
+        if self.grid.cfg.incremental {
+            // The incremental path is flow-sparse by design: on a quiet
+            // tick almost every worker is skipped, so the per-phase work
+            // is far below the barrier cost that makes the thread grid
+            // pay. Run the shared single-threaded incremental iteration
+            // — bit-for-bit the same arithmetic (it is the same code the
+            // serial engine runs).
+            let t0 = Instant::now();
+            for _ in 0..n {
+                self.grid.iterate();
+            }
+            return t0.elapsed();
+        }
         let b = self.grid.layout.blocks();
         let n_workers = b * b;
         let tree_steps = steps(b);
@@ -547,6 +578,36 @@ mod tests {
             assert!(r.rate.is_finite() && r.rate > 0.0);
             assert!(r.normalized.is_finite() && r.normalized >= 0.0);
         }
+    }
+
+    #[test]
+    fn incremental_multicore_matches_full_serial() {
+        // The multicore engine's incremental mode (which runs the shared
+        // single-threaded incremental path) must stay bit-for-bit equal
+        // to a full-sweep serial engine.
+        let fabric = TwoTierClos::build(ClosConfig::multicore(4, 2, 4));
+        let mut full = SerialAllocator::new(&fabric, AllocConfig::default());
+        let mut inc = MulticoreAllocator::new(
+            &fabric,
+            AllocConfig {
+                incremental: true,
+                full_sweep_every: 16,
+                ..AllocConfig::default()
+            },
+        );
+        spray_flows(&fabric, 48, |id, s, d, w, p| full.add_flow(id, s, d, w, p));
+        spray_flows(&fabric, 48, |id, s, d, w, p| inc.add_flow(id, s, d, w, p));
+        full.run_iterations(37);
+        inc.run_iterations(37);
+        let a = full.rates();
+        let b = inc.rates();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.rate.to_bits(), y.rate.to_bits(), "{:?}", x.id);
+            assert_eq!(x.normalized.to_bits(), y.normalized.to_bits());
+        }
+        assert!(inc.dirty_counters().is_some());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use flowtune_topo::{BlockId, FlowId, Path, TwoTierClos};
 
+use crate::dirty::DirtySet;
 use crate::flowblock::{
     normalize_pass, price_update, rate_pass, Accums, BlockFlow, FlowRate, PriceView,
 };
@@ -38,6 +39,23 @@ pub(crate) struct GridState {
     /// same layout; folded into the price update's `H` so the Newton
     /// step divides the global gradient by the global sensitivity.
     pub bg_h: Option<BgLoads>,
+    /// Dirty-set bookkeeping when `cfg.incremental` is on; `None` runs
+    /// the classic full sweep every iteration.
+    pub dirty: Option<DirtySet>,
+    /// Preallocated per-iteration buffers (aggregation partials and the
+    /// distribute copies), so the steady-state tick path never allocates.
+    pub scratch: IterScratch,
+}
+
+/// Reusable buffers for one iteration: the binomial-tree partials (one
+/// `(load, hdiag)` pair per virtual index) and the root price/ratio
+/// copies the distribute phase fans out. Sized once at construction —
+/// the fabric shape is fixed — so iterations never reallocate.
+#[derive(Debug, Clone)]
+pub(crate) struct IterScratch {
+    pub partials: Vec<(Vec<f64>, Vec<f64>)>,
+    pub prices: Vec<f64>,
+    pub ratios: Vec<f64>,
 }
 
 /// Background (other-shard) per-link values in LinkBlock layout: one
@@ -82,9 +100,16 @@ impl GridState {
         let server_block = (0..fabric.config().server_count())
             .map(|s| fabric.block_of_server(s))
             .collect();
-        let workers = (0..b * b)
-            .map(|_| WorkerCore::new(layout.links_per_lb()))
-            .collect();
+        let lpl = layout.links_per_lb();
+        let workers = (0..b * b).map(|_| WorkerCore::new(lpl)).collect();
+        let scratch = IterScratch {
+            partials: (0..b).map(|_| (vec![0.0; lpl], vec![0.0; lpl])).collect(),
+            prices: vec![0.0; lpl],
+            ratios: vec![0.0; lpl],
+        };
+        let dirty = cfg
+            .incremental
+            .then(|| DirtySet::new(b, lpl, cfg.dirty_eps, cfg.full_sweep_every));
         Self {
             layout,
             cfg,
@@ -93,6 +118,8 @@ impl GridState {
             index: HashMap::new(),
             bg: None,
             bg_h: None,
+            dirty,
+            scratch,
         }
     }
 
@@ -122,6 +149,9 @@ impl GridState {
             )
             .fold(f64::INFINITY, f64::min);
         let w = src_block.index() * b + dst_block.index();
+        if let Some(ds) = &mut self.dirty {
+            ds.note_add(w, &up, &down);
+        }
         let worker = &mut self.workers[w];
         worker
             .flows
@@ -136,6 +166,10 @@ impl GridState {
             return false;
         };
         let worker = &mut self.workers[w];
+        if let Some(ds) = &mut self.dirty {
+            let f = &worker.flows[slot];
+            ds.note_remove(w, f.up_offsets(), f.down_offsets());
+        }
         worker.flows.swap_remove(slot);
         worker.rates.swap_remove(slot);
         worker.normalized.swap_remove(slot);
@@ -153,6 +187,14 @@ impl GridState {
 
     pub(crate) fn rates(&self) -> Vec<FlowRate> {
         let mut out = Vec::with_capacity(self.index.len());
+        self.rates_into(&mut out);
+        out
+    }
+
+    /// [`GridState::rates`] into a caller-provided buffer (cleared
+    /// first) — the allocation-free per-tick export.
+    pub(crate) fn rates_into(&self, out: &mut Vec<FlowRate>) {
+        out.clear();
         for worker in &self.workers {
             for (i, flow) in worker.flows.iter().enumerate() {
                 out.push(FlowRate {
@@ -162,7 +204,40 @@ impl GridState {
                 });
             }
         }
-        out
+    }
+
+    /// Drains the changed-rate set: appends (after clearing `out`) the
+    /// rates of every flow in a worker whose output may have moved since
+    /// the last drain, and returns `true`. Without a dirty set, falls
+    /// back to exporting everything and returns `false`.
+    pub(crate) fn take_changed_rates(&mut self, out: &mut Vec<FlowRate>) -> bool {
+        if self.dirty.is_none() {
+            self.rates_into(out);
+            return false;
+        }
+        out.clear();
+        let Self { workers, dirty, .. } = self;
+        let ds = dirty.as_mut().expect("checked above");
+        for (w, worker) in workers.iter().enumerate() {
+            if !ds.export_dirty[w] {
+                continue;
+            }
+            ds.export_dirty[w] = false;
+            for (i, flow) in worker.flows.iter().enumerate() {
+                out.push(FlowRate {
+                    id: flow.id,
+                    rate: worker.rates[i],
+                    normalized: worker.normalized[i],
+                });
+            }
+        }
+        true
+    }
+
+    /// Cumulative `(dirty_flows, dirty_links)` counters, when the engine
+    /// runs incrementally.
+    pub(crate) fn dirty_counters(&self) -> Option<(u64, u64)> {
+        self.dirty.as_ref().map(DirtySet::counters)
     }
 
     pub(crate) fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
@@ -246,6 +321,54 @@ impl GridState {
             "price vector must cover every fabric link"
         );
         let b = self.layout.blocks();
+        if self.dirty.is_some() {
+            // Marking pass (before the overwrite below): an install that
+            // actually moves a dual beyond eps invalidates the rate pass
+            // of every worker whose flows traverse that link. The current
+            // root views are valid comparison points because distribution
+            // keeps every copy exactly synced to the roots.
+            let Self {
+                layout,
+                workers,
+                dirty,
+                ..
+            } = self;
+            let ds = dirty.as_mut().expect("checked above");
+            for blk in 0..b {
+                let up_view = &workers[up_root(blk, b)].view;
+                for (o, link) in layout.up_links(blk).iter().enumerate() {
+                    let p = prices[link.index()];
+                    if p.is_nan() || (p - up_view.up_prices[o]).abs() <= ds.eps {
+                        continue;
+                    }
+                    ds.moving = true;
+                    ds.dirty_links += 1;
+                    ds.prev_up_prices[blk][o] = p;
+                    for j in 0..b {
+                        let w = blk * b + j;
+                        if ds.up_touch[w][o] > 0 {
+                            ds.rate_dirty[w] = true;
+                        }
+                    }
+                }
+                let down_view = &workers[down_root(blk, b)].view;
+                for (o, link) in layout.down_links(blk).iter().enumerate() {
+                    let p = prices[link.index()];
+                    if p.is_nan() || (p - down_view.down_prices[o]).abs() <= ds.eps {
+                        continue;
+                    }
+                    ds.moving = true;
+                    ds.dirty_links += 1;
+                    ds.prev_down_prices[blk][o] = p;
+                    for i in 0..b {
+                        let w = i * b + blk;
+                        if ds.down_touch[w][o] > 0 {
+                            ds.rate_dirty[w] = true;
+                        }
+                    }
+                }
+            }
+        }
         for (w, worker) in self.workers.iter_mut().enumerate() {
             let up_links = self.layout.up_links(w / b);
             let down_links = self.layout.down_links(w % b);
@@ -264,29 +387,41 @@ impl GridState {
         }
     }
 
-    /// Re-splits a global-link-indexed vector into LinkBlock layout.
-    fn split_global(&self, values: &[f64]) -> BgLoads {
+    /// Re-splits a global-link-indexed vector into the LinkBlock-layout
+    /// slot *in place*: the `BgLoads` buffers are allocated on the first
+    /// install only and overwritten on every subsequent one, so the
+    /// steady-state exchange path never allocates. An empty slice clears
+    /// the slot.
+    fn refill_bg(layout: &BlockLayout, slot: &mut Option<BgLoads>, values: &[f64]) {
+        if values.is_empty() {
+            *slot = None;
+            return;
+        }
         assert_eq!(
             values.len(),
-            self.layout.total_links(),
+            layout.total_links(),
             "background vectors must cover every fabric link"
         );
-        let b = self.layout.blocks();
-        let split = |links: &[flowtune_topo::LinkId]| -> Vec<f64> {
-            links.iter().map(|l| values[l.index()]).collect()
-        };
-        BgLoads {
-            up: (0..b).map(|blk| split(self.layout.up_links(blk))).collect(),
-            down: (0..b)
-                .map(|blk| split(self.layout.down_links(blk)))
-                .collect(),
+        let b = layout.blocks();
+        let lpl = layout.links_per_lb();
+        let bg = slot.get_or_insert_with(|| BgLoads {
+            up: vec![vec![0.0; lpl]; b],
+            down: vec![vec![0.0; lpl]; b],
+        });
+        for blk in 0..b {
+            for (o, link) in layout.up_links(blk).iter().enumerate() {
+                bg.up[blk][o] = values[link.index()];
+            }
+            for (o, link) in layout.down_links(blk).iter().enumerate() {
+                bg.down[blk][o] = values[link.index()];
+            }
         }
     }
 
     /// Installs (or clears, for an empty slice) the exogenous per-link
     /// load, re-split into LinkBlock layout for the price update.
     pub(crate) fn set_background_loads(&mut self, loads: &[f64]) {
-        self.bg = (!loads.is_empty()).then(|| self.split_global(loads));
+        Self::refill_bg(&self.layout, &mut self.bg, loads);
     }
 
     /// Own per-link Hessian diagonal, global-link indexed: `Σ ∂x/∂p`
@@ -323,7 +458,324 @@ impl GridState {
     /// Installs (or clears, for an empty slice) the exogenous per-link
     /// Hessian diagonal accompanying the background loads.
     pub(crate) fn set_background_hessians(&mut self, hdiag: &[f64]) {
-        self.bg_h = (!hdiag.is_empty()).then(|| self.split_global(hdiag));
+        Self::refill_bg(&self.layout, &mut self.bg_h, hdiag);
+    }
+
+    /// One full NED iteration, dispatching to the incremental path when a
+    /// dirty set is installed. Both engines call this on one thread; the
+    /// multicore engine only takes its barrier pipeline when running the
+    /// classic full sweep.
+    pub(crate) fn iterate(&mut self) {
+        if self.dirty.is_some() {
+            self.iterate_incremental();
+        } else {
+            self.iterate_full();
+        }
+    }
+
+    /// The classic full sweep: rate pass everywhere → aggregate → price
+    /// update → distribute → F-NORM everywhere.
+    pub(crate) fn iterate_full(&mut self) {
+        self.rate_phase_full();
+        self.aggregate_and_price();
+        self.distribute();
+        self.normalize_phase_full();
+    }
+
+    /// The incremental iteration. The flow-proportional phases (rate
+    /// pass, F-NORM) are gated per worker on the dirty set, and a diff
+    /// phase converts observed price/ratio movement into next-iteration
+    /// dirtiness. Phases B–D (aggregate, price update, distribute) are
+    /// `O(B²·L)` in links, not flows, and run whenever *any* worker
+    /// recomputed — but are skipped entirely on a fully quiet iteration.
+    ///
+    /// The quiet-iteration skip is what lets the engine reach true
+    /// quiescence. With zero recomputes every accumulator is bitwise
+    /// unchanged, so running the price update anyway would integrate the
+    /// same Newton residual tick after tick: prices drift, cross `eps`,
+    /// re-mark the very flows whose recompute then jolts the load back —
+    /// a relaxation oscillator with amplitude `O(eps)` that keeps ~10% of
+    /// the fabric dirty forever. Freezing prices instead is exact at
+    /// `eps = 0`: the skip requires a markless previous diff (`moving`
+    /// false — no price or ratio moved anywhere, touched links or not),
+    /// which means the last price update already reproduced its own
+    /// input bitwise (same prices, same loads), so the skipped update is
+    /// the identity. For `eps > 0` the suppressed residual is `O(eps)`
+    /// by construction and the periodic full sweep re-marks every
+    /// worker, letting the next price update apply it before float
+    /// drift can compound.
+    pub(crate) fn iterate_incremental(&mut self) {
+        {
+            let ds = self.dirty.as_mut().expect("incremental path");
+            ds.drain_intake();
+            if ds.full_sweep_every > 0 && ds.iter.is_multiple_of(ds.full_sweep_every) {
+                ds.rate_dirty.fill(true);
+            }
+            ds.iter += 1;
+        }
+        let recomputed = self.rate_phase_dirty();
+        if recomputed || self.dirty.as_ref().expect("incremental path").moving {
+            self.aggregate_and_price();
+            self.diff_and_mark();
+            self.distribute();
+        }
+        self.normalize_phase_dirty();
+    }
+
+    /// Phase A (full): clear accumulators and re-run the rate pass in
+    /// every worker.
+    fn rate_phase_full(&mut self) {
+        for worker in &mut self.workers {
+            worker.acc.clear();
+            rate_pass(
+                &worker.flows,
+                &worker.view,
+                &mut worker.acc,
+                &mut worker.rates,
+            );
+        }
+    }
+
+    /// Phase A (incremental): re-run the rate pass only in rate-dirty
+    /// workers. A clean worker's accumulators and rates are bitwise what
+    /// a recompute would produce — its flow set and every price it reads
+    /// are unchanged — so skipping it is exact. The accumulator clear is
+    /// the lazy per-epoch one: it happens here, only for recomputed
+    /// workers, instead of globally every iteration. Returns whether any
+    /// worker recomputed, which gates the link-proportional phases.
+    fn rate_phase_dirty(&mut self) -> bool {
+        let Self { workers, dirty, .. } = self;
+        let ds = dirty.as_mut().expect("incremental path");
+        let mut any = false;
+        for (w, worker) in workers.iter_mut().enumerate() {
+            ds.recomputed[w] = ds.rate_dirty[w];
+            if !ds.rate_dirty[w] {
+                continue;
+            }
+            any = true;
+            ds.rate_dirty[w] = false;
+            ds.dirty_flows += worker.flows.len() as u64;
+            worker.acc.clear();
+            rate_pass(
+                &worker.flows,
+                &worker.view,
+                &mut worker.acc,
+                &mut worker.rates,
+            );
+        }
+        any
+    }
+
+    /// Phases B+C: aggregate each LinkBlock along the binomial tree (in
+    /// the tree's exact pairwise order) into preallocated scratch and run
+    /// the NED price update on the diagonal owner's copy.
+    fn aggregate_and_price(&mut self) {
+        let b = self.layout.blocks();
+        let partials = &mut self.scratch.partials;
+        for i in 0..b {
+            for (k, part) in partials.iter_mut().enumerate() {
+                let acc = &self.workers[up_worker(i, k, b)].acc;
+                part.0.copy_from_slice(&acc.up_load);
+                part.1.copy_from_slice(&acc.up_h);
+            }
+            binomial_reduce_in_order(partials, |a, o| {
+                for (x, y) in a.0.iter_mut().zip(&o.0) {
+                    *x += y;
+                }
+                for (x, y) in a.1.iter_mut().zip(&o.1) {
+                    *x += y;
+                }
+            });
+            let (load, hdiag) = &partials[0];
+            let view = &mut self.workers[up_root(i, b)].view;
+            price_update(
+                load,
+                hdiag,
+                self.bg.as_ref().map(|bg| bg.up[i].as_slice()),
+                self.bg_h.as_ref().map(|bg| bg.up[i].as_slice()),
+                self.layout.up_capacity(i),
+                self.cfg.gamma,
+                &mut view.up_prices,
+                &mut view.up_ratio,
+            );
+        }
+        for j in 0..b {
+            for (k, part) in partials.iter_mut().enumerate() {
+                let acc = &self.workers[down_worker(j, k, b)].acc;
+                part.0.copy_from_slice(&acc.down_load);
+                part.1.copy_from_slice(&acc.down_h);
+            }
+            binomial_reduce_in_order(partials, |a, o| {
+                for (x, y) in a.0.iter_mut().zip(&o.0) {
+                    *x += y;
+                }
+                for (x, y) in a.1.iter_mut().zip(&o.1) {
+                    *x += y;
+                }
+            });
+            let (load, hdiag) = &partials[0];
+            let view = &mut self.workers[down_root(j, b)].view;
+            price_update(
+                load,
+                hdiag,
+                self.bg.as_ref().map(|bg| bg.down[j].as_slice()),
+                self.bg_h.as_ref().map(|bg| bg.down[j].as_slice()),
+                self.layout.down_capacity(j),
+                self.cfg.gamma,
+                &mut view.down_prices,
+                &mut view.down_ratio,
+            );
+        }
+    }
+
+    /// Diff phase (incremental only): compare the fresh root prices and
+    /// ratios against the per-link snapshots. A price move beyond eps
+    /// rate-dirties every traversing worker for the *next* iteration (the
+    /// rates they computed this iteration used the pre-update price —
+    /// exactly like the full sweep); a ratio move beyond eps norm-dirties
+    /// traversing workers for *this* iteration's F-NORM, which reads the
+    /// post-update ratios.
+    fn diff_and_mark(&mut self) {
+        let b = self.layout.blocks();
+        let Self { workers, dirty, .. } = self;
+        let ds = dirty.as_mut().expect("incremental path");
+        // Rebuilt from scratch each diff: stays false only when *no*
+        // price or ratio anywhere moved beyond eps — touched or not —
+        // which is the precondition for freezing the price phases.
+        ds.moving = false;
+        for blk in 0..b {
+            let view = &workers[up_root(blk, b)].view;
+            for o in 0..view.up_prices.len() {
+                let p = view.up_prices[o];
+                if (p - ds.prev_up_prices[blk][o]).abs() > ds.eps {
+                    ds.moving = true;
+                    ds.dirty_links += 1;
+                    ds.prev_up_prices[blk][o] = p;
+                    for j in 0..b {
+                        let w = blk * b + j;
+                        if ds.up_touch[w][o] > 0 {
+                            ds.rate_dirty[w] = true;
+                        }
+                    }
+                }
+                let r = view.up_ratio[o];
+                if (r - ds.prev_up_ratio[blk][o]).abs() > ds.eps {
+                    ds.moving = true;
+                    ds.prev_up_ratio[blk][o] = r;
+                    for j in 0..b {
+                        let w = blk * b + j;
+                        if ds.up_touch[w][o] > 0 {
+                            ds.norm_dirty[w] = true;
+                        }
+                    }
+                }
+            }
+            let view = &workers[down_root(blk, b)].view;
+            for o in 0..view.down_prices.len() {
+                let p = view.down_prices[o];
+                if (p - ds.prev_down_prices[blk][o]).abs() > ds.eps {
+                    ds.moving = true;
+                    ds.dirty_links += 1;
+                    ds.prev_down_prices[blk][o] = p;
+                    for i in 0..b {
+                        let w = i * b + blk;
+                        if ds.down_touch[w][o] > 0 {
+                            ds.rate_dirty[w] = true;
+                        }
+                    }
+                }
+                let r = view.down_ratio[o];
+                if (r - ds.prev_down_ratio[blk][o]).abs() > ds.eps {
+                    ds.moving = true;
+                    ds.prev_down_ratio[blk][o] = r;
+                    for i in 0..b {
+                        let w = i * b + blk;
+                        if ds.down_touch[w][o] > 0 {
+                            ds.norm_dirty[w] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase D: distribute prices + ratios from the roots back to every
+    /// row/column member via the preallocated scratch copies (the byte
+    /// content is identical to the reverse-tree broadcast). Runs in full
+    /// on the incremental path too: it keeps every view exactly synced to
+    /// the roots, which is what makes the diff phase's root comparisons
+    /// valid as proxies for "what this worker would read".
+    fn distribute(&mut self) {
+        let b = self.layout.blocks();
+        let Self {
+            workers, scratch, ..
+        } = self;
+        for i in 0..b {
+            let root = &workers[up_root(i, b)].view;
+            scratch.prices.copy_from_slice(&root.up_prices);
+            scratch.ratios.copy_from_slice(&root.up_ratio);
+            for j in 0..b {
+                let view = &mut workers[i * b + j].view;
+                view.up_prices.copy_from_slice(&scratch.prices);
+                view.up_ratio.copy_from_slice(&scratch.ratios);
+            }
+        }
+        for j in 0..b {
+            let root = &workers[down_root(j, b)].view;
+            scratch.prices.copy_from_slice(&root.down_prices);
+            scratch.ratios.copy_from_slice(&root.down_ratio);
+            for i in 0..b {
+                let view = &mut workers[i * b + j].view;
+                view.down_prices.copy_from_slice(&scratch.prices);
+                view.down_ratio.copy_from_slice(&scratch.ratios);
+            }
+        }
+    }
+
+    /// Phase E (full): F-NORM (or a plain copy) in every worker.
+    fn normalize_phase_full(&mut self) {
+        if self.cfg.f_norm {
+            for worker in &mut self.workers {
+                normalize_pass(
+                    &worker.flows,
+                    &worker.view,
+                    &worker.rates,
+                    &mut worker.normalized,
+                );
+            }
+        } else {
+            for worker in &mut self.workers {
+                worker.normalized.copy_from_slice(&worker.rates);
+            }
+        }
+    }
+
+    /// Phase E (incremental): F-NORM only where the inputs changed — the
+    /// worker recomputed its rates this iteration, or a ratio on a
+    /// traversed link moved. Every worker that runs is marked
+    /// export-dirty for [`GridState::take_changed_rates`].
+    fn normalize_phase_dirty(&mut self) {
+        let f_norm = self.cfg.f_norm;
+        let Self { workers, dirty, .. } = self;
+        let ds = dirty.as_mut().expect("incremental path");
+        for (w, worker) in workers.iter_mut().enumerate() {
+            let run = ds.recomputed[w] || ds.norm_dirty[w];
+            ds.norm_dirty[w] = false;
+            if !run {
+                continue;
+            }
+            ds.export_dirty[w] = true;
+            if f_norm {
+                normalize_pass(
+                    &worker.flows,
+                    &worker.view,
+                    &worker.rates,
+                    &mut worker.normalized,
+                );
+            } else {
+                worker.normalized.copy_from_slice(&worker.rates);
+            }
+        }
     }
 }
 
@@ -375,139 +827,57 @@ impl SerialAllocator {
         self.grid.rates()
     }
 
+    /// [`SerialAllocator::rates`] into a caller-provided buffer (cleared
+    /// first) — the allocation-free per-tick export.
+    pub fn rates_into(&self, out: &mut Vec<FlowRate>) {
+        self.grid.rates_into(out);
+    }
+
+    /// Drains the changed-rate set into `out` and returns `true`, or
+    /// falls back to a full [`SerialAllocator::rates_into`] export and
+    /// returns `false` when not running incrementally (see
+    /// [`crate::RateAllocator::take_changed_rates`]).
+    pub fn take_changed_rates(&mut self, out: &mut Vec<FlowRate>) -> bool {
+        self.grid.take_changed_rates(out)
+    }
+
+    /// Cumulative `(dirty_flows, dirty_links)` counters, when running
+    /// incrementally (see [`crate::RateAllocator::dirty_counters`]).
+    pub fn dirty_counters(&self) -> Option<(u64, u64)> {
+        self.grid.dirty_counters()
+    }
+
+    /// The links marked dirty by flow intake (adds/removes) since the
+    /// last iteration, as global link ids in first-marked order. Empty
+    /// when not running incrementally. Observability hook for tests: an
+    /// add/remove must dirty exactly the links the flow traverses.
+    pub fn dirty_link_ids(&self) -> Vec<flowtune_topo::LinkId> {
+        let Some(ds) = &self.grid.dirty else {
+            return Vec::new();
+        };
+        ds.intake_list
+            .iter()
+            .map(|&(up, block, offset)| {
+                if up {
+                    self.grid.layout.up_links(block as usize)[offset as usize]
+                } else {
+                    self.grid.layout.down_links(block as usize)[offset as usize]
+                }
+            })
+            .collect()
+    }
+
     /// One flow's current allocation.
     pub fn flow_rate(&self, id: FlowId) -> Option<FlowRate> {
         self.grid.flow_rate(id)
     }
 
     /// Runs one full allocator iteration: rate pass → aggregate → price
-    /// update → distribute → (optionally) F-NORM.
+    /// update → distribute → (optionally) F-NORM. With
+    /// [`AllocConfig::incremental`] set, the rate and normalize passes
+    /// touch only dirty workers (see [`crate::dirty`]).
     pub fn iterate(&mut self) {
-        let grid = &mut self.grid;
-        let b = grid.layout.blocks();
-
-        // Phase A: per-FlowBlock rate pass on private LinkBlock copies.
-        for worker in &mut grid.workers {
-            worker.acc.clear();
-            rate_pass(
-                &worker.flows,
-                &worker.view,
-                &mut worker.acc,
-                &mut worker.rates,
-            );
-        }
-
-        // Phase B+C: aggregate each LinkBlock along the binomial tree (in
-        // the tree's exact pairwise order) and run the NED price update on
-        // the diagonal owner's copy.
-        for i in 0..b {
-            let mut partials: Vec<(Vec<f64>, Vec<f64>)> = (0..b)
-                .map(|k| {
-                    let w = up_worker(i, k, b);
-                    (
-                        grid.workers[w].acc.up_load.clone(),
-                        grid.workers[w].acc.up_h.clone(),
-                    )
-                })
-                .collect();
-            binomial_reduce_in_order(&mut partials, |a, o| {
-                for (x, y) in a.0.iter_mut().zip(&o.0) {
-                    *x += y;
-                }
-                for (x, y) in a.1.iter_mut().zip(&o.1) {
-                    *x += y;
-                }
-            });
-            let (load, hdiag) = &partials[0];
-            let root = up_root(i, b);
-            let view = &mut grid.workers[root].view;
-            price_update(
-                load,
-                hdiag,
-                grid.bg.as_ref().map(|bg| bg.up[i].as_slice()),
-                grid.bg_h.as_ref().map(|bg| bg.up[i].as_slice()),
-                grid.layout.up_capacity(i),
-                grid.cfg.gamma,
-                &mut view.up_prices,
-                &mut view.up_ratio,
-            );
-        }
-        for j in 0..b {
-            let mut partials: Vec<(Vec<f64>, Vec<f64>)> = (0..b)
-                .map(|k| {
-                    let w = down_worker(j, k, b);
-                    (
-                        grid.workers[w].acc.down_load.clone(),
-                        grid.workers[w].acc.down_h.clone(),
-                    )
-                })
-                .collect();
-            binomial_reduce_in_order(&mut partials, |a, o| {
-                for (x, y) in a.0.iter_mut().zip(&o.0) {
-                    *x += y;
-                }
-                for (x, y) in a.1.iter_mut().zip(&o.1) {
-                    *x += y;
-                }
-            });
-            let (load, hdiag) = &partials[0];
-            let root = down_root(j, b);
-            let view = &mut grid.workers[root].view;
-            price_update(
-                load,
-                hdiag,
-                grid.bg.as_ref().map(|bg| bg.down[j].as_slice()),
-                grid.bg_h.as_ref().map(|bg| bg.down[j].as_slice()),
-                grid.layout.down_capacity(j),
-                grid.cfg.gamma,
-                &mut view.down_prices,
-                &mut view.down_ratio,
-            );
-        }
-
-        // Phase D: distribute prices + ratios back to every row/column
-        // member (the serial engine copies straight from the roots; the
-        // byte content is identical to the reverse-tree broadcast).
-        for i in 0..b {
-            let root = up_root(i, b);
-            let (prices, ratios) = (
-                grid.workers[root].view.up_prices.clone(),
-                grid.workers[root].view.up_ratio.clone(),
-            );
-            for j in 0..b {
-                let w = i * b + j;
-                grid.workers[w].view.up_prices.copy_from_slice(&prices);
-                grid.workers[w].view.up_ratio.copy_from_slice(&ratios);
-            }
-        }
-        for j in 0..b {
-            let root = down_root(j, b);
-            let (prices, ratios) = (
-                grid.workers[root].view.down_prices.clone(),
-                grid.workers[root].view.down_ratio.clone(),
-            );
-            for i in 0..b {
-                let w = i * b + j;
-                grid.workers[w].view.down_prices.copy_from_slice(&prices);
-                grid.workers[w].view.down_ratio.copy_from_slice(&ratios);
-            }
-        }
-
-        // Phase E: F-NORM per FlowBlock.
-        if grid.cfg.f_norm {
-            for worker in &mut grid.workers {
-                normalize_pass(
-                    &worker.flows,
-                    &worker.view,
-                    &worker.rates,
-                    &mut worker.normalized,
-                );
-            }
-        } else {
-            for worker in &mut grid.workers {
-                worker.normalized.copy_from_slice(&worker.rates);
-            }
-        }
+        self.grid.iterate();
     }
 
     /// Runs `n` iterations.
@@ -602,6 +972,7 @@ mod tests {
             gamma: 0.4,
             f_norm: true,
             capacity_fraction: 1.0,
+            ..AllocConfig::default()
         }
     }
 
@@ -771,6 +1142,148 @@ mod tests {
         alloc.run_iterations(400);
         let r1 = alloc.flow_rate(FlowId(1)).unwrap();
         assert!((r1.rate - 20.0).abs() < 1e-4, "{r1:?}");
+    }
+
+    #[test]
+    fn incremental_is_bitwise_identical_at_eps_zero() {
+        // Interleave iterations with adds/removes and background installs;
+        // at dirty_eps = 0 the incremental engine must stay bit-for-bit
+        // equal to the full sweep after every single iteration.
+        let f = fabric();
+        let mut full = SerialAllocator::new(&f, cfg());
+        let mut inc = SerialAllocator::new(
+            &f,
+            AllocConfig {
+                incremental: true,
+                full_sweep_every: 7,
+                ..cfg()
+            },
+        );
+        let servers = 16;
+        let mut present: Vec<FlowId> = Vec::new();
+        let mut next = 0u64;
+        let mut scratch = Vec::new();
+        for step in 0..120u64 {
+            // Deterministic churn: add two flows, occasionally remove one.
+            for _ in 0..2 {
+                let id = FlowId(next);
+                next += 1;
+                let src = ((id.0 * 7919) % servers) as usize;
+                let mut dst = ((id.0 * 104_729 + 13) % servers) as usize;
+                if dst == src {
+                    dst = (dst + 1) % servers as usize;
+                }
+                let w = 1.0 + (id.0 % 4) as f64;
+                let path = f.path(src, dst, id);
+                full.add_flow(id, src, dst, w, &path);
+                inc.add_flow(id, src, dst, w, &path);
+                present.push(id);
+            }
+            if step % 3 == 2 {
+                let victim = present.swap_remove((step as usize * 31) % present.len());
+                assert!(full.remove_flow(victim));
+                assert!(inc.remove_flow(victim));
+            }
+            if step == 40 {
+                let bg: Vec<f64> = (0..full.link_loads().len())
+                    .map(|l| (l % 5) as f64)
+                    .collect();
+                full.set_background_loads(&bg);
+                inc.set_background_loads(&bg);
+            }
+            full.iterate();
+            inc.iterate();
+            let a = full.rates();
+            inc.rates_into(&mut scratch);
+            assert_eq!(a.len(), scratch.len());
+            for (x, y) in a.iter().zip(&scratch) {
+                assert_eq!(x.id, y.id);
+                assert!(
+                    x.rate.to_bits() == y.rate.to_bits()
+                        && x.normalized.to_bits() == y.normalized.to_bits(),
+                    "step {step} flow {:?}: full ({}, {}) vs incremental ({}, {})",
+                    x.id,
+                    x.rate,
+                    x.normalized,
+                    y.rate,
+                    y.normalized,
+                );
+            }
+            assert_eq!(full.link_prices(), inc.link_prices());
+        }
+        assert!(inc.dirty_counters().is_some());
+        assert!(full.dirty_counters().is_none());
+    }
+
+    #[test]
+    fn changed_rate_drain_covers_all_updates() {
+        // Replaying only the drained changed-rate sets on top of a map
+        // must reproduce the full export at every step.
+        use std::collections::HashMap;
+        let f = fabric();
+        let mut inc = SerialAllocator::new(
+            &f,
+            AllocConfig {
+                incremental: true,
+                ..cfg()
+            },
+        );
+        let p1 = f.path(0, 8, FlowId(1));
+        let p2 = f.path(0, 12, FlowId(2));
+        inc.add_flow(FlowId(1), 0, 8, 1.0, &p1);
+        inc.add_flow(FlowId(2), 0, 12, 1.0, &p2);
+        let mut replay: HashMap<FlowId, (u64, u64)> = HashMap::new();
+        let mut changed = Vec::new();
+        for step in 0..400 {
+            if step == 200 {
+                let p3 = f.path(5, 9, FlowId(3));
+                inc.add_flow(FlowId(3), 5, 9, 2.0, &p3);
+            }
+            inc.iterate();
+            assert!(inc.take_changed_rates(&mut changed));
+            for r in &changed {
+                replay.insert(r.id, (r.rate.to_bits(), r.normalized.to_bits()));
+            }
+            for r in inc.rates() {
+                assert_eq!(
+                    replay.get(&r.id),
+                    Some(&(r.rate.to_bits(), r.normalized.to_bits())),
+                    "step {step} flow {:?} stale in replay",
+                    r.id
+                );
+            }
+        }
+        // Late in a converged quiet run the drain should be empty.
+        inc.iterate();
+        inc.take_changed_rates(&mut changed);
+        inc.iterate();
+        assert!(inc.take_changed_rates(&mut changed));
+        assert!(
+            changed.is_empty(),
+            "converged tick still exported {changed:?}"
+        );
+    }
+
+    #[test]
+    fn intake_dirty_links_are_exactly_the_path() {
+        let f = fabric();
+        let mut inc = SerialAllocator::new(
+            &f,
+            AllocConfig {
+                incremental: true,
+                ..cfg()
+            },
+        );
+        let p = f.path(0, 8, FlowId(1));
+        inc.add_flow(FlowId(1), 0, 8, 1.0, &p);
+        let mut dirty = inc.dirty_link_ids();
+        dirty.sort_unstable();
+        let mut want: Vec<_> = p.links().to_vec();
+        want.sort_unstable();
+        want.dedup();
+        assert_eq!(dirty, want);
+        inc.iterate();
+        assert!(inc.dirty_link_ids().is_empty(), "iterate drains intake");
     }
 
     #[test]

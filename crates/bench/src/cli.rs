@@ -25,6 +25,17 @@ shared experiment flags:
   --parallel-shards[=on|off]
                           concurrent vs sequential sharded tick, bit-for-bit
                           identical output (config parallel_shards; default on)
+  --incremental[=on|off]  incremental NED ticks: only flows whose links moved
+                          are recomputed; quiet ticks cost O(changed), not
+                          O(flows) (config incremental; default off; at
+                          --dirty-eps 0 bit-for-bit equal to the full sweep)
+  --full-sweep-every K    incremental only: force a full rate-pass sweep every
+                          K iterations to bound float drift under a positive
+                          dirty eps (config full_sweep_every; default 64;
+                          0 = never)
+  --dirty-eps X           incremental only: price/ratio moves at or below X
+                          do not re-dirty a link's flows (config dirty_eps;
+                          default 0 = exact equivalence)
   --transport T           wire for the sharded control plane:
                           inproc|mem|uds|tcp (default inproc = the in-process
                           ShardedService; the others run one ShardPeer per
@@ -227,6 +238,19 @@ pub struct Opts {
     /// through the serialized frame codec and a real transport; see
     /// [`Opts::wire_driver`]. Only affects sharded runs.
     pub transport: WireTransport,
+    /// Incremental NED ticks (`--incremental` to force on,
+    /// `--incremental=off` to force off; `None` — the default — leaves
+    /// the config default, which is off). With `--dirty-eps 0` the
+    /// output is bit-for-bit identical to the full sweep.
+    pub incremental: Option<bool>,
+    /// Incremental full-sweep cadence in iterations
+    /// (`--full-sweep-every K`; `None` — the default — leaves the config
+    /// default). Only affects incremental runs.
+    pub full_sweep_every: Option<u64>,
+    /// Incremental dirty threshold (`--dirty-eps X`; `None` — the
+    /// default — leaves the config default of 0, exact equivalence).
+    /// Only affects incremental runs.
+    pub dirty_eps: Option<f64>,
 }
 
 impl Default for Opts {
@@ -241,6 +265,9 @@ impl Default for Opts {
             placement: PlacementSpec::Contiguous,
             pair_affinity: 0.0,
             transport: WireTransport::InProcess,
+            incremental: None,
+            full_sweep_every: None,
+            dirty_eps: None,
         }
     }
 }
@@ -306,6 +333,26 @@ impl Opts {
                 "--parallel-shards=off" | "--parallel-shards=false" => {
                     opts.parallel_shards = Some(false);
                 }
+                "--incremental" | "--incremental=on" | "--incremental=true" => {
+                    opts.incremental = Some(true);
+                }
+                "--incremental=off" | "--incremental=false" => {
+                    opts.incremental = Some(false);
+                }
+                "--full-sweep-every" => {
+                    let v = it.next().expect("--full-sweep-every needs a value");
+                    opts.full_sweep_every =
+                        Some(v.parse().expect("--full-sweep-every needs an integer"));
+                }
+                "--dirty-eps" => {
+                    let v = it.next().expect("--dirty-eps needs a value");
+                    let eps: f64 = v.parse().expect("--dirty-eps needs a number");
+                    assert!(
+                        eps >= 0.0 && eps.is_finite(),
+                        "--dirty-eps needs a finite non-negative number"
+                    );
+                    opts.dirty_eps = Some(eps);
+                }
                 "--placement" => {
                     let v = it.next().expect("--placement needs a value");
                     opts.placement =
@@ -365,6 +412,9 @@ impl Opts {
             exchange_delta_eps: self.exchange_delta_eps,
             parallel_shards: self.parallel_shards.unwrap_or(defaults.parallel_shards),
             placement: self.placement,
+            incremental: self.incremental.unwrap_or(defaults.incremental),
+            full_sweep_every: self.full_sweep_every.unwrap_or(defaults.full_sweep_every),
+            dirty_eps: self.dirty_eps.unwrap_or(defaults.dirty_eps),
             ..defaults
         }
     }
@@ -558,6 +608,13 @@ mod tests {
                 &["--parallel-shards=off"],
             ),
             ("placement", "--placement", &["--placement", "traffic"]),
+            ("incremental", "--incremental", &["--incremental"]),
+            (
+                "full_sweep_every",
+                "--full-sweep-every",
+                &["--full-sweep-every", "16"],
+            ),
+            ("dirty_eps", "--dirty-eps", &["--dirty-eps", "0.5"]),
         ];
         let defaults = FlowtuneConfig::default();
         for (knob, flag, invocation) in knobs {
@@ -590,6 +647,38 @@ mod tests {
         ] {
             assert!(USAGE.contains(flag), "{flag} missing from USAGE");
         }
+    }
+
+    #[test]
+    fn incremental_flags_reach_the_config() {
+        // Flag absent: the config defaults stand (incremental off).
+        let d = parse(&[]);
+        assert_eq!(d.incremental, None);
+        assert!(!d.config().incremental);
+        assert_eq!(d.config().full_sweep_every, 64);
+        assert_eq!(d.config().dirty_eps, 0.0);
+        // Bare flag / =on / =off all parse.
+        assert!(parse(&["--incremental"]).config().incremental);
+        assert!(parse(&["--incremental=on"]).config().incremental);
+        assert!(!parse(&["--incremental=off"]).config().incremental);
+        // The cadence and eps compose with it.
+        let o = parse(&[
+            "--incremental",
+            "--full-sweep-every",
+            "16",
+            "--dirty-eps",
+            "1e-3",
+        ]);
+        let cfg = o.config();
+        assert!(cfg.incremental);
+        assert_eq!(cfg.full_sweep_every, 16);
+        assert_eq!(cfg.dirty_eps, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "--dirty-eps needs a finite non-negative number")]
+    fn negative_dirty_eps_panics() {
+        let _ = parse(&["--dirty-eps", "-0.5"]);
     }
 
     #[test]

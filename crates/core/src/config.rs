@@ -25,6 +25,24 @@ pub struct FlowtuneConfig {
     /// Whether the allocator F-NORMs rates before sending them (§4.2; on
     /// in every end-to-end experiment).
     pub f_norm: bool,
+    /// Run NED iterations incrementally: the engine's dirty set tracks
+    /// which FlowBlock workers saw flow churn or a price move beyond
+    /// [`FlowtuneConfig::dirty_eps`] on a traversed link, and the
+    /// flow-proportional passes touch only those — quiet ticks cost
+    /// `O(changed)`, not `O(flows)`. Off by default; at `dirty_eps = 0`
+    /// the output is bit-for-bit identical to the full sweep.
+    pub incremental: bool,
+    /// Incremental mode only: force a full rate-pass sweep every this
+    /// many iterations, rebuilding every accumulator from scratch to
+    /// bound float drift under a positive `dirty_eps` (`0` = never; at
+    /// `dirty_eps = 0` the sweep is a bitwise no-op).
+    pub full_sweep_every: u64,
+    /// Incremental mode only: price/ratio movement at or below this
+    /// threshold does not re-dirty a link's flows. `0.0` (the default)
+    /// marks on any bit change — exact equivalence with the full sweep;
+    /// small positive values trade bounded rate staleness for fewer
+    /// recomputations.
+    pub dirty_eps: f64,
     /// Sharded control plane only: every `exchange_every` ticks the
     /// shards exchange per-link loads so each prices shared links for the
     /// whole network's traffic (the §5 aggregation step, one level up).
@@ -88,6 +106,9 @@ impl Default for FlowtuneConfig {
             flowlet_idle_ps: 30_000_000, // 30 µs
             default_weight: 1.0,
             f_norm: true,
+            incremental: false,
+            full_sweep_every: 64,
+            dirty_eps: 0.0,
             exchange_every: 0,
             exchange_delta_eps: 0.0,
             parallel_shards: true,
@@ -115,6 +136,12 @@ mod tests {
         assert_eq!(c.tick_interval_ps, 10_000_000);
         assert_eq!(c.update_threshold, 0.01);
         assert!((c.capacity_fraction() - 0.99).abs() < 1e-12);
+        // Incremental ticks are opt-in; the full-sweep cadence and zero
+        // eps defaults keep the incremental output bit-for-bit equal to
+        // the full sweep when they are enabled.
+        assert!(!c.incremental);
+        assert_eq!(c.full_sweep_every, 64);
+        assert_eq!(c.dirty_eps, 0.0);
         // Exchange is opt-in: the default preserves the independent-shard
         // behavior sharded deployments had before the exchange existed.
         assert_eq!(c.exchange_every, 0);

@@ -24,6 +24,22 @@ use flowtune_topo::TwoTierClos;
 
 use crate::service::{AllocatorService, ServiceError, ServiceStats};
 
+/// Cumulative wall time spent in each phase of the control plane's work,
+/// for localizing a bench regression to a phase instead of a whole tick.
+/// All fields are running totals since construction; a sharded driver
+/// reports its shards' sums plus its own exchange time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Message intake (`on_message`): registry and engine add/remove.
+    pub intake: std::time::Duration,
+    /// Engine iterations (`run_iterations` inside `tick`).
+    pub allocate: std::time::Duration,
+    /// Update export: rate reads, threshold filtering, message encoding.
+    pub export: std::time::Duration,
+    /// Inter-shard link-state exchange rounds (sharded drivers only).
+    pub exchange: std::time::Duration,
+}
+
 /// A control plane with an allocator tick: notifications in, rate updates
 /// out, behind either one [`AllocatorService`] or a
 /// [`ShardedService`](crate::ShardedService).
@@ -62,6 +78,13 @@ pub trait TickDriver: std::fmt::Debug + Send {
 
     /// Operating counters (aggregated over shards, where applicable).
     fn stats(&self) -> ServiceStats;
+
+    /// Cumulative per-phase wall time (aggregated over shards, where
+    /// applicable). The default reports zeros for drivers that do not
+    /// instrument their phases.
+    fn phase_timings(&self) -> PhaseTimings {
+        PhaseTimings::default()
+    }
 
     /// Per-link loads of the control plane's current raw allocation,
     /// indexed by global [`LinkId`](flowtune_topo::LinkId) (summed over
@@ -106,6 +129,10 @@ impl TickDriver for BoxTickDriver {
         (**self).stats()
     }
 
+    fn phase_timings(&self) -> PhaseTimings {
+        (**self).phase_timings()
+    }
+
     fn link_loads(&self) -> Vec<f64> {
         (**self).link_loads()
     }
@@ -138,6 +165,10 @@ impl<E: RateAllocator> TickDriver for AllocatorService<E> {
 
     fn stats(&self) -> ServiceStats {
         AllocatorService::stats(self)
+    }
+
+    fn phase_timings(&self) -> PhaseTimings {
+        AllocatorService::phase_timings(self)
     }
 
     fn link_loads(&self) -> Vec<f64> {

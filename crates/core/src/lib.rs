@@ -88,7 +88,7 @@ pub mod sharded;
 pub mod token;
 
 pub use config::FlowtuneConfig;
-pub use driver::{BoxTickDriver, TickDriver, TickLoop};
+pub use driver::{BoxTickDriver, PhaseTimings, TickDriver, TickLoop};
 pub use endpoint::EndpointAgent;
 pub use exchange::{ApplyError, ExchangeCore};
 pub use flowlet::FlowletTracker;

@@ -35,13 +35,15 @@
 //! crashes: [`AllocatorService::on_message`] returns a [`ServiceError`]
 //! and bumps [`ServiceStats::rejected`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
-use flowtune_alloc::{AllocConfig, BoxEngine, RateAllocator, SerialAllocator};
+use flowtune_alloc::{AllocConfig, BoxEngine, FlowRate, RateAllocator, SerialAllocator};
 use flowtune_fastpass::FastpassAdapter;
 use flowtune_proto::{Message, Rate16, ThresholdFilter, Token};
 use flowtune_topo::{FlowId, TwoTierClos};
 
+use crate::driver::PhaseTimings;
 use crate::FlowtuneConfig;
 
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +112,16 @@ pub struct ServiceStats {
     /// indices). Always 0 in-process; a distributed peer counts here
     /// what a real socket handed it that it had to drop.
     pub exchange_decode_errors: u64,
+    /// Incremental engines only: cumulative count of flows whose rate
+    /// pass was actually re-run (summed over shards). On a quiet tick
+    /// this grows by the changed set, not the flow count; always 0 for
+    /// full-sweep engines ([`crate::FlowtuneConfig::incremental`] off).
+    pub dirty_flows: u64,
+    /// Incremental engines only: cumulative count of per-iteration link
+    /// price moves beyond [`crate::FlowtuneConfig::dirty_eps`] (root
+    /// diffs and exchange installs; summed over shards). Always 0 for
+    /// full-sweep engines.
+    pub dirty_links: u64,
 }
 
 /// Why the allocator refused a control message or a build request.
@@ -337,6 +349,28 @@ impl ServiceBuilder {
         self
     }
 
+    /// Enables or disables incremental (dirty-set) ticks
+    /// ([`crate::FlowtuneConfig::incremental`]; off by default).
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.cfg.incremental = on;
+        self
+    }
+
+    /// Sets the incremental mode's periodic full-sweep cadence in
+    /// iterations ([`crate::FlowtuneConfig::full_sweep_every`]; 0 = never).
+    pub fn full_sweep_every(mut self, iterations: u64) -> Self {
+        self.cfg.full_sweep_every = iterations;
+        self
+    }
+
+    /// Sets the incremental mode's price-movement threshold
+    /// ([`crate::FlowtuneConfig::dirty_eps`]; 0.0 = exact, bit-for-bit
+    /// equal to the full sweep).
+    pub fn dirty_eps(mut self, eps: f64) -> Self {
+        self.cfg.dirty_eps = eps;
+        self
+    }
+
     /// Sets the inter-shard link-state exchange cadence in ticks
     /// ([`crate::FlowtuneConfig::exchange_every`]; 0 disables). Only
     /// meaningful with [`Engine::Sharded`] via
@@ -489,6 +523,9 @@ fn alloc_config(cfg: &FlowtuneConfig) -> AllocConfig {
         gamma: cfg.gamma,
         f_norm: cfg.f_norm,
         capacity_fraction: cfg.capacity_fraction(),
+        incremental: cfg.incremental,
+        full_sweep_every: cfg.full_sweep_every,
+        dirty_eps: cfg.dirty_eps,
     }
 }
 
@@ -506,9 +543,18 @@ pub struct AllocatorService<E: RateAllocator = SerialAllocator> {
     /// order directly — the per-tick collect-and-sort of the `HashMap`
     /// design cost `O(n log n)` per 10 µs tick at zero churn.
     registry: BTreeMap<Token, Registered>,
+    /// Internal id → (token, source): the reverse lookup the changed-rate
+    /// export needs to turn an engine's [`FlowRate`] back into a routed
+    /// update without walking the whole registry.
+    rev: HashMap<FlowId, (Token, u16)>,
+    /// Scratch buffer the engine's changed-rate drain fills each tick.
+    export_buf: Vec<FlowRate>,
+    /// Scratch buffer for sorting the changed set into token order.
+    changed_buf: Vec<(Token, u16, f64)>,
     filter: ThresholdFilter,
     next_internal: u64,
     stats: ServiceStats,
+    timings: PhaseTimings,
 }
 
 /// An [`AllocatorService`] whose engine was chosen at run time.
@@ -545,9 +591,13 @@ impl<E: RateAllocator> AllocatorService<E> {
             engine,
             cfg,
             registry: BTreeMap::new(),
+            rev: HashMap::new(),
+            export_buf: Vec::new(),
+            changed_buf: Vec::new(),
             filter: ThresholdFilter::new(cfg.update_threshold),
             next_internal: 0,
             stats: ServiceStats::default(),
+            timings: PhaseTimings::default(),
         }
     }
 
@@ -562,6 +612,13 @@ impl<E: RateAllocator> AllocatorService<E> {
     /// message is dropped, [`ServiceStats::rejected`] is bumped, and the
     /// service remains consistent — rejecting is not fatal.
     pub fn on_message(&mut self, msg: Message) -> Result<(), ServiceError> {
+        let t0 = Instant::now();
+        let result = self.on_message_inner(msg);
+        self.timings.intake += t0.elapsed();
+        result
+    }
+
+    fn on_message_inner(&mut self, msg: Message) -> Result<(), ServiceError> {
         self.stats.bytes_in += msg.encoded_len() as u64;
         match msg {
             Message::FlowletStart {
@@ -595,6 +652,7 @@ impl<E: RateAllocator> AllocatorService<E> {
             Message::FlowletEnd { token } => {
                 if let Some(reg) = self.registry.remove(&token) {
                     self.engine.remove_flow(reg.internal);
+                    self.rev.remove(&reg.internal);
                     self.filter.forget(token);
                     self.stats.ends += 1;
                 }
@@ -610,10 +668,29 @@ impl<E: RateAllocator> AllocatorService<E> {
     /// One allocator tick (§6.2: every 10 µs): runs the configured number
     /// of engine iterations and returns `(source server, update)` pairs
     /// for every flow whose normalized rate moved beyond the threshold.
-    /// Updates come out in token order (the registry iterates sorted).
+    /// Updates come out in token order (the registry iterates sorted; an
+    /// incremental engine's changed set is sorted before filtering).
     pub fn tick(&mut self) -> Vec<(u16, Message)> {
+        let t0 = Instant::now();
         self.engine.run_iterations(self.cfg.iterations_per_tick);
         self.stats.iterations += self.cfg.iterations_per_tick as u64;
+        let t1 = Instant::now();
+        self.timings.allocate += t1 - t0;
+        let out = if let Some((dirty_flows, dirty_links)) = self.engine.dirty_counters() {
+            // The counters are running totals the engine owns; mirror
+            // them so shard sums aggregate naturally.
+            self.stats.dirty_flows = dirty_flows;
+            self.stats.dirty_links = dirty_links;
+            self.export_changed()
+        } else {
+            self.export_all()
+        };
+        self.timings.export += t1.elapsed();
+        out
+    }
+
+    /// The classic export walk: every registered flow, in token order.
+    fn export_all(&mut self) -> Vec<(u16, Message)> {
         let mut out = Vec::new();
         for (&token, reg) in &self.registry {
             let rate = self
@@ -633,6 +710,42 @@ impl<E: RateAllocator> AllocatorService<E> {
                 self.stats.updates_suppressed += 1;
             }
         }
+        out
+    }
+
+    /// The incremental export: drain the engine's changed-rate set, sort
+    /// it into token order, and run only those flows through the filter.
+    /// Flows the engine did not export cannot have moved, so the filter
+    /// would suppress them without touching its memory — they are counted
+    /// suppressed directly, keeping every [`ServiceStats`] counter equal
+    /// to what [`AllocatorService::export_all`] would have produced.
+    fn export_changed(&mut self) -> Vec<(u16, Message)> {
+        if !self.engine.take_changed_rates(&mut self.export_buf) {
+            return self.export_all();
+        }
+        self.changed_buf.clear();
+        for r in &self.export_buf {
+            let &(token, src) = self
+                .rev
+                .get(&r.id)
+                .expect("exported flow must be registered");
+            self.changed_buf.push((token, src, r.normalized));
+        }
+        self.changed_buf.sort_unstable_by_key(|e| e.0);
+        let mut out = Vec::new();
+        for i in 0..self.changed_buf.len() {
+            let (token, src, gbps) = self.changed_buf[i];
+            if self.filter.should_send(token, gbps) {
+                let msg = Message::RateUpdate {
+                    token,
+                    rate: Rate16::encode(gbps),
+                };
+                self.stats.bytes_out += msg.encoded_len() as u64;
+                self.stats.updates_sent += 1;
+                out.push((src, msg));
+            }
+        }
+        self.stats.updates_suppressed += self.registry.len() as u64 - out.len() as u64;
         out
     }
 
@@ -658,6 +771,7 @@ impl<E: RateAllocator> AllocatorService<E> {
     pub fn extract_flow(&mut self, token: Token) -> Option<FlowMigration> {
         let reg = self.registry.remove(&token)?;
         self.engine.remove_flow(reg.internal);
+        self.rev.remove(&reg.internal);
         self.filter.forget(token);
         Some(FlowMigration {
             token,
@@ -715,6 +829,7 @@ impl<E: RateAllocator> AllocatorService<E> {
                 spine,
             },
         );
+        self.rev.insert(internal, (token, src));
     }
 
     /// Number of active flowlets.
@@ -725,6 +840,12 @@ impl<E: RateAllocator> AllocatorService<E> {
     /// Operating counters.
     pub fn stats(&self) -> ServiceStats {
         self.stats
+    }
+
+    /// Cumulative per-phase wall time (intake / allocate / export; this
+    /// unsharded service has no exchange phase).
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.timings
     }
 
     /// The fabric this allocator serves.
@@ -775,6 +896,13 @@ impl<E: RateAllocator> AllocatorService<E> {
     /// background loads (see [`RateAllocator::set_background_hessians`]).
     pub fn set_background_hessians(&mut self, hdiag: &[f64]) {
         self.engine.set_background_hessians(hdiag);
+    }
+
+    /// Every flow's current allocation into a caller-provided buffer
+    /// (cleared first) — the allocation-free steady-state export (see
+    /// [`RateAllocator::rates_into`]).
+    pub fn rates_into(&self, out: &mut Vec<FlowRate>) {
+        self.engine.rates_into(out);
     }
 
     /// The engine's current per-link duals (see

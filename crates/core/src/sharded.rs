@@ -154,12 +154,13 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
 
 use flowtune_alloc::{RateAllocator, SerialAllocator, WorkerPool};
 use flowtune_proto::{Message, Token};
 use flowtune_topo::TwoTierClos;
 
-use crate::driver::TickDriver;
+use crate::driver::{PhaseTimings, TickDriver};
 use crate::exchange::ExchangeCore;
 use crate::placement::{Placement, TrafficMatrix};
 use crate::service::{AllocatorService, ServiceError, ServiceStats};
@@ -228,6 +229,9 @@ pub struct ShardedService<E: RateAllocator = SerialAllocator> {
     wire_buf: Vec<u8>,
     /// Frame boundaries within `wire_buf` (`n + 1` offsets).
     frame_offs: Vec<usize>,
+    /// Cumulative wall time spent in the exchange barrier (phase 2),
+    /// reported as [`PhaseTimings::exchange`].
+    exchange_time: Duration,
 }
 
 impl ShardedService {
@@ -301,8 +305,11 @@ impl<E: RateAllocator> ShardedService<E> {
                     && c.exchange_delta_eps == cfg.exchange_delta_eps
                     && c.parallel_shards == cfg.parallel_shards
                     && c.placement == cfg.placement
+                    && c.incremental == cfg.incremental
+                    && c.full_sweep_every == cfg.full_sweep_every
+                    && c.dirty_eps == cfg.dirty_eps
             }),
-            "all shards must agree on the exchange, parallelism and placement configuration"
+            "all shards must agree on the exchange, parallelism, placement and incremental configuration"
         );
         assert_eq!(
             placement.servers(),
@@ -335,6 +342,7 @@ impl<E: RateAllocator> ShardedService<E> {
                 .collect(),
             wire_buf: Vec::new(),
             frame_offs: Vec::new(),
+            exchange_time: Duration::ZERO,
         }
     }
 
@@ -588,7 +596,9 @@ impl<E: RateAllocator> ShardedService<E> {
         // Phase 2: the fan-out return is the barrier — cross-shard
         // consensus and installs run with every shard's tick complete.
         if exchange {
+            let t0 = Instant::now();
             self.exchange_link_state();
+            self.exchange_time += t0.elapsed();
         }
         let streams: Vec<Vec<(u16, Message)>> = self
             .slots
@@ -741,6 +751,8 @@ impl<E: RateAllocator> ShardedService<E> {
                 exchange_rounds,
                 exchange_bytes,
                 exchange_decode_errors,
+                dirty_flows,
+                dirty_links,
             } = s.stats();
             total.starts += starts;
             total.ends += ends;
@@ -756,7 +768,27 @@ impl<E: RateAllocator> ShardedService<E> {
             total.exchange_rounds += exchange_rounds;
             total.exchange_bytes += exchange_bytes;
             total.exchange_decode_errors += exchange_decode_errors;
+            total.dirty_flows += dirty_flows;
+            total.dirty_links += dirty_links;
         }
+        total
+    }
+
+    /// Cumulative per-phase wall time: the shards' intake/allocate/export
+    /// phases summed over shards, plus this routing layer's exchange
+    /// barrier. Under `parallel_shards` the shard phases run concurrently,
+    /// so the sum is CPU time, not wall time — still the right weight for
+    /// "where do the cycles go" breakdowns.
+    pub fn phase_timings(&self) -> PhaseTimings {
+        let mut total = PhaseTimings::default();
+        for s in &self.shards {
+            let t = s.phase_timings();
+            total.intake += t.intake;
+            total.allocate += t.allocate;
+            total.export += t.export;
+            total.exchange += t.exchange;
+        }
+        total.exchange += self.exchange_time;
         total
     }
 
@@ -794,6 +826,10 @@ impl<E: RateAllocator> TickDriver for ShardedService<E> {
 
     fn stats(&self) -> ServiceStats {
         ShardedService::stats(self)
+    }
+
+    fn phase_timings(&self) -> PhaseTimings {
+        ShardedService::phase_timings(self)
     }
 
     fn link_loads(&self) -> Vec<f64> {

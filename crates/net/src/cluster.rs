@@ -298,6 +298,8 @@ impl<T: Transport, E: RateAllocator> TickDriver for PeerCluster<T, E> {
                 exchange_rounds,
                 exchange_bytes,
                 exchange_decode_errors,
+                dirty_flows,
+                dirty_links,
             } = peer.stats();
             total.starts += starts;
             total.ends += ends;
@@ -309,6 +311,8 @@ impl<T: Transport, E: RateAllocator> TickDriver for PeerCluster<T, E> {
             total.rejected += rejected;
             total.exchange_bytes += exchange_bytes;
             total.exchange_decode_errors += exchange_decode_errors;
+            total.dirty_flows += dirty_flows;
+            total.dirty_links += dirty_links;
             rounds = rounds.max(exchange_rounds);
         }
         total.exchange_rounds += rounds;

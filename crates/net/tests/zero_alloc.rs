@@ -1,18 +1,26 @@
-//! Pins the tentpole's allocation discipline: after warm-up, an
-//! exchange round's encode + decode path (delta-filter, frame append,
-//! record walk, replica update) touches the heap zero times. The frame
-//! goes into one flat reusable buffer and the receiver's replicas are
-//! grown once; steady-state rounds only overwrite.
+//! Pins the steady-state allocation discipline of the hot paths:
 //!
-//! A counting `#[global_allocator]` makes the claim checkable without
+//! * an exchange round's encode + decode path (delta-filter, frame
+//!   append, record walk, replica update) touches the heap zero times
+//!   after warm-up — the frame goes into one flat reusable buffer and
+//!   the receiver's replicas are grown once, steady-state rounds only
+//!   overwrite;
+//! * a quiet allocator service tick — engine iteration, changed-rate
+//!   export, update filtering — touches the heap zero times after
+//!   warm-up, with the incremental engine on or off, including the
+//!   periodic full-sweep ticks and `rates_into` reads of every rate.
+//!
+//! A counting `#[global_allocator]` makes the claims checkable without
 //! tooling: it counts every `alloc`/`realloc`/`alloc_zeroed` while the
 //! measured window is open. This lives in its own integration-test
-//! binary so the counter sees nothing but this test.
+//! binary so the counter sees nothing but these tests.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use flowtune::ExchangeCore;
+use flowtune::{AllocatorService, ExchangeCore, FlowtuneConfig};
+use flowtune_proto::{Message, Token};
+use flowtune_topo::{ClosConfig, TwoTierClos};
 
 struct CountingAlloc;
 
@@ -53,8 +61,13 @@ const LINKS: usize = 48;
 const WARM_ROUNDS: u64 = 5;
 const MEASURED_ROUNDS: u64 = 50;
 
+/// The counter window is process-global, so tests that open it must not
+/// overlap (cargo runs `#[test]`s concurrently by default).
+static WINDOW: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn steady_state_exchange_round_allocates_nothing() {
+    let _window = WINDOW.lock().unwrap();
     let mut a = ExchangeCore::new(0, 2, 0.0);
     let mut b = ExchangeCore::new(1, 2, 0.0);
 
@@ -124,4 +137,68 @@ fn steady_state_exchange_round_allocates_nothing() {
         allocs, 0,
         "steady-state exchange rounds must not allocate ({allocs} allocations over {MEASURED_ROUNDS} rounds)"
     );
+}
+
+#[test]
+fn steady_state_allocator_tick_allocates_nothing() {
+    let _window = WINDOW.lock().unwrap();
+    let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 4));
+    for incremental in [true, false] {
+        let cfg = FlowtuneConfig {
+            incremental,
+            // Small cadence so the measured window provably crosses
+            // full-sweep ticks — the worst case for the export path
+            // (every worker drains) must be allocation-free too.
+            full_sweep_every: 8,
+            ..FlowtuneConfig::default()
+        };
+        let mut svc = AllocatorService::new(&fabric, cfg);
+        let mut token = 0u32;
+        for src in 0..16u16 {
+            for k in 0..2u16 {
+                let dst = (src + 5 + 3 * k) % 16;
+                token += 1;
+                let spine = fabric.ecmp_spine(
+                    src as usize,
+                    dst as usize,
+                    flowtune_topo::FlowId(token as u64),
+                );
+                svc.on_message(Message::FlowletStart {
+                    token: Token::new(token),
+                    src,
+                    dst,
+                    size_hint: 1_000_000,
+                    weight_q8: 256,
+                    spine: spine as u8,
+                })
+                .unwrap();
+            }
+        }
+        let mut rates = Vec::new();
+        // Warm-up: converge the trajectory (so ticks are quiet and the
+        // update filter suppresses everything) and size every reusable
+        // buffer — export scratch, changed-set scratch, the rates vec.
+        for _ in 0..300 {
+            svc.tick();
+        }
+        svc.rates_into(&mut rates);
+        assert_eq!(rates.len(), 32);
+
+        ALLOCS.store(0, Ordering::Relaxed);
+        ENABLED.store(true, Ordering::Relaxed);
+        for _ in 0..MEASURED_ROUNDS {
+            let updates = svc.tick();
+            assert!(updates.is_empty(), "quiet ticks must suppress updates");
+            svc.rates_into(&mut rates);
+        }
+        ENABLED.store(false, Ordering::Relaxed);
+
+        let allocs = ALLOCS.load(Ordering::Relaxed);
+        assert_eq!(
+            allocs, 0,
+            "steady-state allocator ticks must not allocate \
+             (incremental={incremental}: {allocs} allocations over {MEASURED_ROUNDS} ticks)"
+        );
+        assert_eq!(rates.len(), 32);
+    }
 }

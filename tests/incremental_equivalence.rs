@@ -1,0 +1,248 @@
+//! Incremental-vs-full tick equivalence.
+//!
+//! The contract of the incremental tick (`FlowtuneConfig::incremental`)
+//! is layered:
+//!
+//! * at `dirty_eps = 0` it is the full sweep — bit-for-bit: same update
+//!   stream every tick, same final rates, same aggregate counters (the
+//!   dirty-set telemetry aside, which the full sweep doesn't keep) —
+//!   across shard counts, exchange cadences, and churn schedules;
+//! * at `dirty_eps > 0` it may skip recomputes whose inputs moved less
+//!   than `eps`, so rates can diverge from the full sweep — but only
+//!   boundedly, `O(eps)`, with the periodic full sweep
+//!   (`full_sweep_every`) stopping float drift from compounding;
+//! * flow intake dirties exactly the traversed links: an add or remove
+//!   marks the links of that flow's path, nothing else (property-tested
+//!   under random endpoint pairs).
+
+use flowtune::{AllocatorService, FlowtuneConfig, ServiceStats, ShardedService};
+use flowtune_proto::{Message, Token};
+use flowtune_topo::{ClosConfig, TwoTierClos};
+use proptest::prelude::*;
+
+/// Two blocks of 2 racks × 4 servers: 16 servers, 40 G hosts.
+fn fabric() -> TwoTierClos {
+    TwoTierClos::build(ClosConfig::multicore(2, 2, 4))
+}
+
+fn start(fabric: &TwoTierClos, token: u32, src: u16, dst: u16) -> Message {
+    let spine = fabric.ecmp_spine(
+        src as usize,
+        dst as usize,
+        flowtune_topo::FlowId(token as u64),
+    );
+    Message::FlowletStart {
+        token: Token::new(token),
+        src,
+        dst,
+        size_hint: 1_000_000,
+        weight_q8: 256,
+        spine: spine as u8,
+    }
+}
+
+/// xorshift64 — a tiny deterministic stream for churn schedules.
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Aggregate counters with the incremental-only telemetry masked out —
+/// the full sweep keeps no dirty set, so those two fields are the one
+/// place the configs are *allowed* to differ.
+fn masked(mut stats: ServiceStats) -> ServiceStats {
+    stats.dirty_flows = 0;
+    stats.dirty_links = 0;
+    stats
+}
+
+#[test]
+fn incremental_is_bit_for_bit_the_full_sweep_at_eps_zero() {
+    let fabric = fabric();
+    for shards in [1usize, 2, 4] {
+        for exchange_every in [0u64, 1] {
+            for seed in [1u64, 7, 42] {
+                let build = |incremental: bool| {
+                    let cfg = FlowtuneConfig {
+                        exchange_every,
+                        incremental,
+                        dirty_eps: 0.0,
+                        ..FlowtuneConfig::default()
+                    };
+                    ShardedService::new(&fabric, cfg, shards)
+                };
+                let mut inc = build(true);
+                let mut full = build(false);
+                let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut token = 0u32;
+                let mut live: Vec<u32> = Vec::new();
+                for round in 0..120 {
+                    if round % 3 == 0 {
+                        // Churn across the whole server space: mostly
+                        // starts, some ends — each one reshapes the
+                        // dirty set mid-trajectory.
+                        let r = xorshift(&mut rng);
+                        if r.is_multiple_of(4) && !live.is_empty() {
+                            let t = live.swap_remove((r >> 8) as usize % live.len());
+                            let end = Message::FlowletEnd {
+                                token: Token::new(t),
+                            };
+                            assert_eq!(inc.on_message(end), full.on_message(end));
+                        } else {
+                            token += 1;
+                            let src = (r % 16) as u16;
+                            let mut dst = ((r >> 16) % 16) as u16;
+                            if dst == src {
+                                dst = (dst + 1) % 16;
+                            }
+                            let msg = start(&fabric, token, src, dst);
+                            let a = inc.on_message(msg);
+                            assert_eq!(a, full.on_message(msg));
+                            if a.is_ok() {
+                                live.push(token);
+                            }
+                        }
+                    }
+                    let a = inc.tick();
+                    let b = full.tick();
+                    assert_eq!(
+                        a, b,
+                        "streams diverged: {shards} shards, exchange \
+                         {exchange_every}, seed {seed}, round {round}"
+                    );
+                }
+                for &t in &live {
+                    assert_eq!(
+                        inc.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
+                        full.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
+                        "rate of token {t} diverged ({shards} shards, \
+                         exchange {exchange_every}, seed {seed})"
+                    );
+                }
+                assert_eq!(masked(inc.stats()), masked(full.stats()));
+                // The incremental run did skip work — the equivalence
+                // is not vacuous. A 120-tick full sweep would re-run
+                // every live flow's rate pass every tick; the dirty
+                // counter must come in strictly below that.
+                let full_work: u64 = full.stats().iterations * live.len() as u64;
+                assert!(
+                    inc.stats().dirty_flows < full_work || live.is_empty(),
+                    "{shards} shards, exchange {exchange_every}, seed {seed}: \
+                     dirty_flows {} never skipped anything (full would be {full_work})",
+                    inc.stats().dirty_flows,
+                );
+                assert_eq!(inc.active_flows(), full.active_flows());
+            }
+        }
+    }
+}
+
+#[test]
+fn eps_divergence_is_bounded_and_sweep_cadence_caps_drift() {
+    // With a positive dirty eps the incremental engine may hold a flow's
+    // rate at a value computed from prices up to eps stale, so its rates
+    // drift from the full sweep's — the acceptance criterion is that the
+    // drift stays O(eps) at every sweep cadence, not that it vanishes.
+    // Constant: link prices diverge by under 1×eps, and a rate's
+    // sensitivity to a path-price move is dx = (x²/w)·dλ — with ~18
+    // Gbit/s unit-weight flows that is ~320 per link, ~10³ over a
+    // path — so 10⁴×eps gives an order of magnitude of headroom while
+    // still catching unbounded drift (which compounds per tick and
+    // would blow through any fixed multiple within the 500 ticks).
+    let fabric = fabric();
+    let eps = 1e-6;
+    for full_sweep_every in [4u64, 16, 64] {
+        let build = |incremental: bool| {
+            let cfg = FlowtuneConfig {
+                incremental,
+                dirty_eps: if incremental { eps } else { 0.0 },
+                full_sweep_every,
+                ..FlowtuneConfig::default()
+            };
+            AllocatorService::new(&fabric, cfg)
+        };
+        let mut inc = build(true);
+        let mut full = build(false);
+        let mut token = 0u32;
+        let mut live = Vec::new();
+        for src in 0..16u16 {
+            for k in 0..2u16 {
+                let dst = (src + 5 + 3 * k) % 16;
+                token += 1;
+                let msg = start(&fabric, token, src, dst);
+                inc.on_message(msg).unwrap();
+                full.on_message(msg).unwrap();
+                live.push(Token::new(token));
+            }
+        }
+        // Long quiet stretch: plenty of iterations for per-tick drift to
+        // compound if the sweep failed to re-anchor the trajectory.
+        for _ in 0..500 {
+            inc.tick();
+            full.tick();
+        }
+        let bound = 1e4 * eps;
+        for &t in &live {
+            let a = full.flow_rate_gbps(t).unwrap();
+            let b = inc.flow_rate_gbps(t).unwrap();
+            assert!(
+                (a - b).abs() <= bound,
+                "sweep cadence {full_sweep_every}: token {t:?} drifted \
+                 {:.3e} Gbit/s (> {bound:.1e}): full {a} vs incremental {b}",
+                (a - b).abs()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Intake dirtiness is exact: adding a flow marks precisely the links
+    // its path traverses (in traversal order, nothing else), the next
+    // iteration drains the marks, and removing the flow re-marks the
+    // same links.
+    #[test]
+    fn intake_dirties_exactly_the_traversed_links(
+        src in 0usize..16,
+        dst_off in 1usize..16,
+        spine in 0usize..2,
+        weight in 1u16..1024,
+    ) {
+        use flowtune_alloc::{AllocConfig, SerialAllocator};
+        use flowtune_topo::FlowId;
+
+        let fabric = fabric();
+        let dst = (src + dst_off) % 16;
+        let path = fabric.path_via_spine(src, dst, spine);
+        let mut alloc = SerialAllocator::new(
+            &fabric,
+            AllocConfig {
+                incremental: true,
+                ..AllocConfig::default()
+            },
+        );
+        prop_assert_eq!(alloc.dirty_link_ids(), Vec::new());
+
+        alloc.add_flow(FlowId(1), src, dst, weight as f64 / 256.0, &path);
+        prop_assert_eq!(
+            alloc.dirty_link_ids(),
+            path.links().to_vec(),
+            "add must dirty the path links, in order"
+        );
+
+        // The iteration consumes the intake marks...
+        alloc.iterate();
+        prop_assert_eq!(alloc.dirty_link_ids(), Vec::new());
+
+        // ...and the remove re-marks exactly the same links.
+        prop_assert!(alloc.remove_flow(FlowId(1)));
+        prop_assert_eq!(
+            alloc.dirty_link_ids(),
+            path.links().to_vec(),
+            "remove must dirty the path links, in order"
+        );
+    }
+}

@@ -186,6 +186,7 @@ impl MulticoreAllocator {
 
         // Move every worker's state under a mutex for the parallel phase.
         let cells: Vec<Mutex<crate::serial::WorkerCore>> =
+            // flowtune-lint: allow(hot-path-alloc, "O(blocks) mutex wrap per call, amortized over n iterations")
             self.grid.workers.drain(..).map(Mutex::new).collect();
         let barrier = SpinBarrier::new(n_threads);
         let elapsed = Mutex::new(Duration::ZERO);
@@ -204,8 +205,8 @@ impl MulticoreAllocator {
             let t0 = Instant::now();
             // Scratch buffers for copy-out exchange.
             let lpl = layout.links_per_lb();
-            let mut buf_a = vec![0.0f64; lpl];
-            let mut buf_b = vec![0.0f64; lpl];
+            let mut buf_a = vec![0.0f64; lpl]; // flowtune-lint: allow(hot-path-alloc, "per-thread scratch, once per run not per iteration")
+            let mut buf_b = vec![0.0f64; lpl]; // flowtune-lint: allow(hot-path-alloc, "per-thread scratch, once per run not per iteration")
             for _ in 0..n {
                 // Phase 1: rate pass.
                 for w in lo..hi {
@@ -331,6 +332,7 @@ impl MulticoreAllocator {
             }
         });
 
+        // flowtune-lint: allow(hot-path-alloc, "O(blocks) unwrap per call, amortized over n iterations")
         self.grid.workers = cells.into_iter().map(Mutex::into_inner).collect();
         let took = *elapsed.lock();
         took

@@ -8,6 +8,8 @@
 //! so `cargo run --release -p flowtune-bench --bin fig5_update_traffic`
 //! prints the same series Figure 5 plots.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod fluid;
 pub mod num_churn;

@@ -8,6 +8,8 @@
 //! underflow) match the real crate; zero-copy refcounting is replaced by
 //! plain owned buffers, which is plenty for tests and simulation.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Bound, Deref, RangeBounds};
 
 /// A growable byte buffer, `bytes::BytesMut`-shaped.

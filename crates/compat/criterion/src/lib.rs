@@ -8,6 +8,8 @@
 //! order-of-magnitude regressions the bench guards exist for; use real
 //! criterion for publication-grade numbers.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -5,6 +5,8 @@
 //! non-poisoning [`Mutex`] with `lock`/`into_inner`. Backed by
 //! `std::sync::Mutex`; lock poisoning is ignored (parking_lot semantics).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 

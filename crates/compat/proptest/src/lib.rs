@@ -16,6 +16,8 @@
 //! across runs), and there is **no shrinking** — a failing case panics
 //! with the sampled values still bound, which the assert message shows.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 
 pub mod test_runner {

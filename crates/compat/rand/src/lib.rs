@@ -8,6 +8,8 @@
 //! SplitMix64) — deterministic, high-quality, and stable across releases,
 //! which is what the reproducible-trace tests rely on.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Core entropy source: everything derives from `next_u64`.

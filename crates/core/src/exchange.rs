@@ -100,6 +100,19 @@ fn nonzero_at(replica: &Replica, l: usize) -> bool {
         || replica.hessians.get(l).is_some_and(|&v| v != 0.0)
 }
 
+// Write one decoded state word into a replica column, or report the
+// record's link as bad when the column was never grown that far (an
+// inactive frame smuggling records must not become an OOB write).
+fn write_state(column: &mut [f64], l: usize, value: f64, link: u32) -> Result<(), ApplyError> {
+    match column.get_mut(l) {
+        Some(slot) => {
+            *slot = value;
+            Ok(())
+        }
+        None => Err(ApplyError::BadLink { link }),
+    }
+}
+
 /// Per-shard state machine of the exchange protocol (see the module
 /// docs). Owned by the in-process [`crate::ShardedService`] (one per
 /// shard) and by each distributed `ShardPeer` (exactly one).
@@ -337,6 +350,7 @@ impl ExchangeCore {
             self.dirty_count.resize(self.round_links, 0);
         }
         self.any_h |= header.has_hessians;
+        // flowtune-lint: allow(panic, "bounded: header.shard < replicas.len() checked above")
         let replica = &mut self.replicas[header.shard as usize];
         if header.active {
             replica.loads.resize(n.max(replica.loads.len()), 0.0);
@@ -357,11 +371,15 @@ impl ExchangeCore {
                     if l >= n {
                         return Err(ApplyError::BadLink { link });
                     }
-                    replica.loads[l] = load;
-                    replica.prices[l] = dual;
+                    // An inactive frame never resized the replica, so a
+                    // record slipping past `n` on such a frame must be
+                    // an error, not an out-of-bounds write.
+                    write_state(&mut replica.loads, l, load, link)?;
+                    write_state(&mut replica.prices, l, dual, link)?;
                     if header.has_hessians {
-                        replica.hessians[l] = hessian;
+                        write_state(&mut replica.hessians, l, hessian, link)?;
                     }
+                    // flowtune-lint: allow(panic, "bounded: dirty_count resized to round_links >= n above")
                     self.dirty_count[l] += 1;
                 }
                 Record::CatchUp {
@@ -376,10 +394,10 @@ impl ExchangeCore {
                     if l >= n {
                         return Err(ApplyError::BadLink { link });
                     }
-                    replica.loads[l] = load;
-                    replica.prices[l] = dual;
+                    write_state(&mut replica.loads, l, load, link)?;
+                    write_state(&mut replica.prices, l, dual, link)?;
                     if header.has_hessians {
-                        replica.hessians[l] = hessian;
+                        write_state(&mut replica.hessians, l, hessian, link)?;
                     }
                 }
                 Record::SubAdd { link } => {
@@ -390,6 +408,7 @@ impl ExchangeCore {
                     if replica.subs.len() < n {
                         replica.subs.resize(n, false);
                     }
+                    // flowtune-lint: allow(panic, "bounded: subs resized to n, l < n checked above")
                     replica.subs[l] = true;
                 }
                 Record::SubRemove { link } => {
@@ -400,6 +419,7 @@ impl ExchangeCore {
                     if replica.subs.len() < n {
                         replica.subs.resize(n, false);
                     }
+                    // flowtune-lint: allow(panic, "bounded: subs resized to n, l < n checked above")
                     replica.subs[l] = false;
                 }
                 // State frames do not carry epoch records; tolerate and

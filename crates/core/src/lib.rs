@@ -76,6 +76,7 @@
 //! [`RateAllocator`]: flowtune_alloc::RateAllocator
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod config;
 pub mod driver;

@@ -691,6 +691,7 @@ impl<E: RateAllocator> AllocatorService<E> {
 
     /// The classic export walk: every registered flow, in token order.
     fn export_all(&mut self) -> Vec<(u16, Message)> {
+        // flowtune-lint: allow(hot-path-alloc, "export returns an owned batch by contract; zero-alloc callers use rates_into")
         let mut out = Vec::new();
         for (&token, reg) in &self.registry {
             let rate = self
@@ -732,6 +733,7 @@ impl<E: RateAllocator> AllocatorService<E> {
             self.changed_buf.push((token, src, r.normalized));
         }
         self.changed_buf.sort_unstable_by_key(|e| e.0);
+        // flowtune-lint: allow(hot-path-alloc, "export returns an owned batch by contract; zero-alloc callers use rates_into")
         let mut out = Vec::new();
         for i in 0..self.changed_buf.len() {
             let (token, src, gbps) = self.changed_buf[i];

@@ -435,6 +435,7 @@ impl<E: RateAllocator> ShardedService<E> {
             self.shards.len(),
             "replacement must map onto the same shard count"
         );
+        // flowtune-lint: allow(float-determinism, "snapshot is sorted by token before any flow moves")
         let mut tokens: Vec<(Token, u32)> = self.route.iter().map(|(&t, &s)| (t, s)).collect();
         tokens.sort_unstable_by_key(|&(t, _)| t);
         let mut moved = 0;
@@ -566,6 +567,7 @@ impl<E: RateAllocator> ShardedService<E> {
             let n = self.shards.len();
             let pool = self.pool.get_or_insert_with(|| WorkerPool::new(n));
             let mut items: Vec<(&mut AllocatorService<E>, &mut ShardSlot)> =
+                // flowtune-lint: allow(hot-path-alloc, "O(shards) fan-out list per tick, not per flow")
                 self.shards.iter_mut().zip(self.slots.iter_mut()).collect();
             if let Err(e) = pool.fan_out(&mut items, &|_, (shard, slot)| {
                 tick_shard(shard, slot, exchange);
@@ -604,6 +606,7 @@ impl<E: RateAllocator> ShardedService<E> {
             .slots
             .iter_mut()
             .map(|s| std::mem::take(&mut s.updates))
+            // flowtune-lint: allow(hot-path-alloc, "O(shards) list of moved streams per tick, not per flow")
             .collect();
         Ok(merge_by_token(streams))
     }

@@ -21,6 +21,8 @@
 //! with Fastpass-style arbitration as a drop-in engine
 //! (`--engine fastpass`).
 
+#![forbid(unsafe_code)]
+
 pub mod adapter;
 
 pub use adapter::FastpassAdapter;

@@ -1,0 +1,22 @@
+// Fixture: deterministic structures only — BTreeMap iteration and
+// dense Vec scans never depend on hasher state.
+
+use std::collections::BTreeMap;
+
+pub struct Exporter {
+    rates: BTreeMap<u64, f64>,
+    dense: Vec<f64>,
+}
+
+impl Exporter {
+    pub fn total(&self) -> f64 {
+        let mut total = 0.0;
+        for (_token, rate) in self.rates.iter() {
+            total += rate;
+        }
+        for rate in &self.dense {
+            total += rate;
+        }
+        total
+    }
+}

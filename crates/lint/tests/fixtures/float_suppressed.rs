@@ -1,0 +1,16 @@
+// Fixture: map iteration whose results are sorted before use.
+
+use std::collections::HashMap;
+
+pub struct Exporter {
+    rates: HashMap<u64, f64>,
+}
+
+impl Exporter {
+    pub fn sorted_tokens(&self, out: &mut Vec<u64>) {
+        out.clear();
+        // flowtune-lint: allow(float-determinism, "keys are sorted before any arithmetic")
+        out.extend(self.rates.keys());
+        out.sort_unstable();
+    }
+}

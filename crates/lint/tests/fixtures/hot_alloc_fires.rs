@@ -1,0 +1,21 @@
+// Fixture: allocating calls inside a designated hot function.
+// Linted under the virtual path crates/alloc/src/dirty.rs, where
+// `note_add` is on the steady-state list.
+
+pub struct DirtySet {
+    links: Vec<u32>,
+}
+
+impl DirtySet {
+    pub fn note_add(&mut self, link: u32) {
+        let label = format!("link {link}"); // line 11: fires
+        let copy = self.links.to_vec(); // line 12: fires
+        let fresh: Vec<u32> = Vec::new(); // line 13: fires
+        drop((label, copy, fresh));
+    }
+
+    pub fn cold_setup(&mut self) {
+        // Not a hot function: allocation here is fine.
+        self.links = Vec::with_capacity(64);
+    }
+}

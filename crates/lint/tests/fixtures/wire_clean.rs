@@ -1,0 +1,23 @@
+// Fixture: every tag appears on both sides, header sizes agree.
+
+pub const TAG_LINK: u8 = 1;
+pub const TAG_RATE: u8 = 2;
+
+pub const FRAME_HEADER_BYTES: usize = 3;
+
+pub fn encode(out: &mut Vec<u8>) {
+    out.push(TAG_LINK);
+    out.push(TAG_RATE);
+}
+
+pub fn encode_header(out: &mut Buf) {
+    out.push(1);
+    out.put_u16(7);
+}
+
+pub fn decode(tag: u8) -> bool {
+    match tag {
+        TAG_LINK | TAG_RATE => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: an encoder-only tag silenced with a justification.
+
+pub const TAG_LINK: u8 = 1;
+// flowtune-lint: allow(wire-exhaustive, "probe record: receivers ignore it by design")
+pub const TAG_PROBE: u8 = 9;
+
+pub fn encode(out: &mut Vec<u8>) {
+    out.push(TAG_LINK);
+    out.push(TAG_PROBE);
+}
+
+pub fn decode(tag: u8) -> bool {
+    match tag {
+        TAG_LINK => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,151 @@
+//! Deliberate-regression tests: take the real workspace sources, inject
+//! one violation, and prove the rule catches it at the expected
+//! file:line. This is the evidence that each rule family can actually
+//! fail — a lint that never fires is indistinguishable from no lint.
+
+use flowtune_lint::lint_file;
+use flowtune_lint::report::Finding;
+
+/// Read a real workspace source file (tests run from crates/lint).
+fn workspace_source(rel: &str) -> String {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    std::fs::read_to_string(format!("{root}/{rel}")).unwrap_or_else(|e| panic!("read {rel}: {e}"))
+}
+
+fn unsuppressed(findings: Vec<Finding>) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| f.suppressed.is_none())
+        .collect()
+}
+
+/// Inject `payload` on a new line directly after the first line that
+/// contains `anchor`. Returns (source, 1-based line of the injection).
+fn inject_after(src: &str, anchor: &str, payload: &str) -> (String, u32) {
+    let mut out = String::with_capacity(src.len() + payload.len() + 1);
+    let mut injected_at = None;
+    for (idx, line) in src.lines().enumerate() {
+        out.push_str(line);
+        out.push('\n');
+        if injected_at.is_none() && line.contains(anchor) {
+            out.push_str(payload);
+            out.push('\n');
+            injected_at = Some(idx as u32 + 2);
+        }
+    }
+    (
+        out,
+        injected_at.unwrap_or_else(|| panic!("anchor {anchor:?} not found")),
+    )
+}
+
+#[test]
+fn real_workspace_files_start_clean() {
+    // The injections below only prove anything if the unmodified files
+    // carry no unsuppressed findings to begin with.
+    for rel in [
+        "crates/alloc/src/serial.rs",
+        "crates/proto/src/exchange.rs",
+        "crates/proto/src/codec.rs",
+        "crates/core/src/service.rs",
+    ] {
+        let live = unsuppressed(lint_file(rel, &workspace_source(rel)));
+        assert!(live.is_empty(), "{rel} not clean: {live:?}");
+    }
+}
+
+#[test]
+fn injected_format_in_hot_allocator_path_is_caught() {
+    let rel = "crates/alloc/src/serial.rs";
+    let src = workspace_source(rel);
+    let (bad, line) = inject_after(
+        &src,
+        "fn rate_phase_full(",
+        "        let _trace = format!(\"tick\");",
+    );
+    let live = unsuppressed(lint_file(rel, &bad));
+    assert!(
+        live.iter()
+            .any(|f| f.rule == "hot-path-alloc" && f.line == line),
+        "expected hot-path-alloc at line {line}: {live:?}"
+    );
+}
+
+#[test]
+fn injected_unwrap_in_proto_decode_is_caught() {
+    let rel = "crates/proto/src/exchange.rs";
+    let src = workspace_source(rel);
+    let (bad, line) = inject_after(
+        &src,
+        "pub fn decode_header(",
+        "        let _first = frame.first().unwrap();",
+    );
+    let live = unsuppressed(lint_file(rel, &bad));
+    assert!(
+        live.iter().any(|f| f.rule == "panic" && f.line == line),
+        "expected panic at line {line}: {live:?}"
+    );
+}
+
+#[test]
+fn injected_encoder_only_tag_is_caught() {
+    let rel = "crates/proto/src/exchange.rs";
+    let src = workspace_source(rel);
+    // A new record tag the encoder emits but no decode arm matches.
+    let (bad, line) = inject_after(
+        &src,
+        "const TAG_MIGRATION",
+        "pub const TAG_PHANTOM: u8 = 250;\npub fn encode_phantom(out: &mut Vec<u8>) { out.push(TAG_PHANTOM); }",
+    );
+    let live = unsuppressed(lint_file(rel, &bad));
+    assert!(
+        live.iter().any(|f| {
+            f.rule == "wire-exhaustive" && f.line == line && f.message.contains("TAG_PHANTOM")
+        }),
+        "expected wire-exhaustive at line {line}: {live:?}"
+    );
+}
+
+#[test]
+fn injected_header_size_drift_is_caught() {
+    let rel = "crates/proto/src/exchange.rs";
+    let src = workspace_source(rel);
+    // Grow the header by one byte without touching FRAME_HEADER_BYTES.
+    let (bad, _line) = inject_after(&src, "pub fn encode_header(", "        out.push(0xEE);");
+    let live = unsuppressed(lint_file(rel, &bad));
+    assert!(
+        live.iter()
+            .any(|f| f.rule == "wire-exhaustive" && f.message.contains("header size")),
+        "expected header-size disagreement: {live:?}"
+    );
+}
+
+#[test]
+fn injected_hashmap_iteration_in_pricing_is_caught() {
+    let rel = "crates/core/src/service.rs";
+    let src = workspace_source(rel);
+    let (bad, line) = inject_after(
+        &src,
+        "fn export_all(",
+        "        let audit: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();\n        for (_t, _r) in audit.iter() {}",
+    );
+    let live = unsuppressed(lint_file(rel, &bad));
+    // The for-loop sits one line below the binding.
+    assert!(
+        live.iter()
+            .any(|f| f.rule == "float-determinism" && f.line == line + 1),
+        "expected float-determinism at line {}: {live:?}",
+        line + 1
+    );
+}
+
+#[test]
+fn workspace_lint_runs_clean_end_to_end() {
+    // The CI gate in miniature: zero unsuppressed findings across the
+    // whole workspace.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let findings =
+        flowtune_lint::lint_workspace(std::path::Path::new(root)).expect("workspace walk succeeds");
+    let live: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+    assert!(live.is_empty(), "unsuppressed findings: {live:#?}");
+}

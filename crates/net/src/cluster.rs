@@ -131,6 +131,7 @@ impl<T: Transport, E: RateAllocator> PeerCluster<T, E> {
     /// The first peer transport error encountered; the tick's update
     /// stream is dropped.
     pub fn try_tick(&mut self) -> io::Result<Vec<(u16, Message)>> {
+        // flowtune-lint: allow(hot-path-alloc, "O(peers) stream list per tick, not per flow")
         let mut streams = Vec::with_capacity(self.peers.len());
         for peer in &mut self.peers {
             streams.push(peer.tick_export()?);
@@ -171,6 +172,7 @@ impl<T: Transport, E: RateAllocator> PeerCluster<T, E> {
             "replacement must map onto the same peer count"
         );
         self.epoch += 1;
+        // flowtune-lint: allow(float-determinism, "snapshot is sorted by token before any flow moves")
         let mut tokens: Vec<(Token, u32)> = self.route.iter().map(|(&t, &s)| (t, s)).collect();
         tokens.sort_unstable_by_key(|&(t, _)| t);
         let mut leavers: Vec<Vec<(FlowMigration, u16)>> = vec![Vec::new(); self.peers.len()];

@@ -25,6 +25,7 @@
 //!   cluster and checks it converges to the unsharded optimum.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod peer;

@@ -38,6 +38,70 @@ use crate::pool::BufferPool;
 /// giving up on a peer that never showed.
 pub const SETUP_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// What went wrong moving a frame. Constructing a variant never
+/// allocates — the boxing happens only when one crosses into an
+/// [`io::Error`] on the (cold) failure path, which keeps `send`/`recv`
+/// allocation-free in the steady state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer id is out of range or names this endpoint itself.
+    NoSuchPeer {
+        /// The offending peer id.
+        peer: u16,
+    },
+    /// No stream is connected to that peer.
+    NotConnected {
+        /// The peer without a stream.
+        peer: u16,
+    },
+    /// A shared lock was poisoned by a panicking thread.
+    Poisoned {
+        /// Which shared structure the lock guards.
+        what: &'static str,
+    },
+    /// The frame does not fit the u32 length prefix.
+    FrameTooLarge {
+        /// The frame length that overflowed.
+        len: usize,
+    },
+    /// The peer stalled mid-frame past the retry budget.
+    TornFrame,
+    /// The peer closed the stream mid-frame.
+    PeerClosed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TransportError::NoSuchPeer { peer } => write!(f, "no peer {peer} in the mesh"),
+            TransportError::NotConnected { peer } => write!(f, "no stream to peer {peer}"),
+            TransportError::Poisoned { what } => write!(f, "{what} lock poisoned"),
+            TransportError::FrameTooLarge { len } => {
+                write!(f, "frame of {len} bytes exceeds the u32 length prefix")
+            }
+            TransportError::TornFrame => write!(f, "torn frame: peer stalled mid-frame"),
+            TransportError::PeerClosed => write!(f, "peer closed the stream mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<TransportError> for io::Error {
+    fn from(e: TransportError) -> io::Error {
+        let kind = match e {
+            TransportError::NoSuchPeer { .. } | TransportError::FrameTooLarge { .. } => {
+                io::ErrorKind::InvalidInput
+            }
+            TransportError::NotConnected { .. } => io::ErrorKind::NotConnected,
+            TransportError::Poisoned { .. } => io::ErrorKind::Other,
+            TransportError::TornFrame => io::ErrorKind::TimedOut,
+            TransportError::PeerClosed => io::ErrorKind::UnexpectedEof,
+        };
+        io::Error::new(kind, e)
+    }
+}
+
 /// Moves encoded exchange frames between the peers of one cluster.
 ///
 /// `send` must deliver whole frames: a `recv` on the other side yields
@@ -136,20 +200,21 @@ impl Transport for MemTransport {
     fn send(&mut self, to: u16, frame: &[u8]) -> io::Result<u64> {
         let n = self.mesh.n;
         if usize::from(to) >= n || to == self.me {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("no peer {to} to send to"),
-            ));
+            return Err(TransportError::NoSuchPeer { peer: to }.into());
         }
         let mut msg = self
             .mesh
             .pool
             .lock()
-            .expect("pool poisoned")
+            .map_err(|_| TransportError::Poisoned { what: "frame pool" })?
             .get(frame.len());
         msg.extend_from_slice(frame);
+        // flowtune-lint: allow(panic, "bounded: to < n checked above, links holds n*n queues")
         let (queue, cv) = &self.mesh.links[usize::from(self.me) * n + usize::from(to)];
-        queue.lock().expect("queue poisoned").push_back(msg);
+        queue
+            .lock()
+            .map_err(|_| TransportError::Poisoned { what: "peer queue" })?
+            .push_back(msg);
         cv.notify_one();
         Ok(framed_wire_bytes(frame.len()))
     }
@@ -157,14 +222,14 @@ impl Transport for MemTransport {
     fn recv(&mut self, from: u16, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<Option<u64>> {
         let n = self.mesh.n;
         if usize::from(from) >= n || from == self.me {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("no peer {from} to receive from"),
-            ));
+            return Err(TransportError::NoSuchPeer { peer: from }.into());
         }
+        // flowtune-lint: allow(panic, "bounded: from < n checked above, links holds n*n queues")
         let (queue, cv) = &self.mesh.links[usize::from(from) * n + usize::from(self.me)];
         let deadline = Instant::now() + timeout;
-        let mut q = queue.lock().expect("queue poisoned");
+        let mut q = queue
+            .lock()
+            .map_err(|_| TransportError::Poisoned { what: "peer queue" })?;
         let msg = loop {
             if let Some(msg) = q.pop_front() {
                 break msg;
@@ -173,7 +238,9 @@ impl Transport for MemTransport {
             if left.is_zero() {
                 return Ok(None);
             }
-            let (guard, wait) = cv.wait_timeout(q, left).expect("queue poisoned");
+            let (guard, wait) = cv
+                .wait_timeout(q, left)
+                .map_err(|_| TransportError::Poisoned { what: "peer queue" })?;
             q = guard;
             if wait.timed_out() && q.is_empty() {
                 return Ok(None);
@@ -183,7 +250,11 @@ impl Transport for MemTransport {
         buf.clear();
         buf.extend_from_slice(&msg);
         let bytes = framed_wire_bytes(msg.len());
-        self.mesh.pool.lock().expect("pool poisoned").put(msg);
+        self.mesh
+            .pool
+            .lock()
+            .map_err(|_| TransportError::Poisoned { what: "frame pool" })?
+            .put(msg);
         Ok(Some(bytes))
     }
 }
@@ -249,12 +320,7 @@ impl<S: FrameStream> SocketTransport<S> {
         self.streams
             .get_mut(usize::from(peer))
             .and_then(Option::as_mut)
-            .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::NotConnected,
-                    format!("no stream to peer {peer}"),
-                )
-            })
+            .ok_or_else(|| TransportError::NotConnected { peer }.into())
     }
 }
 
@@ -270,13 +336,9 @@ fn read_full<S: FrameStream>(
     let mut got = 0usize;
     let mut stalls = 0u32;
     while got < out.len() {
+        // flowtune-lint: allow(panic, "bounded: got < out.len() holds by the loop condition")
         match s.read(&mut out[got..]) {
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "peer closed the stream mid-frame",
-                ))
-            }
+            Ok(0) => return Err(TransportError::PeerClosed.into()),
             Ok(k) => {
                 got += k;
                 stalls = 0;
@@ -288,10 +350,7 @@ fn read_full<S: FrameStream>(
                 }
                 stalls += 1;
                 if stalls > MID_FRAME_RETRIES {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "torn frame: peer stalled mid-frame",
-                    ));
+                    return Err(TransportError::TornFrame.into());
                 }
             }
             Err(e) => return Err(e),
@@ -311,7 +370,7 @@ impl<S: FrameStream> Transport for SocketTransport<S> {
 
     fn send(&mut self, to: u16, frame: &[u8]) -> io::Result<u64> {
         let len = u32::try_from(frame.len())
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+            .map_err(|_| TransportError::FrameTooLarge { len: frame.len() })?;
         let s = self.stream(to)?;
         s.write_all(&len.to_be_bytes())?;
         s.write_all(frame)?;
@@ -514,6 +573,8 @@ pub fn uds_mesh(dir: &Path, n: u16) -> io::Result<Vec<UdsTransport>> {
         .collect();
     handles
         .into_iter()
+        // A panic in a setup thread is a bug in this module, not a peer
+        // failure; propagating it is the honest report.
         .map(|h| h.join().expect("mesh setup thread panicked"))
         .collect()
 }
@@ -531,6 +592,8 @@ pub fn tcp_mesh(base_port: u16, n: u16) -> io::Result<Vec<TcpTransport>> {
         .collect();
     handles
         .into_iter()
+        // A panic in a setup thread is a bug in this module, not a peer
+        // failure; propagating it is the honest report.
         .map(|h| h.join().expect("mesh setup thread panicked"))
         .collect()
 }

@@ -25,6 +25,8 @@
 //! rates are expressed in **Gbit/s** inside NUM instances; the system layer
 //! converts to bits/s at the boundary.
 
+#![forbid(unsafe_code)]
+
 pub mod fgm;
 pub mod gradient;
 pub mod ned;

@@ -144,6 +144,7 @@ pub fn decode(buf: &mut Bytes) -> Result<Message, DecodeError> {
     if buf.is_empty() {
         return Err(DecodeError::Truncated { offset: 0 });
     }
+    // flowtune-lint: allow(panic, "bounded: is_empty checked on the line above")
     let tag = buf[0];
     let need = match tag {
         TAG_START => START_BYTES,
@@ -221,15 +222,21 @@ impl<'a> MessageIter<'a> {
     }
 }
 
+// The *_at helpers index without `.get()` on purpose: they are the
+// zero-copy fast path, and their only caller (`MessageIter::next`)
+// verifies `need` bytes are present before touching any of them.
 fn u16_at(buf: &[u8], off: usize) -> u16 {
+    // flowtune-lint: allow(panic, "bounded: caller checked `need` bytes remain")
     u16::from_be_bytes([buf[off], buf[off + 1]])
 }
 
 fn u24_at(buf: &[u8], off: usize) -> u32 {
+    // flowtune-lint: allow(panic, "bounded: caller checked `need` bytes remain")
     ((buf[off] as u32) << 16) | (u16_at(buf, off + 1) as u32)
 }
 
 fn u32_at(buf: &[u8], off: usize) -> u32 {
+    // flowtune-lint: allow(panic, "bounded: caller checked `need` bytes remain")
     u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
 }
 
@@ -240,6 +247,7 @@ impl Iterator for MessageIter<'_> {
         if self.done || self.offset >= self.buf.len() {
             return None;
         }
+        // flowtune-lint: allow(panic, "bounded: offset < len checked on entry")
         let tag = self.buf[self.offset];
         let need = match tag {
             TAG_START => START_BYTES,
@@ -266,6 +274,7 @@ impl Iterator for MessageIter<'_> {
                 dst: u16_at(self.buf, at + 5),
                 size_hint: u32_at(self.buf, at + 7),
                 weight_q8: u16_at(self.buf, at + 11),
+                // flowtune-lint: allow(panic, "bounded: START_BYTES checked above; at+13 is the last header byte")
                 spine: self.buf[at + 13],
             },
             TAG_END => Message::FlowletEnd {
@@ -287,6 +296,7 @@ impl Iterator for MessageIter<'_> {
 /// at the offending byte. Allocates the returned `Vec`; hot paths should
 /// iterate [`MessageIter`] directly.
 pub fn decode_stream(buf: &mut Bytes) -> Result<Vec<Message>, DecodeError> {
+    // flowtune-lint: allow(panic, "full-range slice of Bytes cannot be out of bounds")
     let mut iter = MessageIter::new(&buf[..]);
     let mut out = Vec::new();
     let result = loop {

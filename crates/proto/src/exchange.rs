@@ -264,21 +264,23 @@ pub fn encode_header(header: &FrameHeader, buf: &mut Vec<u8>) {
 /// Decode the header at the start of `frame` without touching the
 /// records.
 pub fn decode_header(frame: &[u8]) -> Result<FrameHeader, FrameError> {
+    let truncated = FrameError::Truncated {
+        offset: frame.len(),
+    };
     if frame.len() < FRAME_HEADER_BYTES {
-        return Err(FrameError::Truncated {
-            offset: frame.len(),
-        });
+        return Err(truncated);
     }
-    if frame[0] != EXCHANGE_VERSION {
-        return Err(FrameError::BadVersion { version: frame[0] });
+    let version = *frame.first().ok_or(truncated)?;
+    if version != EXCHANGE_VERSION {
+        return Err(FrameError::BadVersion { version });
     }
-    let kind = FrameKind::from_u8(frame[1])?;
-    let flags = frame[2];
+    let kind = FrameKind::from_u8(*frame.get(1).ok_or(truncated)?)?;
+    let flags = *frame.get(2).ok_or(truncated)?;
     Ok(FrameHeader {
         kind,
-        shard: rd_u16(frame, 3).unwrap(),
-        round: rd_u64(frame, 5).unwrap(),
-        n_links: rd_u32(frame, 13).unwrap(),
+        shard: rd_u16(frame, 3).ok_or(truncated)?,
+        round: rd_u64(frame, 5).ok_or(truncated)?,
+        n_links: rd_u32(frame, 13).ok_or(truncated)?,
         active: flags & FLAG_ACTIVE != 0,
         has_hessians: flags & FLAG_HESSIANS != 0,
     })
@@ -379,20 +381,25 @@ impl<'a> RecordIter<'a> {
         self.offset
     }
 
+    /// The error every short read in this frame maps to.
+    fn truncated(&self) -> FrameError {
+        FrameError::Truncated {
+            offset: self.frame.len(),
+        }
+    }
+
     fn state_record(&mut self, catch_up: bool) -> Result<Record, FrameError> {
         let off = self.offset + 1;
         let words = if self.has_hessians { 3 } else { 2 };
         let need = 1 + 4 + 8 * words;
         if self.frame.len() < self.offset + need {
-            return Err(FrameError::Truncated {
-                offset: self.frame.len(),
-            });
+            return Err(self.truncated());
         }
-        let link = rd_u32(self.frame, off).unwrap();
-        let load = f64::from_bits(rd_u64(self.frame, off + 4).unwrap());
-        let dual = f64::from_bits(rd_u64(self.frame, off + 12).unwrap());
+        let link = rd_u32(self.frame, off).ok_or(self.truncated())?;
+        let load = f64::from_bits(rd_u64(self.frame, off + 4).ok_or(self.truncated())?);
+        let dual = f64::from_bits(rd_u64(self.frame, off + 12).ok_or(self.truncated())?);
         let hessian = if self.has_hessians {
-            f64::from_bits(rd_u64(self.frame, off + 20).unwrap())
+            f64::from_bits(rd_u64(self.frame, off + 20).ok_or(self.truncated())?)
         } else {
             0.0
         };
@@ -414,11 +421,25 @@ impl<'a> RecordIter<'a> {
         })
     }
 
-    fn next_record(&mut self) -> Option<Result<Record, FrameError>> {
-        if self.offset >= self.frame.len() {
-            return None;
+    fn migration_record(&mut self) -> Result<Record, FrameError> {
+        let off = self.offset + 1;
+        if self.frame.len() < self.offset + 14 {
+            return Err(self.truncated());
         }
-        let tag = self.frame[self.offset];
+        let record = Record::Migration {
+            token: rd_u32(self.frame, off).ok_or(self.truncated())?,
+            src: rd_u16(self.frame, off + 4).ok_or(self.truncated())?,
+            dst: rd_u16(self.frame, off + 6).ok_or(self.truncated())?,
+            weight_q8: rd_u16(self.frame, off + 8).ok_or(self.truncated())?,
+            spine: *self.frame.get(off + 10).ok_or(self.truncated())?,
+            dst_shard: rd_u16(self.frame, off + 11).ok_or(self.truncated())?,
+        };
+        self.offset += 14;
+        Ok(record)
+    }
+
+    fn next_record(&mut self) -> Option<Result<Record, FrameError>> {
+        let tag = *self.frame.get(self.offset)?;
         let result = match tag {
             TAG_LINK_STATE => self.state_record(false),
             TAG_CATCH_UP => self.state_record(true),
@@ -444,25 +465,7 @@ impl<'a> RecordIter<'a> {
                     offset: self.frame.len(),
                 }),
             },
-            TAG_MIGRATION => {
-                let off = self.offset + 1;
-                if self.frame.len() < self.offset + 14 {
-                    Err(FrameError::Truncated {
-                        offset: self.frame.len(),
-                    })
-                } else {
-                    let record = Record::Migration {
-                        token: rd_u32(self.frame, off).unwrap(),
-                        src: rd_u16(self.frame, off + 4).unwrap(),
-                        dst: rd_u16(self.frame, off + 6).unwrap(),
-                        weight_q8: rd_u16(self.frame, off + 8).unwrap(),
-                        spine: self.frame[off + 10],
-                        dst_shard: rd_u16(self.frame, off + 11).unwrap(),
-                    };
-                    self.offset += 14;
-                    Ok(record)
-                }
-            }
+            TAG_MIGRATION => self.migration_record(),
             _ => Err(FrameError::BadTag {
                 tag,
                 offset: self.offset,

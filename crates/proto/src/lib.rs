@@ -23,6 +23,9 @@
 //! shard-to-shard side of the control plane: the versioned frame format
 //! the distributed arbiter peers speak over a real transport.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod codec;
 pub mod exchange;
 pub mod filter;

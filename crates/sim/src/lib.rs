@@ -18,6 +18,8 @@
 //! The entry point is [`Simulation`]; see `examples/datacenter_sim.rs` at
 //! the workspace root for typical usage.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod metrics;
 pub mod packet;

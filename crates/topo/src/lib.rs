@@ -16,6 +16,8 @@
 //! Everything is deterministic: the same inputs always produce the same
 //! paths, which the simulator and the allocator both rely on.
 
+#![forbid(unsafe_code)]
+
 pub mod clos;
 pub mod ids;
 pub mod link;

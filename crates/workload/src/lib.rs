@@ -15,6 +15,8 @@
 //! most allocator update traffic), Cache intermediate objects, Hadoop the
 //! heavy tail.
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod facebook;
 pub mod generator;

@@ -55,4 +55,6 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use flowtune as core;

@@ -235,10 +235,17 @@ fn rows() -> Vec<RowSpec> {
         row("gradient", Engine::Gradient, 0, None),
         row("sharded2", Engine::Serial.sharded(2), 0, None),
         row("sharded2x1", Engine::Serial.sharded(2), 1, None),
-        // The wire row: the same 2-shard per-tick exchange as
-        // `sharded2x1`, but each shard is a `ShardPeer` and every frame
-        // crosses a real Unix-domain socket. The gap between the two is
-        // the price of serialization plus the kernel round-trip.
+        // The wire rows: the same 2-shard per-tick exchange as
+        // `sharded2x1`, but each shard is a `ShardPeer` with the async
+        // receiver runtime (mailbox threads + non-blocking barrier).
+        // `sharded2mem` runs it over the in-memory channel mesh — the
+        // runtime's own cost with no kernel in the path; `sharded2uds`
+        // adds real Unix-domain sockets — serialization plus the kernel
+        // round-trip.
+        RowSpec {
+            wire: WireTransport::Mem,
+            ..row("sharded2mem", Engine::Serial.sharded(2), 1, None)
+        },
         RowSpec {
             wire: WireTransport::Uds,
             ..row("sharded2uds", Engine::Serial.sharded(2), 1, None)
@@ -614,6 +621,7 @@ mod tests {
         let labels: Vec<&str> = rows().iter().map(|r| r.label).collect();
         for needed in [
             "serial",
+            "sharded2mem",
             "sharded2uds",
             "sharded4seq",
             "sharded4par",

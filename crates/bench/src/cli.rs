@@ -1,6 +1,8 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
-use flowtune::{AllocatorService, BoxTickDriver, Engine, FlowtuneConfig, PlacementSpec};
+use flowtune::{
+    AllocatorService, BoxTickDriver, Engine, ExchangeConfig, FlowtuneConfig, PlacementSpec,
+};
 use flowtune_net::{mem_mesh, tcp_mesh, uds_mesh, PeerCluster, ShardPeer, Transport};
 use flowtune_topo::TwoTierClos;
 
@@ -141,9 +143,13 @@ pub fn wire_cluster(
         timeout: std::time::Duration,
         transports: Vec<T>,
     ) -> PeerCluster<T> {
+        let exchange = ExchangeConfig::from_flowtune(&cfg).round_timeout(timeout);
         let peers = transports
             .into_iter()
-            .map(|t| ShardPeer::new(AllocatorService::new(fabric, cfg), t, timeout))
+            .map(|t| {
+                ShardPeer::new(AllocatorService::new(fabric, cfg), t, exchange)
+                    .expect("bench mesh transports split infallibly")
+            })
             .collect();
         PeerCluster::from_peers(peers)
     }

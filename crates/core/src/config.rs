@@ -1,6 +1,92 @@
 //! System configuration.
 
+use std::time::Duration;
+
 use crate::placement::PlacementSpec;
+
+/// The exchange knobs, grouped: cadence, delta filter, and the peer
+/// runtime's round timeout and staleness bound. One value of this type
+/// configures both the in-process `ShardedService` exchange (which uses
+/// only [`ExchangeConfig::every`] and [`ExchangeConfig::delta_eps`] —
+/// in-process frames cannot be late) and a distributed `ShardPeer`
+/// (which uses all four).
+///
+/// Accepted whole by
+/// [`ServiceBuilder::exchange`](crate::ServiceBuilder::exchange) and by
+/// `ShardPeer::new`; the historical per-knob builder setters survive as
+/// deprecated forwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeConfig {
+    /// Exchange cadence in ticks ([`FlowtuneConfig::exchange_every`];
+    /// 0 disables the exchange).
+    pub every: u64,
+    /// Delta filter threshold
+    /// ([`FlowtuneConfig::exchange_delta_eps`]).
+    pub delta_eps: f64,
+    /// Peer runtime only: how long an exchange barrier waits for a
+    /// not-yet-stale peer's frame for the current round before
+    /// degrading to that peer's last-received state.
+    pub round_timeout: Duration,
+    /// Peer runtime only: the staleness bound. A peer that has missed
+    /// this many consecutive barriers is waited for again (up to
+    /// [`ExchangeConfig::round_timeout`]) at *every* subsequent barrier
+    /// until it recovers — throttling a healthy shard rather than
+    /// letting it run unboundedly ahead of a laggard's state. `0`
+    /// disables the throttle: stale peers are only ever polled
+    /// non-blocking, and drift is unbounded.
+    pub max_rounds_behind: u64,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            every: 0,
+            delta_eps: 0.0,
+            round_timeout: Duration::from_secs(1),
+            max_rounds_behind: 8,
+        }
+    }
+}
+
+impl ExchangeConfig {
+    /// The grouped view of `cfg`'s exchange knobs (cadence and delta
+    /// filter from `cfg`, peer-runtime knobs at their defaults).
+    pub fn from_flowtune(cfg: &FlowtuneConfig) -> Self {
+        ExchangeConfig {
+            every: cfg.exchange_every,
+            delta_eps: cfg.exchange_delta_eps,
+            ..ExchangeConfig::default()
+        }
+    }
+
+    /// Sets the exchange cadence in ticks (0 = off).
+    #[must_use]
+    pub fn every(mut self, ticks: u64) -> Self {
+        self.every = ticks;
+        self
+    }
+
+    /// Sets the delta filter threshold.
+    #[must_use]
+    pub fn delta_eps(mut self, eps: f64) -> Self {
+        self.delta_eps = eps;
+        self
+    }
+
+    /// Sets the peer runtime's per-round barrier timeout.
+    #[must_use]
+    pub fn round_timeout(mut self, timeout: Duration) -> Self {
+        self.round_timeout = timeout;
+        self
+    }
+
+    /// Sets the staleness bound (see the field docs; 0 = no throttle).
+    #[must_use]
+    pub fn max_rounds_behind(mut self, rounds: u64) -> Self {
+        self.max_rounds_behind = rounds;
+        self
+    }
+}
 
 /// Tunables of a Flowtune deployment, with the paper's values as defaults.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -154,5 +240,35 @@ mod tests {
         // Placement defaults to the historical contiguous ranges, so
         // existing sharded deployments keep their exact routing.
         assert_eq!(c.placement, PlacementSpec::Contiguous);
+    }
+
+    #[test]
+    fn exchange_config_groups_the_flowtune_knobs() {
+        // The grouped view mirrors the flat config's cadence and delta
+        // filter; the peer-runtime knobs default to a 1 s barrier and a
+        // staleness bound of 8 missed barriers.
+        let flat = FlowtuneConfig {
+            exchange_every: 4,
+            exchange_delta_eps: 1e-6,
+            ..FlowtuneConfig::default()
+        };
+        let ex = ExchangeConfig::from_flowtune(&flat);
+        assert_eq!(ex.every, 4);
+        assert_eq!(ex.delta_eps, 1e-6);
+        assert_eq!(ex.round_timeout, Duration::from_secs(1));
+        assert_eq!(ex.max_rounds_behind, 8);
+        // Chainable setters cover every knob.
+        let ex = ExchangeConfig::default()
+            .every(2)
+            .delta_eps(0.5)
+            .round_timeout(Duration::from_millis(20))
+            .max_rounds_behind(3);
+        assert_eq!(ex.every, 2);
+        assert_eq!(ex.delta_eps, 0.5);
+        assert_eq!(ex.round_timeout, Duration::from_millis(20));
+        assert_eq!(ex.max_rounds_behind, 3);
+        // The default cadence is "exchange off", matching the flat
+        // config's default.
+        assert_eq!(ExchangeConfig::default().every, 0);
     }
 }

@@ -88,7 +88,7 @@ pub mod service;
 pub mod sharded;
 pub mod token;
 
-pub use config::FlowtuneConfig;
+pub use config::{ExchangeConfig, FlowtuneConfig};
 pub use driver::{BoxTickDriver, PhaseTimings, TickDriver, TickLoop};
 pub use endpoint::EndpointAgent;
 pub use exchange::{ApplyError, ExchangeCore};
@@ -100,5 +100,5 @@ pub use service::{
     AllocatorService, DynAllocatorService, Engine, FlowMigration, ParseEngineError, ServiceBuilder,
     ServiceError, ServiceStats, ENGINE_NAMES,
 };
-pub use sharded::{merge_by_token, ShardedService};
+pub use sharded::{merge_by_token, merge_by_token_into, ShardedService};
 pub use token::TokenAllocator;

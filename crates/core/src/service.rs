@@ -371,10 +371,23 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the inter-shard exchange knobs as a group
+    /// ([`crate::ExchangeConfig`]): cadence and delta filter land in the
+    /// service config; the peer-runtime knobs (`round_timeout`,
+    /// `max_rounds_behind`) only matter when the same `ExchangeConfig`
+    /// is handed to a distributed `ShardPeer`. Only meaningful with
+    /// [`Engine::Sharded`] via [`ServiceBuilder::build_driver`].
+    pub fn exchange(mut self, exchange: crate::ExchangeConfig) -> Self {
+        self.cfg.exchange_every = exchange.every;
+        self.cfg.exchange_delta_eps = exchange.delta_eps;
+        self
+    }
+
     /// Sets the inter-shard link-state exchange cadence in ticks
     /// ([`crate::FlowtuneConfig::exchange_every`]; 0 disables). Only
     /// meaningful with [`Engine::Sharded`] via
     /// [`ServiceBuilder::build_driver`].
+    #[deprecated(since = "0.9.0", note = "use `exchange(ExchangeConfig)` instead")]
     pub fn exchange_every(mut self, ticks: u64) -> Self {
         self.cfg.exchange_every = ticks;
         self
@@ -384,6 +397,7 @@ impl ServiceBuilder {
     /// ([`crate::FlowtuneConfig::exchange_delta_eps`]): only links whose
     /// load, dual or Hessian moved by more than `eps` since their last
     /// shipped values are re-shipped in an exchange round.
+    #[deprecated(since = "0.9.0", note = "use `exchange(ExchangeConfig)` instead")]
     pub fn exchange_delta_eps(mut self, eps: f64) -> Self {
         self.cfg.exchange_delta_eps = eps;
         self
@@ -1137,6 +1151,32 @@ mod tests {
         assert_eq!(svc.cfg.update_threshold, 0.02);
         assert_eq!(svc.cfg.iterations_per_tick, 3);
         assert_eq!(svc.engine_name(), "serial");
+    }
+
+    #[test]
+    fn grouped_exchange_config_reaches_the_flat_config() {
+        let svc = AllocatorService::builder()
+            .fabric(&fabric())
+            .exchange(crate::ExchangeConfig::default().every(4).delta_eps(1e-6))
+            .build()
+            .unwrap();
+        assert_eq!(svc.cfg.exchange_every, 4);
+        assert_eq!(svc.cfg.exchange_delta_eps, 1e-6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_exchange_setters_still_forward() {
+        // The pre-grouping per-knob setters must keep working while
+        // callers migrate to `exchange(ExchangeConfig)`.
+        let svc = AllocatorService::builder()
+            .fabric(&fabric())
+            .exchange_every(3)
+            .exchange_delta_eps(0.25)
+            .build()
+            .unwrap();
+        assert_eq!(svc.cfg.exchange_every, 3);
+        assert_eq!(svc.cfg.exchange_delta_eps, 0.25);
     }
 
     #[test]

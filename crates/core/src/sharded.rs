@@ -886,25 +886,40 @@ pub fn merge_by_token(mut streams: Vec<Vec<(u16, Message)>>) -> Vec<(u16, Messag
         // Single shard: the stream is already the merged order.
         return streams.pop().expect("len checked");
     }
-    let total = streams.iter().map(Vec::len).sum();
-    let mut iters: Vec<_> = streams
-        .into_iter()
-        .map(|v| v.into_iter().peekable())
-        .collect();
+    let mut out = Vec::new();
+    merge_by_token_into(&mut streams, &mut out);
+    out
+}
+
+/// [`merge_by_token`] into a caller-owned buffer: clears `out`, drains
+/// every stream in `streams` (their capacity survives for reuse), and
+/// appends the merged order. A steady-state tick whose streams are all
+/// empty allocates nothing, which is what lets a peer cluster's
+/// `try_tick_into` run alloc-free once rates converge.
+pub fn merge_by_token_into(streams: &mut [Vec<(u16, Message)>], out: &mut Vec<(u16, Message)>) {
+    out.clear();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    if total == 0 {
+        return;
+    }
+    out.reserve(total);
+    if streams.len() == 1 {
+        out.append(&mut streams[0]);
+        return;
+    }
+    let mut iters: Vec<_> = streams.iter_mut().map(|v| v.drain(..).peekable()).collect();
     let mut heap: BinaryHeap<Reverse<(Token, usize)>> = BinaryHeap::with_capacity(iters.len());
     for (i, it) in iters.iter_mut().enumerate() {
         if let Some((_, msg)) = it.peek() {
             heap.push(Reverse((update_token(msg), i)));
         }
     }
-    let mut out: Vec<(u16, Message)> = Vec::with_capacity(total);
     while let Some(Reverse((_, i))) = heap.pop() {
         out.push(iters[i].next().expect("heap entry implies a stream head"));
         if let Some((_, msg)) = iters[i].peek() {
             heap.push(Reverse((update_token(msg), i)));
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -1047,9 +1062,22 @@ mod tests {
             vec![upd(2), upd(5), upd(6), upd(11)],
             vec![upd(7)],
         ];
-        let merged = merge_by_token(streams);
+        let merged = merge_by_token(streams.clone());
         let tokens: Vec<u32> = merged.iter().map(|(_, m)| update_token(m).get()).collect();
         assert_eq!(tokens, vec![1, 2, 3, 4, 5, 6, 7, 9, 10, 11]);
+        // The buffer-reuse variant produces the same order, drains the
+        // streams in place, and keeps their capacity for the next tick.
+        let mut streams = streams;
+        let caps: Vec<usize> = streams.iter().map(Vec::capacity).collect();
+        let mut out = Vec::new();
+        merge_by_token_into(&mut streams, &mut out);
+        assert_eq!(out, merged);
+        assert!(streams.iter().all(Vec::is_empty));
+        let kept: Vec<usize> = streams.iter().map(Vec::capacity).collect();
+        assert_eq!(kept, caps);
+        // All-empty streams leave `out` empty without reallocating it.
+        merge_by_token_into(&mut streams, &mut out);
+        assert!(out.is_empty());
         // The src halves ride along with their messages.
         assert!(merged
             .iter()

@@ -143,11 +143,21 @@ pub const HOT_MODULES: &[HotModule] = &[
     },
     HotModule {
         path: "crates/net/src/peer.rs",
-        hot_fns: &["tick_export", "exchange_finish", "broadcast_frame_buf"],
+        hot_fns: &[
+            "tick_export",
+            "exchange_finish",
+            "collect_slot",
+            "tick_into",
+            "broadcast_frame_buf",
+        ],
+    },
+    HotModule {
+        path: "crates/net/src/runtime.rs",
+        hot_fns: &["receive_loop", "pop_with", "recycle"],
     },
     HotModule {
         path: "crates/net/src/cluster.rs",
-        hot_fns: &["try_tick", "tick"],
+        hot_fns: &["try_tick", "try_tick_into", "tick"],
     },
 ];
 
@@ -173,11 +183,26 @@ pub const PANIC_SCOPES: &[PanicScope] = &[
     },
     PanicScope {
         path: "crates/net/src/peer.rs",
-        fns: &["exchange_finish", "gather_epoch"],
+        fns: &[
+            "exchange_finish",
+            "collect_slot",
+            "closed_error",
+            "gather_epoch",
+        ],
+    },
+    PanicScope {
+        path: "crates/net/src/runtime.rs",
+        fns: &[
+            "receive_loop",
+            "pop_with",
+            "recycle",
+            "take_failure",
+            "lock",
+        ],
     },
     PanicScope {
         path: "crates/net/src/cluster.rs",
-        fns: &["try_tick"],
+        fns: &["try_tick", "try_tick_into"],
     },
     PanicScope {
         path: "crates/core/src/exchange.rs",

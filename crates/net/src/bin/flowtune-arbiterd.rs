@@ -8,8 +8,15 @@
 //! `cross_shard_incast` test pins), drives `--ticks` allocator ticks
 //! with the wire exchange every `--exchange-every` ticks, and prints
 //! machine-readable `key=value` lines: each owned flow's converged rate
-//! (with its exact bit pattern) and the shard's exchange / wire
-//! counters.
+//! (with its exact bit pattern), the shard's exchange / wire counters,
+//! and one `lag` line per remote peer with the staleness view
+//! (`behind`/`peak`/`fresh_round`) the async barrier kept.
+//!
+//! For latency-fault drills, `FLOWTUNE_PEER_DELAY=shard:ms:rounds`
+//! makes the named shard sleep `ms` before each of its first `rounds`
+//! ticks; demo mode passes the variable through to its children and
+//! then asserts the healthy peers both kept ticking and reported the
+//! laggard's staleness.
 //!
 //! Demo mode (`--demo N`) spawns N peer processes of itself, computes
 //! the unsharded reference allocation in-process, and asserts what the
@@ -22,7 +29,7 @@ use std::io::{self, Write};
 use std::process::{Command, Stdio};
 use std::time::Duration;
 
-use flowtune::{AllocatorService, FlowtuneConfig, Placement};
+use flowtune::{AllocatorService, ExchangeConfig, FlowtuneConfig, Placement};
 use flowtune_net::{tcp_connect, uds_connect, ShardPeer, Transport};
 use flowtune_proto::{Message, Token};
 use flowtune_topo::{ClosConfig, FlowId, TwoTierClos};
@@ -49,8 +56,16 @@ Options:
   --base-port P        first TCP port, peer i binds P+i (tcp; demo probes one)
   --ticks N            allocator ticks to run (default 400)
   --exchange-every K   exchange cadence in ticks (default 1)
-  --timeout-ms M       per-peer round timeout (default 1000)
+  --timeout-ms M       round timeout waited on fresh peers (default 1000)
+  --max-behind B       stale rounds before a peer is waited on again;
+                       0 disables the bound (default 8)
   --help               this text
+
+Environment:
+  FLOWTUNE_PEER_DELAY=shard:ms:rounds
+                       the named shard sleeps ms before each of its
+                       first rounds ticks (latency-fault injection;
+                       demo mode forwards it to its children)
 ";
 
 #[derive(Debug, Clone)]
@@ -64,6 +79,7 @@ struct Opts {
     ticks: u64,
     exchange_every: u64,
     timeout_ms: u64,
+    max_behind: u64,
 }
 
 impl Default for Opts {
@@ -78,6 +94,7 @@ impl Default for Opts {
             ticks: 400,
             exchange_every: 1,
             timeout_ms: 1000,
+            max_behind: ExchangeConfig::default().max_rounds_behind,
         }
     }
 }
@@ -133,6 +150,11 @@ fn parse_opts() -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--timeout-ms: {e}"))?
             }
+            "--max-behind" => {
+                opts.max_behind = value("--max-behind")?
+                    .parse()
+                    .map_err(|e| format!("--max-behind: {e}"))?
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -179,10 +201,38 @@ fn incast_flows() -> Vec<(u32, u16)> {
 
 // ---------------------------------------------------------------- peer
 
+/// Parse `FLOWTUNE_PEER_DELAY`'s `shard:ms:rounds` spec.
+fn parse_delay_spec(spec: &str) -> Result<(u16, u64, u64), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [shard, ms, rounds] = parts.as_slice() else {
+        return Err(format!("delay spec {spec:?} is not shard:ms:rounds"));
+    };
+    Ok((
+        shard.parse().map_err(|e| format!("delay shard: {e}"))?,
+        ms.parse().map_err(|e| format!("delay ms: {e}"))?,
+        rounds.parse().map_err(|e| format!("delay rounds: {e}"))?,
+    ))
+}
+
+/// This shard's injected latency fault, if `FLOWTUNE_PEER_DELAY` names
+/// it: the sleep to take before each of the first `rounds` ticks.
+fn peer_delay(shard: u16) -> io::Result<Option<(Duration, u64)>> {
+    let Ok(spec) = std::env::var("FLOWTUNE_PEER_DELAY") else {
+        return Ok(None);
+    };
+    let (target, ms, rounds) =
+        parse_delay_spec(&spec).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    Ok((target == shard).then_some((Duration::from_millis(ms), rounds)))
+}
+
 fn run_peer_on<T: Transport>(transport: T, opts: &Opts) -> io::Result<()> {
     let fabric = fabric();
     let svc = AllocatorService::new(&fabric, config(opts.exchange_every));
-    let mut peer = ShardPeer::new(svc, transport, Duration::from_millis(opts.timeout_ms));
+    let exchange = ExchangeConfig::from_flowtune(&config(opts.exchange_every))
+        .round_timeout(Duration::from_millis(opts.timeout_ms))
+        .max_rounds_behind(opts.max_behind);
+    let mut peer = ShardPeer::new(svc, transport, exchange)?;
+    let delay = peer_delay(peer.shard())?;
     let placement = Placement::contiguous(fabric.config().server_count(), opts.shards as usize);
     let mine: Vec<(u32, u16)> = incast_flows()
         .into_iter()
@@ -192,7 +242,12 @@ fn run_peer_on<T: Transport>(transport: T, opts: &Opts) -> io::Result<()> {
         peer.on_message(start(&fabric, token, src, RECEIVER))
             .expect("demo workload is well-formed");
     }
-    for _ in 0..opts.ticks {
+    for tick in 0..opts.ticks {
+        if let Some((pause, rounds)) = delay {
+            if tick < rounds {
+                std::thread::sleep(pause);
+            }
+        }
         peer.tick()?;
     }
     let stdout = io::stdout();
@@ -223,6 +278,18 @@ fn run_peer_on<T: Transport>(transport: T, opts: &Opts) -> io::Result<()> {
         wire.rx_frames,
         wire.late_rounds,
     )?;
+    for l in &wire.peers {
+        writeln!(
+            out,
+            "lag peer={} behind={} peak={} fresh_round={} rx_bytes={} rx_frames={}",
+            l.peer,
+            l.rounds_behind,
+            l.peak_rounds_behind,
+            l.last_fresh_round,
+            l.rx_bytes,
+            l.rx_frames,
+        )?;
+    }
     Ok(())
 }
 
@@ -259,6 +326,8 @@ struct PeerReport {
     late_rounds: u64,
     rounds: u64,
     logical_bytes: u64,
+    /// `(peer, rounds_behind, peak_rounds_behind)` per remote peer.
+    lags: Vec<(u16, u64, u64)>,
 }
 
 fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -290,6 +359,15 @@ fn parse_report(stdout: &str, report: &mut PeerReport) -> Result<(), String> {
             report.tx_bytes = get("tx_bytes")?;
             report.rx_bytes = get("rx_bytes")?;
             report.late_rounds = get("late_rounds")?;
+        } else if line.starts_with("lag ") {
+            let get = |key: &str| -> Result<u64, String> {
+                field(line, key)
+                    .ok_or_else(|| format!("lag line without {key}"))?
+                    .parse()
+                    .map_err(|e| format!("{key}: {e}"))
+            };
+            let peer = u16::try_from(get("peer")?).map_err(|e| format!("peer: {e}"))?;
+            report.lags.push((peer, get("behind")?, get("peak")?));
         }
     }
     Ok(())
@@ -374,6 +452,8 @@ fn run_demo(opts: &Opts) -> Result<(), String> {
             .arg(opts.exchange_every.to_string())
             .arg("--timeout-ms")
             .arg(opts.timeout_ms.to_string())
+            .arg("--max-behind")
+            .arg(opts.max_behind.to_string())
             .stdout(Stdio::piped());
         if opts.transport == "uds" {
             cmd.arg("--dir").arg(&dir);
@@ -480,6 +560,40 @@ fn run_demo(opts: &Opts) -> Result<(), String> {
         if decode_ok { "ok" } else { "FAIL" }
     );
     ok &= decode_ok;
+
+    // The cluster-wide staleness view: for each shard, the worst any
+    // other peer ever observed of it.
+    let mut peak = vec![0u64; n as usize];
+    for report in &reports {
+        for &(peer, _, p) in &report.lags {
+            if let Some(slot) = peak.get_mut(usize::from(peer)) {
+                *slot = (*slot).max(p);
+            }
+        }
+    }
+    for (shard, p) in peak.iter().enumerate() {
+        println!("lag shard={shard} peak_behind={p}");
+    }
+
+    // Latency drill: when a delay was injected, the healthy peers must
+    // have finished anyway (they did — we parsed their reports) AND
+    // flagged the laggard's staleness instead of stalling behind it.
+    if let Ok(spec) = std::env::var("FLOWTUNE_PEER_DELAY") {
+        let (laggard, ms, rounds) = parse_delay_spec(&spec)?;
+        if n > 1 && laggard < n && ms > 0 && rounds > 0 {
+            // A sleep much longer than the round timeout must register
+            // at least one missed barrier per slept round; a milder one
+            // at least shows up once.
+            let floor = if ms >= 2 * opts.timeout_ms { rounds } else { 1 };
+            let seen = peak[usize::from(laggard)];
+            let lag_ok = seen >= floor;
+            println!(
+                "check laggard_flagged shard={laggard} peak_behind={seen} floor={floor} {}",
+                if lag_ok { "ok" } else { "FAIL" }
+            );
+            ok &= lag_ok;
+        }
+    }
 
     if ok {
         println!("demo: PASS");

@@ -13,20 +13,21 @@
 //! the benches use to price the wire.
 //!
 //! A cluster tick is split-phase across the peers — every peer runs
-//! [`ShardPeer::tick_export`] (tick + broadcast) before any peer runs
-//! [`ShardPeer::exchange_finish`] (collect + install) — so peers never
+//! [`ShardPeer::begin_round`] (tick + broadcast) before any peer's
+//! [`ExchangeRound`](crate::ExchangeRound) is finished (collect + install) — so peers never
 //! deadlock waiting for a frame a later peer has not produced yet, and
 //! the lockstep schedule reproduces the in-process barrier.
 
 use std::collections::HashMap;
-use std::io;
 
-use flowtune::{merge_by_token, FlowMigration, Placement, ServiceError, ServiceStats, TickDriver};
+use flowtune::{
+    merge_by_token_into, FlowMigration, Placement, ServiceError, ServiceStats, TickDriver,
+};
 use flowtune_alloc::{RateAllocator, SerialAllocator};
 use flowtune_proto::{Message, Token};
 use flowtune_topo::TwoTierClos;
 
-use crate::peer::ShardPeer;
+use crate::peer::{PeerError, PeerLag, ShardPeer, WireStats};
 use crate::transport::Transport;
 
 /// N [`ShardPeer`]s behind one [`TickDriver`] face (see the module
@@ -42,6 +43,9 @@ pub struct PeerCluster<T: Transport, E: RateAllocator = SerialAllocator> {
     local: ServiceStats,
     /// Monotonic placement-epoch counter for [`PeerCluster::replace`].
     epoch: u64,
+    /// Per-peer update-stream scratch, reused across ticks so a quiet
+    /// tick allocates nothing.
+    streams: Vec<Vec<(u16, Message)>>,
 }
 
 impl<T: Transport, E: RateAllocator> PeerCluster<T, E> {
@@ -93,12 +97,14 @@ impl<T: Transport, E: RateAllocator> PeerCluster<T, E> {
             peers.len(),
             "placement must map onto exactly the cluster's peers"
         );
+        let streams = peers.iter().map(|_| Vec::new()).collect();
         PeerCluster {
             peers,
             route: HashMap::new(),
             placement,
             local: ServiceStats::default(),
             epoch: 0,
+            streams,
         }
     }
 
@@ -123,23 +129,39 @@ impl<T: Transport, E: RateAllocator> PeerCluster<T, E> {
     }
 
     /// One lockstep tick of the whole cluster: every peer ticks and
-    /// broadcasts, then every peer collects and installs, then the
-    /// per-peer update streams are k-way merged into one token-ordered
-    /// stream (same merge as the in-process service).
+    /// broadcasts, then every peer runs its exchange barrier and
+    /// installs, then the per-peer update streams are k-way merged into
+    /// one token-ordered stream (same merge as the in-process service).
     ///
     /// # Errors
-    /// The first peer transport error encountered; the tick's update
-    /// stream is dropped.
-    pub fn try_tick(&mut self) -> io::Result<Vec<(u16, Message)>> {
-        // flowtune-lint: allow(hot-path-alloc, "O(peers) stream list per tick, not per flow")
-        let mut streams = Vec::with_capacity(self.peers.len());
-        for peer in &mut self.peers {
-            streams.push(peer.tick_export()?);
+    /// The first [`PeerError`] encountered; the tick's update stream is
+    /// dropped.
+    pub fn try_tick(&mut self) -> Result<Vec<(u16, Message)>, PeerError> {
+        // flowtune-lint: allow(hot-path-alloc, "owned-stream convenience entry; steady-state drivers use try_tick_into")
+        let mut out = Vec::new();
+        self.try_tick_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`PeerCluster::try_tick`] into a caller-owned buffer: `out` is
+    /// cleared and receives the merged update stream. In the converged
+    /// steady state (no updates) this allocates nothing.
+    ///
+    /// # Errors
+    /// The first [`PeerError`] encountered; the tick's update stream is
+    /// dropped.
+    pub fn try_tick_into(&mut self, out: &mut Vec<(u16, Message)>) -> Result<(), PeerError> {
+        out.clear();
+        for (peer, stream) in self.peers.iter_mut().zip(self.streams.iter_mut()) {
+            stream.clear();
+            let mut updates = peer.tick_export()?;
+            stream.append(&mut updates);
         }
         for peer in &mut self.peers {
             peer.exchange_finish()?;
         }
-        Ok(merge_by_token(streams))
+        merge_by_token_into(&mut self.streams, out);
+        Ok(())
     }
 
     /// Installs a new [`Placement`] — a distributed **re-placement
@@ -155,12 +177,12 @@ impl<T: Transport, E: RateAllocator> PeerCluster<T, E> {
     /// flows migrated.
     ///
     /// # Errors
-    /// A transport failure; an epoch is a barrier, so a missing peer
-    /// frame is an error, not a late round.
+    /// A [`PeerError`]; an epoch is a barrier, so a missing peer frame
+    /// is an error, not a late round.
     ///
     /// # Panics
     /// Panics if the placement's shape does not match this cluster.
-    pub fn replace(&mut self, placement: Placement) -> io::Result<usize> {
+    pub fn replace(&mut self, placement: Placement) -> Result<usize, PeerError> {
         assert_eq!(
             placement.servers(),
             self.placement.servers(),
@@ -213,9 +235,18 @@ impl<T: Transport, E: RateAllocator> PeerCluster<T, E> {
         Ok(moved)
     }
 
-    /// Sum of the peers' on-wire transport counters.
-    pub fn wire_stats(&self) -> crate::peer::WireStats {
-        let mut total = crate::peer::WireStats::default();
+    /// The peers' on-wire transport counters: totals summed, plus the
+    /// cluster-level staleness view — one [`PeerLag`] per shard, with
+    /// `rounds_behind`/`last_fresh_round` the worst any other peer
+    /// observed of it and the receive counters summed across observers.
+    pub fn wire_stats(&self) -> WireStats {
+        let mut total = WireStats::default();
+        let mut lags: Vec<PeerLag> = (0..self.peers.len() as u16)
+            .map(|peer| PeerLag {
+                peer,
+                ..PeerLag::default()
+            })
+            .collect();
         for peer in &self.peers {
             let w = peer.wire_stats();
             total.tx_bytes += w.tx_bytes;
@@ -223,7 +254,18 @@ impl<T: Transport, E: RateAllocator> PeerCluster<T, E> {
             total.tx_frames += w.tx_frames;
             total.rx_frames += w.rx_frames;
             total.late_rounds += w.late_rounds;
+            for l in &w.peers {
+                let Some(agg) = lags.get_mut(usize::from(l.peer)) else {
+                    continue;
+                };
+                agg.rounds_behind = agg.rounds_behind.max(l.rounds_behind);
+                agg.peak_rounds_behind = agg.peak_rounds_behind.max(l.peak_rounds_behind);
+                agg.last_fresh_round = agg.last_fresh_round.max(l.last_fresh_round);
+                agg.rx_bytes += l.rx_bytes;
+                agg.rx_frames += l.rx_frames;
+            }
         }
+        total.peers = lags;
         total
     }
 }
@@ -261,12 +303,12 @@ impl<T: Transport, E: RateAllocator> TickDriver for PeerCluster<T, E> {
     }
 
     /// # Panics
-    /// Panics on a transport failure; use [`PeerCluster::try_tick`]
-    /// for an error instead.
+    /// Panics on a peer failure; use [`PeerCluster::try_tick`] for an
+    /// error instead.
     fn tick(&mut self) -> Vec<(u16, Message)> {
         match self.try_tick() {
             Ok(updates) => updates,
-            Err(e) => panic!("cluster transport failed: {e}"),
+            Err(e) => panic!("cluster peer failed: {e}"),
         }
     }
 
@@ -351,7 +393,7 @@ impl<T: Transport, E: RateAllocator> TickDriver for PeerCluster<T, E> {
 mod tests {
     use std::time::Duration;
 
-    use flowtune::{AllocatorService, FlowtuneConfig, ShardedService};
+    use flowtune::{AllocatorService, ExchangeConfig, FlowtuneConfig, ShardedService};
     use flowtune_topo::{ClosConfig, TwoTierClos};
 
     use super::*;
@@ -377,14 +419,12 @@ mod tests {
         cfg: FlowtuneConfig,
         n: usize,
     ) -> PeerCluster<crate::transport::MemTransport> {
+        let exchange = ExchangeConfig::from_flowtune(&cfg).round_timeout(Duration::from_secs(5));
         let peers = mem_mesh(n)
             .into_iter()
             .map(|t| {
-                ShardPeer::new(
-                    AllocatorService::new(fabric, cfg),
-                    t,
-                    Duration::from_secs(5),
-                )
+                ShardPeer::new(AllocatorService::new(fabric, cfg), t, exchange)
+                    .expect("mem transport splits infallibly")
             })
             .collect();
         PeerCluster::from_peers(peers)

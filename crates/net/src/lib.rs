@@ -6,23 +6,38 @@
 //! shards inside one process; this crate takes the next step and puts
 //! the shards in separate processes (or hosts). The pieces:
 //!
-//! * [`Transport`] — moves encoded exchange frames between peers and
-//!   reports on-wire bytes. Three implementations: the in-process
-//!   [`MemTransport`] mesh (the bit-for-bit reference), length-prefixed
-//!   Unix-domain sockets ([`UdsTransport`]) and TCP
-//!   ([`TcpTransport`]).
-//! * [`BufferPool`] — size-classed recycling for frame buffers in
-//!   flight, so the steady-state exchange allocates nothing.
+//! * [`Transport`] — a connected mesh endpoint that [`Transport::split`]s
+//!   into a [`Sender`] half (kept by the tick thread) and one [`Receiver`]
+//!   half per remote peer (each moved onto its own receiver thread).
+//!   Three implementations: the in-process [`MemTransport`] mesh (the
+//!   bit-for-bit reference), length-prefixed Unix-domain sockets
+//!   ([`UdsTransport`]) and TCP ([`TcpTransport`]).
+//! * [`RecvRuntime`] — the async peer runtime: one thread per remote
+//!   peer drains its receiver into a per-peer mailbox, so frames are
+//!   pulled off the wire the moment they arrive instead of when the
+//!   tick loop gets around to a blocking `recv`. Frame buffers recycle
+//!   through a shared [`BufferPool`], keeping the steady state
+//!   allocation-free.
 //! * [`ShardPeer`] — one shard's `AllocatorService` plus its side of
 //!   the exchange (the same `ExchangeCore` the in-process service
-//!   runs), tolerating late or lost rounds by installing from
-//!   last-shipped state.
-//! * [`PeerCluster`] — a lockstep `TickDriver` over a set of peers,
-//!   replicating the in-process routing layer exactly; over
-//!   [`MemTransport`] it is bit-for-bit identical to `ShardedService`.
+//!   runs). [`ShardPeer::begin_round`] opens an [`ExchangeRound`] that
+//!   broadcasts this shard's frame; [`ExchangeRound::finish`] is a
+//!   staleness-aware barrier over the mailboxes: a peer that was fresh
+//!   last round is awaited up to the configured round timeout, a peer
+//!   already behind is only polled (its frames install whenever they
+//!   arrive), and a peer behind by `max_rounds_behind` rounds is
+//!   awaited again so the lag stays bounded. Stale rounds install from
+//!   last-shipped state; per-peer [`PeerLag`] (current and peak
+//!   `rounds_behind`) is surfaced through [`WireStats`].
+//! * [`PeerCluster`] — a `TickDriver` over a set of peers, replicating
+//!   the in-process routing layer exactly; when every frame is on time
+//!   it is bit-for-bit identical to `ShardedService`, over every
+//!   transport.
 //! * `flowtune-arbiterd` (this crate's binary) — one shard peer per
 //!   process, plus a `--demo` launcher that spawns an N-process
-//!   cluster and checks it converges to the unsharded optimum.
+//!   cluster, checks it converges to the unsharded optimum, reports
+//!   per-peer staleness, and (via `FLOWTUNE_PEER_DELAY=shard:ms:rounds`)
+//!   doubles as a latency-injection drill.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,12 +45,15 @@
 pub mod cluster;
 pub mod peer;
 pub mod pool;
+pub mod runtime;
 pub mod transport;
 
 pub use cluster::PeerCluster;
-pub use peer::{ShardPeer, WireStats};
+pub use peer::{ExchangeRound, PeerError, PeerLag, ShardPeer, WireStats};
 pub use pool::BufferPool;
+pub use runtime::{Polled, RecvRuntime};
 pub use transport::{
     mem_mesh, tcp_connect, tcp_mesh, uds_connect, uds_mesh, uds_socket_path, FrameStream,
-    MemTransport, SocketTransport, TcpTransport, Transport, UdsTransport,
+    MemReceiver, MemSender, MemTransport, Receiver, Sender, SocketReceiver, SocketSender,
+    SocketTransport, TcpTransport, Transport, UdsTransport,
 };

@@ -128,6 +128,54 @@ mod tests {
     }
 
     #[test]
+    fn put_floor_get_ceil_invariant_holds_under_racing_receivers() {
+        use std::sync::{Arc, Mutex};
+
+        // The class math that makes pooling sound: a put files a buffer
+        // under the largest power of two its capacity covers (floor), a
+        // get looks up the smallest power of two covering the request
+        // (ceil) — so anything a get finds in its class is big enough.
+        for cap in 1usize..=4096 {
+            let stored = class_for_put(cap);
+            assert!(1usize << stored <= cap, "put floor broke at {cap}");
+            let served = class_for_get(cap);
+            assert!(1usize << served >= cap, "get ceil broke at {cap}");
+        }
+
+        // And the end-to-end form the receiver threads rely on: threads
+        // racing put/get through the shared pool never receive a buffer
+        // shorter than they asked for, whatever interleaving the
+        // scheduler picks.
+        let pool = Arc::new(Mutex::new(BufferPool::new()));
+        let workers: Vec<_> = (0..4u64)
+            .map(|seed| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    for _ in 0..2_000 {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        let want = 1 + (rng as usize % 2048);
+                        let buf = pool.lock().unwrap().get(want);
+                        assert!(
+                            buf.capacity() >= want,
+                            "pool handed back {} bytes for a {want}-byte get",
+                            buf.capacity()
+                        );
+                        pool.lock().unwrap().put(buf);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("pool worker panicked");
+        }
+        let p = pool.lock().unwrap();
+        assert_eq!(p.hits() + p.misses(), 4 * 2_000);
+    }
+
+    #[test]
     fn class_overflow_drops_instead_of_growing() {
         let mut pool = BufferPool::new();
         for _ in 0..(MAX_PER_CLASS + 10) {

@@ -102,14 +102,12 @@ impl From<TransportError> for io::Error {
     }
 }
 
-/// Moves encoded exchange frames between the peers of one cluster.
-///
-/// `send` must deliver whole frames: a `recv` on the other side yields
-/// exactly the bytes of one `send`, in order, per directed peer pair.
-/// Both directions report on-wire bytes ([`framed_wire_bytes`] of the
-/// frame length) so a peer can account what its transport actually
-/// moved.
-pub trait Transport: std::fmt::Debug + Send {
+/// The send half of a split [`Transport`]: ships whole frames to any
+/// peer. A [`Receiver`] on the other side yields exactly the bytes of
+/// one `send`, in order, per directed peer pair. Reports on-wire bytes
+/// ([`framed_wire_bytes`] of the frame length) so a peer can account
+/// what its transport actually moved.
+pub trait Sender: std::fmt::Debug + Send {
     /// This endpoint's shard id.
     fn shard(&self) -> u16;
 
@@ -122,17 +120,50 @@ pub trait Transport: std::fmt::Debug + Send {
     /// An [`io::Error`] from the underlying channel; the frame may or
     /// may not have been delivered.
     fn send(&mut self, to: u16, frame: &[u8]) -> io::Result<u64>;
+}
 
-    /// Receive the next frame from peer `from` into `buf` (cleared
-    /// first), returning its on-wire bytes — or `None` when `timeout`
-    /// elapsed before a frame *started* arriving (the caller falls back
-    /// to its last-installed state for the round).
+/// The receive half of a split [`Transport`] for **one** remote peer:
+/// the unit a receiver thread owns. Splitting per peer is what lets the
+/// mailbox runtime block on every peer concurrently — no peer's silence
+/// can stall another peer's frames.
+pub trait Receiver: std::fmt::Debug + Send + 'static {
+    /// The remote peer this half receives from.
+    fn remote_peer(&self) -> u16;
+
+    /// Receive the next frame into `buf` (cleared first), returning its
+    /// on-wire bytes — or `None` when `timeout` elapsed before a frame
+    /// *started* arriving.
     ///
     /// # Errors
     /// An [`io::Error`] from the underlying channel, including a
     /// timeout that struck mid-frame (a torn frame is a peer failure,
     /// not a late round).
-    fn recv(&mut self, from: u16, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<Option<u64>>;
+    fn recv(&mut self, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<Option<u64>>;
+}
+
+/// One unsplit endpoint of a frame mesh. Splitting yields the
+/// [`Sender`] half the tick loop keeps and one [`Receiver`] half per
+/// remote peer for the receiver threads; the mem/UDS/TCP meshes all
+/// feed the mailbox layer through exactly this seam.
+pub trait Transport: std::fmt::Debug + Send {
+    /// The send half this endpoint splits into.
+    type Tx: Sender;
+    /// The per-peer receive half this endpoint splits into.
+    type Rx: Receiver;
+
+    /// This endpoint's shard id.
+    fn shard(&self) -> u16;
+
+    /// Total peers in the mesh, this endpoint included.
+    fn peers(&self) -> usize;
+
+    /// Consume the endpoint into its send half and one receive half per
+    /// remote peer, in ascending shard order (this endpoint's own slot
+    /// skipped).
+    ///
+    /// # Errors
+    /// Duplicating a socket handle for the receive half failed.
+    fn split(self) -> io::Result<(Self::Tx, Vec<Self::Rx>)>;
 }
 
 // ---------------------------------------------------------------- memory
@@ -183,12 +214,68 @@ impl MemTransport {
     /// Buffer-pool `(hits, misses)` across the whole mesh — a warm
     /// exchange recycles every frame buffer it ships.
     pub fn pool_stats(&self) -> (u64, u64) {
-        let pool = self.mesh.pool.lock().expect("pool poisoned");
-        (pool.hits(), pool.misses())
+        mesh_pool_stats(&self.mesh)
+    }
+}
+
+fn mesh_pool_stats(mesh: &MemMesh) -> (u64, u64) {
+    let pool = mesh.pool.lock().expect("pool poisoned");
+    (pool.hits(), pool.misses())
+}
+
+/// The send half of a [`MemTransport`].
+#[derive(Debug)]
+pub struct MemSender {
+    mesh: Arc<MemMesh>,
+    me: u16,
+}
+
+/// The receive half of a [`MemTransport`] for one remote peer.
+#[derive(Debug)]
+pub struct MemReceiver {
+    mesh: Arc<MemMesh>,
+    me: u16,
+    from: u16,
+}
+
+impl MemSender {
+    /// Buffer-pool `(hits, misses)` across the whole mesh — a warm
+    /// exchange recycles every frame buffer it ships.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        mesh_pool_stats(&self.mesh)
     }
 }
 
 impl Transport for MemTransport {
+    type Tx = MemSender;
+    type Rx = MemReceiver;
+
+    fn shard(&self) -> u16 {
+        self.me
+    }
+
+    fn peers(&self) -> usize {
+        self.mesh.n
+    }
+
+    fn split(self) -> io::Result<(MemSender, Vec<MemReceiver>)> {
+        let rxs = (0..self.mesh.n as u16)
+            .filter(|&from| from != self.me)
+            .map(|from| MemReceiver {
+                mesh: Arc::clone(&self.mesh),
+                me: self.me,
+                from,
+            })
+            .collect();
+        let tx = MemSender {
+            mesh: self.mesh,
+            me: self.me,
+        };
+        Ok((tx, rxs))
+    }
+}
+
+impl Sender for MemSender {
     fn shard(&self) -> u16 {
         self.me
     }
@@ -218,14 +305,17 @@ impl Transport for MemTransport {
         cv.notify_one();
         Ok(framed_wire_bytes(frame.len()))
     }
+}
 
-    fn recv(&mut self, from: u16, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<Option<u64>> {
+impl Receiver for MemReceiver {
+    fn remote_peer(&self) -> u16 {
+        self.from
+    }
+
+    fn recv(&mut self, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<Option<u64>> {
         let n = self.mesh.n;
-        if usize::from(from) >= n || from == self.me {
-            return Err(TransportError::NoSuchPeer { peer: from }.into());
-        }
-        // flowtune-lint: allow(panic, "bounded: from < n checked above, links holds n*n queues")
-        let (queue, cv) = &self.mesh.links[usize::from(from) * n + usize::from(self.me)];
+        // flowtune-lint: allow(panic, "bounded: from < n held by construction, links holds n*n queues")
+        let (queue, cv) = &self.mesh.links[usize::from(self.from) * n + usize::from(self.me)];
         let deadline = Instant::now() + timeout;
         let mut q = queue
             .lock()
@@ -263,23 +353,41 @@ impl Transport for MemTransport {
 
 /// A bidirectional byte stream a [`SocketTransport`] can frame over:
 /// Unix-domain or TCP stream sockets.
-pub trait FrameStream: Read + Write + Send + std::fmt::Debug {
+pub trait FrameStream: Read + Write + Send + std::fmt::Debug + 'static {
     /// Set the stream's read timeout (`None` = block forever).
     ///
     /// # Errors
     /// An [`io::Error`] from the socket layer.
     fn set_stream_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Duplicate the handle: both halves refer to the same underlying
+    /// socket, which is what lets a receiver thread read while the tick
+    /// loop writes (stream sockets are full-duplex).
+    ///
+    /// # Errors
+    /// An [`io::Error`] from the socket layer.
+    fn try_clone_stream(&self) -> io::Result<Self>
+    where
+        Self: Sized;
 }
 
 impl FrameStream for UnixStream {
     fn set_stream_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         self.set_read_timeout(timeout)
     }
+
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
 }
 
 impl FrameStream for TcpStream {
     fn set_stream_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         self.set_read_timeout(timeout)
+    }
+
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
     }
 }
 
@@ -315,7 +423,27 @@ pub type UdsTransport = SocketTransport<UnixStream>;
 /// round must not sit in Nagle's buffer).
 pub type TcpTransport = SocketTransport<TcpStream>;
 
-impl<S: FrameStream> SocketTransport<S> {
+/// The send half of a [`SocketTransport`]: the write side of every
+/// peer's stream.
+#[derive(Debug)]
+pub struct SocketSender<S: FrameStream> {
+    me: u16,
+    /// Stream to each peer, `None` at the own index.
+    streams: Vec<Option<S>>,
+}
+
+/// The receive half of a [`SocketTransport`] for one remote peer: a
+/// duplicated handle of that peer's stream, read side only.
+#[derive(Debug)]
+pub struct SocketReceiver<S: FrameStream> {
+    from: u16,
+    stream: S,
+    /// The read timeout currently applied to the socket, so a steady
+    /// polling cadence costs one syscall, not one per poll.
+    applied_timeout: Option<Duration>,
+}
+
+impl<S: FrameStream> SocketSender<S> {
     fn stream(&mut self, peer: u16) -> io::Result<&mut S> {
         self.streams
             .get_mut(usize::from(peer))
@@ -360,6 +488,37 @@ fn read_full<S: FrameStream>(
 }
 
 impl<S: FrameStream> Transport for SocketTransport<S> {
+    type Tx = SocketSender<S>;
+    type Rx = SocketReceiver<S>;
+
+    fn shard(&self) -> u16 {
+        self.me
+    }
+
+    fn peers(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn split(self) -> io::Result<(SocketSender<S>, Vec<SocketReceiver<S>>)> {
+        let mut rxs = Vec::new();
+        for (from, slot) in self.streams.iter().enumerate() {
+            if let Some(s) = slot {
+                rxs.push(SocketReceiver {
+                    from: from as u16,
+                    stream: s.try_clone_stream()?,
+                    applied_timeout: None,
+                });
+            }
+        }
+        let tx = SocketSender {
+            me: self.me,
+            streams: self.streams,
+        };
+        Ok((tx, rxs))
+    }
+}
+
+impl<S: FrameStream> Sender for SocketSender<S> {
     fn shard(&self) -> u16 {
         self.me
     }
@@ -377,20 +536,29 @@ impl<S: FrameStream> Transport for SocketTransport<S> {
         s.flush()?;
         Ok(framed_wire_bytes(frame.len()))
     }
+}
 
-    fn recv(&mut self, from: u16, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<Option<u64>> {
-        let s = self.stream(from)?;
+impl<S: FrameStream> Receiver for SocketReceiver<S> {
+    fn remote_peer(&self) -> u16 {
+        self.from
+    }
+
+    fn recv(&mut self, buf: &mut Vec<u8>, timeout: Duration) -> io::Result<Option<u64>> {
         // A zero read timeout means "block forever" to the socket
         // layer; clamp to the smallest real window instead.
-        s.set_stream_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let timeout = Some(timeout.max(Duration::from_millis(1)));
+        if self.applied_timeout != timeout {
+            self.stream.set_stream_timeout(timeout)?;
+            self.applied_timeout = timeout;
+        }
         let mut prefix = [0u8; 4];
-        if read_full(s, &mut prefix, true)?.is_none() {
+        if read_full(&mut self.stream, &mut prefix, true)?.is_none() {
             return Ok(None);
         }
         let len = u32::from_be_bytes(prefix) as usize;
         buf.clear();
         buf.resize(len, 0);
-        read_full(s, buf, false)?;
+        read_full(&mut self.stream, buf, false)?;
         Ok(Some(framed_wire_bytes(len)))
     }
 }
@@ -602,25 +770,33 @@ pub fn tcp_mesh(base_port: u16, n: u16) -> io::Result<Vec<TcpTransport>> {
 mod tests {
     use super::*;
 
-    fn roundtrip_pair<T: Transport>(mut a: T, mut b: T) {
+    fn roundtrip_pair<T: Transport>(a: T, b: T) {
+        // Split both endpoints into their halves: the send half plus
+        // one receive half per remote peer (here exactly one each).
+        let (mut a_tx, mut a_rxs) = a.split().unwrap();
+        let (mut b_tx, mut b_rxs) = b.split().unwrap();
+        let a_rx = &mut a_rxs[0]; // receives from shard 1
+        let b_rx = &mut b_rxs[0]; // receives from shard 0
+        assert_eq!(a_rx.remote_peer(), 1);
+        assert_eq!(b_rx.remote_peer(), 0);
         let frame = vec![0xA5u8; 300];
-        let sent = a.send(1, &frame).unwrap();
+        let sent = a_tx.send(1, &frame).unwrap();
         assert_eq!(sent, framed_wire_bytes(300));
         let mut buf = Vec::new();
-        let got = b
-            .recv(0, &mut buf, Duration::from_secs(2))
+        let got = b_rx
+            .recv(&mut buf, Duration::from_secs(2))
             .unwrap()
             .expect("frame was sent");
         assert_eq!(got, sent);
         assert_eq!(buf, frame);
         // The reverse direction is independent.
-        b.send(0, &[1, 2, 3]).unwrap();
+        b_tx.send(0, &[1, 2, 3]).unwrap();
         let mut buf2 = Vec::new();
-        a.recv(1, &mut buf2, Duration::from_secs(2)).unwrap();
+        a_rx.recv(&mut buf2, Duration::from_secs(2)).unwrap();
         assert_eq!(buf2, [1, 2, 3]);
         // An empty timeout window reports a late round, not an error.
         assert_eq!(
-            a.recv(1, &mut buf2, Duration::from_millis(5)).unwrap(),
+            a_rx.recv(&mut buf2, Duration::from_millis(5)).unwrap(),
             None
         );
     }
@@ -636,15 +812,18 @@ mod tests {
     #[test]
     fn mem_mesh_preserves_frame_order_and_recycles_buffers() {
         let mut endpoints = mem_mesh(2);
-        let mut b = endpoints.pop().unwrap();
-        let mut a = endpoints.pop().unwrap();
+        let b = endpoints.pop().unwrap();
+        let a = endpoints.pop().unwrap();
+        let (mut a_tx, _a_rxs) = a.split().unwrap();
+        let (_b_tx, mut b_rxs) = b.split().unwrap();
+        let b_rx = &mut b_rxs[0];
         let mut buf = Vec::new();
         for round in 0..10u8 {
-            a.send(1, &[round; 64]).unwrap();
-            b.recv(0, &mut buf, Duration::from_secs(1)).unwrap();
+            a_tx.send(1, &[round; 64]).unwrap();
+            b_rx.recv(&mut buf, Duration::from_secs(1)).unwrap();
             assert_eq!(buf, [round; 64]);
         }
-        let (hits, misses) = a.pool_stats();
+        let (hits, misses) = a_tx.pool_stats();
         assert!(hits >= 8, "warm frames must recycle: {hits} hits");
         assert!(misses <= 2, "{misses} misses");
     }
@@ -652,11 +831,14 @@ mod tests {
     #[test]
     fn mem_mesh_rejects_self_and_out_of_range_peers() {
         let mut endpoints = mem_mesh(2);
-        let mut a = endpoints.remove(0);
-        assert!(a.send(0, &[1]).is_err(), "self-send");
-        assert!(a.send(7, &[1]).is_err(), "out of range");
-        let mut buf = Vec::new();
-        assert!(a.recv(0, &mut buf, Duration::from_millis(1)).is_err());
+        let a = endpoints.remove(0);
+        let (mut tx, rxs) = a.split().unwrap();
+        assert!(tx.send(0, &[1]).is_err(), "self-send");
+        assert!(tx.send(7, &[1]).is_err(), "out of range");
+        // The split yields no receive half for the own slot — only the
+        // one remote peer's.
+        assert_eq!(rxs.len(), 1);
+        assert_eq!(rxs[0].remote_peer(), 1);
     }
 
     #[test]
@@ -674,7 +856,14 @@ mod tests {
     fn uds_three_peer_mesh_is_fully_connected() {
         let dir = std::env::temp_dir().join(format!("flowtune-uds3-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let mut mesh = uds_mesh(&dir, 3).unwrap();
+        let mesh = uds_mesh(&dir, 3).unwrap();
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for t in mesh {
+            let (tx, rx) = t.split().unwrap();
+            txs.push(tx);
+            rxs.push(rx);
+        }
         // Every ordered pair carries its own frames.
         let mut buf = Vec::new();
         for from in 0..3u16 {
@@ -683,9 +872,12 @@ mod tests {
                     continue;
                 }
                 let payload = [from as u8, to as u8, 0xEE];
-                mesh[usize::from(from)].send(to, &payload).unwrap();
-                mesh[usize::from(to)]
-                    .recv(from, &mut buf, Duration::from_secs(2))
+                txs[usize::from(from)].send(to, &payload).unwrap();
+                let rx = rxs[usize::from(to)]
+                    .iter_mut()
+                    .find(|r| r.remote_peer() == from)
+                    .expect("a receive half per remote peer");
+                rx.recv(&mut buf, Duration::from_secs(2))
                     .unwrap()
                     .expect("frame was sent");
                 assert_eq!(buf, payload);

@@ -8,7 +8,11 @@
 //! * a quiet allocator service tick — engine iteration, changed-rate
 //!   export, update filtering — touches the heap zero times after
 //!   warm-up, with the incremental engine on or off, including the
-//!   periodic full-sweep ticks and `rates_into` reads of every rate.
+//!   periodic full-sweep ticks and `rates_into` reads of every rate;
+//! * a converged peer cluster over the mem transport — send path,
+//!   receiver threads, mailboxes, barrier, install, k-way merge —
+//!   recycles every frame buffer through the pools and ticks without
+//!   touching the heap (`PeerCluster::try_tick_into`).
 //!
 //! A counting `#[global_allocator]` makes the claims checkable without
 //! tooling: it counts every `alloc`/`realloc`/`alloc_zeroed` while the
@@ -201,4 +205,67 @@ fn steady_state_allocator_tick_allocates_nothing() {
         );
         assert_eq!(rates.len(), 32);
     }
+}
+
+#[test]
+fn steady_state_peer_cluster_tick_allocates_nothing() {
+    use std::time::Duration;
+
+    use flowtune::{ExchangeConfig, TickDriver};
+    use flowtune_net::{mem_mesh, PeerCluster, ShardPeer};
+    use flowtune_topo::FlowId;
+
+    let _window = WINDOW.lock().unwrap();
+    let fabric = TwoTierClos::build(ClosConfig::multicore(2, 2, 4));
+    let cfg = FlowtuneConfig {
+        exchange_every: 1,
+        ..FlowtuneConfig::default()
+    };
+    let exchange = ExchangeConfig::from_flowtune(&cfg).round_timeout(Duration::from_secs(5));
+    let peers: Vec<_> = mem_mesh(2)
+        .into_iter()
+        .map(|t| {
+            ShardPeer::new(AllocatorService::new(&fabric, cfg), t, exchange)
+                .expect("mem transport splits infallibly")
+        })
+        .collect();
+    let mut cluster = PeerCluster::from_peers(peers);
+    let mut token = 0u32;
+    for src in 0..16u16 {
+        let dst = (src + 5) % 16;
+        token += 1;
+        let spine = fabric.ecmp_spine(src as usize, dst as usize, FlowId(token as u64));
+        cluster
+            .on_message(Message::FlowletStart {
+                token: Token::new(token),
+                src,
+                dst,
+                size_hint: 1_000_000,
+                weight_q8: 256,
+                spine: spine as u8,
+            })
+            .unwrap();
+    }
+    let mut out = Vec::new();
+    // Warm-up: converge (quiet ticks, empty update streams) and size
+    // every reusable buffer — frame scratch, mailbox queues, the frame
+    // pools on both the send and receive side.
+    for _ in 0..300 {
+        cluster.try_tick_into(&mut out).expect("warm-up tick");
+    }
+
+    ALLOCS.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+    for _ in 0..MEASURED_ROUNDS {
+        cluster.try_tick_into(&mut out).expect("measured tick");
+        assert!(out.is_empty(), "quiet cluster ticks must suppress updates");
+    }
+    ENABLED.store(false, Ordering::Relaxed);
+
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        allocs, 0,
+        "steady-state peer cluster ticks must not allocate \
+         ({allocs} allocations over {MEASURED_ROUNDS} ticks, receiver threads included)"
+    );
 }

@@ -290,7 +290,7 @@ fn mem_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
     // invisible.
     use std::time::Duration;
 
-    use flowtune::TickDriver;
+    use flowtune::{ExchangeConfig, TickDriver};
     use flowtune_net::{mem_mesh, PeerCluster, ShardPeer};
 
     let fabric = fabric();
@@ -301,15 +301,14 @@ fn mem_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
                     exchange_every,
                     ..FlowtuneConfig::default()
                 };
+                let exchange =
+                    ExchangeConfig::from_flowtune(&cfg).round_timeout(Duration::from_secs(5));
                 let mut svc = ShardedService::new(&fabric, cfg, shards);
                 let peers: Vec<_> = mem_mesh(shards)
                     .into_iter()
                     .map(|t| {
-                        ShardPeer::new(
-                            AllocatorService::new(&fabric, cfg),
-                            t,
-                            Duration::from_secs(5),
-                        )
+                        ShardPeer::new(AllocatorService::new(&fabric, cfg), t, exchange)
+                            .expect("mem transport splits infallibly")
                     })
                     .collect();
                 let mut cluster = PeerCluster::from_peers(peers);
@@ -368,6 +367,94 @@ fn mem_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
                 }
                 assert_eq!(wire.late_rounds, 0);
             }
+        }
+    }
+}
+
+#[test]
+fn uds_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
+    // The same pin over a kernel transport: peers speaking the exchange
+    // over Unix-domain sockets — real syscalls, real socket buffers,
+    // the receiver threads draining a real wire — still reproduce the
+    // in-process ShardedService to the bit when every frame arrives on
+    // time. (Smaller matrix than the mem pin: the property is transport
+    // independence, the churn breadth is covered above.)
+    use std::time::Duration;
+
+    use flowtune::{ExchangeConfig, TickDriver};
+    use flowtune_net::{uds_mesh, PeerCluster, ShardPeer};
+
+    let fabric = fabric();
+    for shards in [2usize, 4] {
+        for seed in [7u64, 42] {
+            let cfg = FlowtuneConfig {
+                exchange_every: 1,
+                ..FlowtuneConfig::default()
+            };
+            let exchange =
+                ExchangeConfig::from_flowtune(&cfg).round_timeout(Duration::from_secs(5));
+            let mut svc = ShardedService::new(&fabric, cfg, shards);
+            let dir = std::env::temp_dir().join(format!(
+                "flowtune-equiv-uds-{}-{shards}-{seed}",
+                std::process::id()
+            ));
+            std::fs::create_dir_all(&dir).expect("socket dir");
+            let peers: Vec<_> = uds_mesh(&dir, shards as u16)
+                .expect("uds mesh bootstrap")
+                .into_iter()
+                .map(|t| {
+                    ShardPeer::new(AllocatorService::new(&fabric, cfg), t, exchange)
+                        .expect("connected uds transport splits")
+                })
+                .collect();
+            let mut cluster = PeerCluster::from_peers(peers);
+
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut token = 0u32;
+            let mut live: Vec<u32> = Vec::new();
+            for round in 0..60 {
+                if round % 3 == 0 {
+                    let r = xorshift(&mut rng);
+                    if r.is_multiple_of(4) && !live.is_empty() {
+                        let t = live.swap_remove((r >> 8) as usize % live.len());
+                        let end = Message::FlowletEnd {
+                            token: Token::new(t),
+                        };
+                        assert_eq!(svc.on_message(end), cluster.on_message(end));
+                    } else {
+                        token += 1;
+                        let src = (r % 16) as u16;
+                        let mut dst = ((r >> 16) % 16) as u16;
+                        if dst == src {
+                            dst = (dst + 1) % 16;
+                        }
+                        let msg = start(&fabric, token, src, dst);
+                        let a = svc.on_message(msg);
+                        assert_eq!(a, cluster.on_message(msg));
+                        if a.is_ok() {
+                            live.push(token);
+                        }
+                    }
+                }
+                let a = svc.tick();
+                let b = cluster.tick();
+                assert_eq!(
+                    a, b,
+                    "streams diverged over uds: {shards} shards, seed {seed}, round {round}"
+                );
+            }
+            for &t in &live {
+                assert_eq!(
+                    svc.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
+                    cluster.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
+                    "rate of token {t} diverged over uds ({shards} shards, seed {seed})"
+                );
+            }
+            assert_eq!(svc.stats(), cluster.stats());
+            let wire = cluster.wire_stats();
+            assert!(wire.tx_bytes > 0, "no bytes on the uds wire");
+            assert_eq!(wire.late_rounds, 0, "on-time frames must never be late");
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
 }

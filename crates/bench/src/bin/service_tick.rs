@@ -5,6 +5,9 @@
 //! concurrent (`sharded4par`) vs sequential (`sharded4seq`) 4-shard
 //! rows, whose ratio is the whole point of the per-shard-threads work:
 //! on a multi-core runner the parallel row must beat the sequential one.
+//! The `allreduce` and `permshift` rows price the scenario tick path:
+//! a ring-allreduce phase, and a rotating permutation whose churn edges
+//! go through real intake every few measured ticks.
 //!
 //! Flags:
 //!
@@ -51,6 +54,7 @@ use flowtune::{
 use flowtune_bench::cli::{self, WireTransport};
 use flowtune_proto::{Message, Token};
 use flowtune_topo::{ClosConfig, TwoTierClos};
+use flowtune_workload::ScenarioKind;
 
 struct Opts {
     json: bool,
@@ -175,6 +179,14 @@ struct RowSpec {
     warmup: u32,
     /// Incremental dirty threshold for the row (config `dirty_eps`).
     dirty_eps: f64,
+    /// Structured workload for the row (`None` = the pseudo-random
+    /// flow set): the driver is loaded with the scenario's first phase
+    /// instead — a ring-allreduce step for the `allreduce` row — and
+    /// the `permshift` row additionally re-permutes the fabric through
+    /// real `FlowletStart`/`End` intake every few measured ticks, so
+    /// the row prices the scenario tick path (intake churn included),
+    /// not just a converged steady state.
+    scenario: Option<ScenarioKind>,
 }
 
 fn rows() -> Vec<RowSpec> {
@@ -192,6 +204,7 @@ fn rows() -> Vec<RowSpec> {
         ticks: None,
         warmup: 200,
         dirty_eps: 0.0,
+        scenario: None,
     };
     // The incremental pair: identical converged 10⁵-flow steady state
     // (no churn, so every tick is quiet), swept fully vs incrementally.
@@ -227,6 +240,7 @@ fn rows() -> Vec<RowSpec> {
         ticks: None,
         warmup: 200,
         dirty_eps: 0.0,
+        scenario: None,
     };
     vec![
         row("serial", Engine::Serial, 0, None),
@@ -267,7 +281,81 @@ fn rows() -> Vec<RowSpec> {
         row("sharded4par", Engine::Serial.sharded(4), 1, Some(true)),
         quiet("quiet100k_full", false),
         quiet("quiet100k_inc", true),
+        // The scenario rows (ISSUE 10): the serial engine priced on
+        // structured workloads instead of the pseudo-random set — one
+        // ring-allreduce phase (a full ring permutation of the 128
+        // servers), and a permutation-shift churn workload whose
+        // rotation edges flow through real intake during measurement.
+        RowSpec {
+            scenario: Some(ScenarioKind::AllreduceRing),
+            ..row("allreduce", Engine::Serial, 0, None)
+        },
+        RowSpec {
+            scenario: Some(ScenarioKind::PermShift),
+            ..row("permshift", Engine::Serial, 0, None)
+        },
     ]
+}
+
+/// Rotating-permutation churn for the `permshift` row: every
+/// [`PermChurn::ROTATE_EVERY`] measured ticks, ends the live
+/// permutation and admits the next shift's — the scenario's admission
+/// edges as real intake, so the row's µs/tick includes the churn cost
+/// a rotating workload actually pays.
+struct PermChurn {
+    servers: usize,
+    live: Vec<u32>,
+    next_token: u32,
+    shift: usize,
+    tick: u32,
+}
+
+impl PermChurn {
+    const ROTATE_EVERY: u32 = 16;
+
+    /// `live` holds the tokens of the already-loaded shift-1
+    /// permutation ([`loaded_driver`] admits the scenario's first
+    /// phase with tokens `0..servers`).
+    fn new(servers: usize) -> Self {
+        Self {
+            servers,
+            live: (0..servers as u32).collect(),
+            next_token: servers as u32,
+            shift: 1,
+            tick: 0,
+        }
+    }
+
+    fn step(&mut self, fabric: &TwoTierClos, svc: &mut BoxTickDriver) {
+        self.tick += 1;
+        if !self.tick.is_multiple_of(Self::ROTATE_EVERY) {
+            return;
+        }
+        for &t in &self.live {
+            svc.on_message(Message::FlowletEnd {
+                token: Token::new(t),
+            })
+            .expect("live token");
+        }
+        self.live.clear();
+        self.shift = self.shift % (self.servers - 1) + 1;
+        for src in 0..self.servers {
+            let dst = (src + self.shift) % self.servers;
+            let token = self.next_token;
+            self.next_token += 1;
+            let spine = fabric.ecmp_spine(src, dst, flowtune_topo::FlowId(token as u64));
+            svc.on_message(Message::FlowletStart {
+                token: Token::new(token),
+                src: src as u16,
+                dst: dst as u16,
+                size_hint: 1_000_000,
+                weight_q8: 256,
+                spine: spine as u8,
+            })
+            .expect("fresh token");
+            self.live.push(token);
+        }
+    }
 }
 
 /// The `(src, dst)` endpoint pair of pseudo-random flow `f`: uniform by
@@ -344,8 +432,24 @@ fn loaded_driver(fabric: &TwoTierClos, spec: &RowSpec, flows: usize) -> BoxTickD
         opts.wire_driver(fabric)
             .expect("wire row has a wire transport")
     };
-    for f in 0..flows {
-        let (src, dst) = endpoints(fabric, f, spec.affine);
+    // Scenario rows load the scenario's first phase; the rest load the
+    // pseudo-random set sized by `flows`.
+    let pairs: Vec<(usize, usize)> = match spec.scenario {
+        Some(kind) => {
+            let servers = fabric.config().server_count() as u32;
+            let mut scenario = kind.build(servers, 1_000_000);
+            let phase = scenario.next_phase().expect("scenarios open with a phase");
+            phase
+                .flows
+                .iter()
+                .map(|f| (f.src as usize, f.dst as usize))
+                .collect()
+        }
+        None => (0..flows)
+            .map(|f| endpoints(fabric, f, spec.affine))
+            .collect(),
+    };
+    for (f, &(src, dst)) in pairs.iter().enumerate() {
         let spine = fabric.ecmp_spine(src, dst, flowtune_topo::FlowId(f as u64));
         svc.on_message(Message::FlowletStart {
             token: Token::new(f as u32),
@@ -363,11 +467,20 @@ fn loaded_driver(fabric: &TwoTierClos, spec: &RowSpec, flows: usize) -> BoxTickD
     svc
 }
 
-fn measure(svc: &mut BoxTickDriver, ticks: u32, samples: u32) -> f64 {
+fn measure(
+    svc: &mut BoxTickDriver,
+    ticks: u32,
+    samples: u32,
+    fabric: &TwoTierClos,
+    mut churn: Option<&mut PermChurn>,
+) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..samples {
         let t0 = Instant::now();
         for _ in 0..ticks {
+            if let Some(c) = churn.as_deref_mut() {
+                c.step(fabric, svc);
+            }
             svc.tick();
         }
         best = best.min(t0.elapsed().as_secs_f64());
@@ -455,9 +568,11 @@ fn main() {
         let flows = spec.flows.unwrap_or(opts.flows);
         let ticks = spec.ticks.unwrap_or(opts.ticks);
         let mut svc = loaded_driver(&fabric, &spec, flows);
+        let mut churn = (spec.scenario == Some(ScenarioKind::PermShift))
+            .then(|| PermChurn::new(fabric.config().server_count()));
         let timings0 = svc.phase_timings();
         let stats0 = svc.stats();
-        let us = measure(&mut svc, ticks, opts.samples);
+        let us = measure(&mut svc, ticks, opts.samples, &fabric, churn.as_mut());
         let timings1 = svc.phase_timings();
         let stats1 = svc.stats();
         let n = f64::from(ticks) * f64::from(opts.samples);
@@ -627,6 +742,8 @@ mod tests {
             "sharded4par",
             "quiet100k_full",
             "quiet100k_inc",
+            "allreduce",
+            "permshift",
         ] {
             assert!(labels.contains(&needed), "{needed} missing from {labels:?}");
         }

@@ -5,6 +5,7 @@ use flowtune::{
 };
 use flowtune_net::{mem_mesh, tcp_mesh, uds_mesh, PeerCluster, ShardPeer, Transport};
 use flowtune_topo::TwoTierClos;
+use flowtune_workload::ScenarioKind;
 
 /// The experiment binaries' shared usage text (`--help`). Every
 /// [`FlowtuneConfig`] knob the CLI can set appears here with its flag —
@@ -52,6 +53,10 @@ shared experiment flags:
   --pair-affinity F       rack-affine workload skew in [0,1]: probability a
                           flowlet's destination stays in its source's
                           interleaved rack class (default 0 = uniform)
+  --scenario S            restrict the scenario table (fig14_scenarios) to one
+                          scenario family: allreduce:ring|allreduce:tree|
+                          alltoall|burst|permshift|incast (default: every
+                          family; other binaries ignore the flag)
   --help                  print this help and exit";
 
 /// The wire the sharded control plane runs over (`--transport`).
@@ -257,6 +262,11 @@ pub struct Opts {
     /// default — leaves the config default of 0, exact equivalence).
     /// Only affects incremental runs.
     pub dirty_eps: Option<f64>,
+    /// Scenario-family filter for the scenario table
+    /// (`--scenario allreduce:ring|allreduce:tree|alltoall|burst|
+    /// permshift|incast`; `None` — the default — runs every family).
+    /// Only `fig14_scenarios` reads it; other binaries ignore the flag.
+    pub scenario: Option<ScenarioKind>,
 }
 
 impl Default for Opts {
@@ -274,6 +284,7 @@ impl Default for Opts {
             incremental: None,
             full_sweep_every: None,
             dirty_eps: None,
+            scenario: None,
         }
     }
 }
@@ -368,6 +379,11 @@ impl Opts {
                     let v = it.next().expect("--transport needs a value");
                     opts.transport =
                         WireTransport::parse(&v).unwrap_or_else(|e| panic!("{e}\n{USAGE}"));
+                }
+                "--scenario" => {
+                    let v = it.next().expect("--scenario needs a value");
+                    opts.scenario =
+                        Some(ScenarioKind::parse(&v).unwrap_or_else(|e| panic!("{e}\n{USAGE}")));
                 }
                 "--pair-affinity" => {
                     let v = it.next().expect("--pair-affinity needs a value");
@@ -649,10 +665,31 @@ mod tests {
             "--full",
             "--pair-affinity",
             "--transport",
+            "--scenario",
             "--help",
         ] {
             assert!(USAGE.contains(flag), "{flag} missing from USAGE");
         }
+    }
+
+    #[test]
+    fn scenario_parses_every_family_and_defaults_to_all() {
+        use flowtune_workload::ScenarioKind;
+        assert_eq!(parse(&[]).scenario, None);
+        for kind in ScenarioKind::ALL {
+            assert_eq!(
+                parse(&["--scenario", kind.name()]).scenario,
+                Some(kind),
+                "{} must round-trip through --scenario",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario `shuffle`")]
+    fn bad_scenario_message_lists_valid_names() {
+        let _ = parse(&["--scenario", "shuffle"]);
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub mod endpoint;
 pub mod exchange;
 pub mod flowlet;
 pub mod placement;
+pub mod scenario;
 pub mod service;
 pub mod sharded;
 pub mod token;
@@ -95,6 +96,9 @@ pub use exchange::{ApplyError, ExchangeCore};
 pub use flowlet::FlowletTracker;
 pub use placement::{
     ParsePlacementError, Placement, PlacementSpec, TrafficMatrix, PLACEMENT_NAMES,
+};
+pub use scenario::{
+    jain_index, run_scenario, run_scenario_traced, PhaseReport, ScenarioOptions, ScenarioReport,
 };
 pub use service::{
     AllocatorService, DynAllocatorService, Engine, FlowMigration, ParseEngineError, ServiceBuilder,

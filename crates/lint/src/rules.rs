@@ -138,6 +138,10 @@ pub const HOT_MODULES: &[HotModule] = &[
         hot_fns: &["tick", "try_tick", "merge_by_token"],
     },
     HotModule {
+        path: "crates/core/src/scenario.rs",
+        hot_fns: &["drain_and_sample"],
+    },
+    HotModule {
         path: "crates/net/src/transport.rs",
         hot_fns: &["send", "recv", "read_full"],
     },

@@ -1,0 +1,279 @@
+//! Collective-communication phase generators: ring allreduce, tree
+//! allreduce, and all-to-all.
+//!
+//! All three are barrier-chained ([`Admission::AfterPrevious`]): a phase's
+//! flows enter the fabric only once the previous phase's flows have all
+//! completed, the dependency structure of a synchronous collective step.
+//! The invariant every generator maintains — and the property tests pin —
+//! is *byte conservation per participant*: summed over all phases, each
+//! participant sends exactly as many bytes as it receives, because an
+//! allreduce leaves every rank holding the same reduced buffer.
+//!
+//! [`Admission::AfterPrevious`]: crate::scenario::Admission::AfterPrevious
+
+use crate::scenario::{Phase, Scenario, ScenarioFlow};
+
+/// Ring allreduce over `n` participants: `n−1` reduce-scatter phases then
+/// `n−1` allgather phases, each a full ring permutation (`i → i+1`) of one
+/// `bytes/n` chunk per participant.
+#[derive(Debug, Clone)]
+pub struct RingAllreduce {
+    participants: Vec<u32>,
+    chunk: u64,
+    next: usize,
+}
+
+impl RingAllreduce {
+    /// Builds a ring allreduce of `bytes_per_participant` over
+    /// `participants` (ring order is the vector order).
+    ///
+    /// # Panics
+    /// Panics with fewer than 2 participants.
+    pub fn new(participants: Vec<u32>, bytes_per_participant: u64) -> Self {
+        assert!(
+            participants.len() >= 2,
+            "a ring needs at least 2 participants"
+        );
+        let n = participants.len() as u64;
+        RingAllreduce {
+            chunk: (bytes_per_participant / n).max(1),
+            participants,
+            next: 0,
+        }
+    }
+
+    /// Total number of phases: `2(n−1)`.
+    pub fn phase_count(&self) -> usize {
+        2 * (self.participants.len() - 1)
+    }
+
+    /// Chunk size each participant ships per phase (`bytes/n`, floored).
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk
+    }
+}
+
+impl Scenario for RingAllreduce {
+    fn name(&self) -> &'static str {
+        "allreduce:ring"
+    }
+
+    fn next_phase(&mut self) -> Option<Phase> {
+        if self.next >= self.phase_count() {
+            return None;
+        }
+        let n = self.participants.len();
+        let step = self.next;
+        self.next += 1;
+        let label = if step < n - 1 {
+            format!("reduce-scatter {step}")
+        } else {
+            format!("allgather {}", step - (n - 1))
+        };
+        let flows = (0..n)
+            .map(|i| ScenarioFlow {
+                src: self.participants[i],
+                dst: self.participants[(i + 1) % n],
+                bytes: self.chunk,
+            })
+            .collect();
+        Some(Phase::barrier(label, flows))
+    }
+}
+
+/// Tree allreduce over a binary tree laid out by index (`parent(k) =
+/// (k−1)/2`): reduce phases walk the deepest level up to the root, then
+/// broadcast phases mirror back down. Every participant — root included —
+/// sends exactly as many bytes as it receives.
+#[derive(Debug, Clone)]
+pub struct TreeAllreduce {
+    phases: Vec<Phase>,
+    next: usize,
+}
+
+/// Depth of index `k` in the implicit binary tree (root is depth 0).
+fn tree_depth(k: usize) -> u32 {
+    (k as u64 + 1).ilog2()
+}
+
+impl TreeAllreduce {
+    /// Builds a tree allreduce of `bytes_per_participant` over
+    /// `participants` (tree layout is the vector order).
+    ///
+    /// # Panics
+    /// Panics with fewer than 2 participants.
+    pub fn new(participants: Vec<u32>, bytes_per_participant: u64) -> Self {
+        assert!(
+            participants.len() >= 2,
+            "a tree needs at least 2 participants"
+        );
+        let n = participants.len();
+        let depth = tree_depth(n - 1);
+        let level = |d: u32| (0..n).filter(move |&k| k > 0 && tree_depth(k) == d);
+        let mut phases = Vec::with_capacity(2 * depth as usize);
+        for d in (1..=depth).rev() {
+            let flows = level(d)
+                .map(|k| ScenarioFlow {
+                    src: participants[k],
+                    dst: participants[(k - 1) / 2],
+                    bytes: bytes_per_participant,
+                })
+                .collect();
+            phases.push(Phase::barrier(format!("reduce depth {d}"), flows));
+        }
+        for d in 1..=depth {
+            let flows = level(d)
+                .map(|k| ScenarioFlow {
+                    src: participants[(k - 1) / 2],
+                    dst: participants[k],
+                    bytes: bytes_per_participant,
+                })
+                .collect();
+            phases.push(Phase::barrier(format!("broadcast depth {d}"), flows));
+        }
+        TreeAllreduce { phases, next: 0 }
+    }
+
+    /// Total number of phases: `2·depth`.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+impl Scenario for TreeAllreduce {
+    fn name(&self) -> &'static str {
+        "allreduce:tree"
+    }
+
+    fn next_phase(&mut self) -> Option<Phase> {
+        let p = self.phases.get(self.next).cloned();
+        self.next += p.is_some() as usize;
+        p
+    }
+}
+
+/// All-to-all over `n` participants: `n−1` barrier phases, phase `k`
+/// the shifted permutation `i → i+k`, each carrying a `bytes/(n−1)` slice.
+#[derive(Debug, Clone)]
+pub struct AllToAll {
+    participants: Vec<u32>,
+    chunk: u64,
+    next: usize,
+}
+
+impl AllToAll {
+    /// Builds an all-to-all of `bytes_per_participant` over `participants`.
+    ///
+    /// # Panics
+    /// Panics with fewer than 2 participants.
+    pub fn new(participants: Vec<u32>, bytes_per_participant: u64) -> Self {
+        assert!(
+            participants.len() >= 2,
+            "all-to-all needs at least 2 participants"
+        );
+        let n = participants.len() as u64;
+        AllToAll {
+            chunk: (bytes_per_participant / (n - 1)).max(1),
+            participants,
+            next: 0,
+        }
+    }
+
+    /// Total number of phases: `n−1`.
+    pub fn phase_count(&self) -> usize {
+        self.participants.len() - 1
+    }
+}
+
+impl Scenario for AllToAll {
+    fn name(&self) -> &'static str {
+        "alltoall"
+    }
+
+    fn next_phase(&mut self) -> Option<Phase> {
+        if self.next >= self.phase_count() {
+            return None;
+        }
+        let n = self.participants.len();
+        let shift = self.next + 1;
+        self.next += 1;
+        let flows = (0..n)
+            .map(|i| ScenarioFlow {
+                src: self.participants[i],
+                dst: self.participants[(i + shift) % n],
+                bytes: self.chunk,
+            })
+            .collect();
+        Some(Phase::barrier(format!("shift {shift}"), flows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Drains a scenario, returning (sent, received) byte totals per server.
+    fn totals(s: &mut dyn Scenario) -> HashMap<u32, (u64, u64)> {
+        let mut t: HashMap<u32, (u64, u64)> = HashMap::new();
+        while let Some(p) = s.next_phase() {
+            for f in &p.flows {
+                t.entry(f.src).or_default().0 += f.bytes;
+                t.entry(f.dst).or_default().1 += f.bytes;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn ring_conserves_bytes_per_participant() {
+        let mut s = RingAllreduce::new((0..7).collect(), 700_000);
+        assert_eq!(s.phase_count(), 12);
+        for (server, (sent, recv)) in totals(&mut s) {
+            assert_eq!(sent, recv, "server {server}");
+            assert!(sent > 0, "server {server} idle");
+        }
+    }
+
+    #[test]
+    fn tree_conserves_bytes_per_participant_including_the_root() {
+        let mut s = TreeAllreduce::new((0..10).collect(), 64_000);
+        for (server, (sent, recv)) in totals(&mut s) {
+            assert_eq!(sent, recv, "server {server}");
+        }
+    }
+
+    #[test]
+    fn tree_phases_mirror_reduce_then_broadcast() {
+        let mut s = TreeAllreduce::new((0..8).collect(), 1_000);
+        let labels: Vec<String> = std::iter::from_fn(|| s.next_phase().map(|p| p.label)).collect();
+        assert_eq!(
+            labels,
+            [
+                "reduce depth 3",
+                "reduce depth 2",
+                "reduce depth 1",
+                "broadcast depth 1",
+                "broadcast depth 2",
+                "broadcast depth 3",
+            ]
+        );
+    }
+
+    #[test]
+    fn alltoall_every_phase_is_a_permutation_and_every_pair_meets_once() {
+        let n = 6u32;
+        let mut s = AllToAll::new((0..n).collect(), 5_000);
+        let mut pairs = std::collections::HashSet::new();
+        while let Some(p) = s.next_phase() {
+            let srcs: std::collections::HashSet<u32> = p.flows.iter().map(|f| f.src).collect();
+            let dsts: std::collections::HashSet<u32> = p.flows.iter().map(|f| f.dst).collect();
+            assert_eq!(srcs.len(), n as usize);
+            assert_eq!(dsts.len(), n as usize);
+            for f in &p.flows {
+                assert!(pairs.insert((f.src, f.dst)), "pair repeated");
+            }
+        }
+        assert_eq!(pairs.len(), (n * (n - 1)) as usize);
+    }
+}

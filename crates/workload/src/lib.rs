@@ -17,11 +17,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
+pub mod collective;
 pub mod dist;
 pub mod facebook;
 pub mod generator;
 pub mod poisson;
+pub mod scenario;
 
+pub use adversarial::{BurstyOnOff, Incast, PermutationShift};
+pub use collective::{AllToAll, RingAllreduce, TreeAllreduce};
 pub use dist::EmpiricalCdf;
 pub use facebook::{Workload, CACHE, HADOOP, WEB};
 pub use generator::{
@@ -29,3 +34,4 @@ pub use generator::{
     TraceGenerator,
 };
 pub use poisson::PoissonArrivals;
+pub use scenario::{Admission, Phase, Scenario, ScenarioFlow, ScenarioKind};

@@ -1,0 +1,236 @@
+//! Phase-structured scenarios: the `Scenario` trait and its vocabulary.
+//!
+//! A scenario is a sequence of [`Phase`]s, each a batch of flows admitted
+//! together. Admission is either barrier-style ([`Admission::AfterPrevious`]:
+//! the phase starts only once every flow of the previously admitted phase
+//! has completed — the collective-communication dependency) or timed
+//! ([`Admission::AtTick`]: the phase starts at an absolute tick regardless
+//! of outstanding work — bursty and churn patterns). A phase may also *cut*
+//! whatever is still running when it is admitted (`ends_previous`), which
+//! models permutation rotation and on/off silence windows.
+//!
+//! Generators live in [`crate::collective`] (ring/tree allreduce,
+//! all-to-all) and [`crate::adversarial`] (bursty on/off, permutation
+//! shift, incast); [`ScenarioKind`] names the families the bench CLI
+//! exposes and builds them with canonical parameters.
+
+use crate::adversarial::{BurstyOnOff, Incast, PermutationShift};
+use crate::collective::{AllToAll, RingAllreduce, TreeAllreduce};
+
+/// One flow within a scenario phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioFlow {
+    /// Source server index.
+    pub src: u32,
+    /// Destination server index.
+    pub dst: u32,
+    /// Flowlet size in bytes.
+    pub bytes: u64,
+}
+
+/// When a phase's flows become admissible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit once every flow of the previously admitted phase has
+    /// completed (the collective phase barrier). The first phase of a
+    /// scenario is admitted immediately.
+    AfterPrevious,
+    /// Admit at an absolute tick index, regardless of outstanding flows.
+    AtTick(u64),
+}
+
+/// A batch of flows admitted together, plus its admission rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Human-readable label (`"reduce-scatter 3"`, `"burst 1"`, …).
+    pub label: String,
+    /// Barrier or timed admission.
+    pub admission: Admission,
+    /// Force-end ("cut") still-active flows from earlier phases when this
+    /// phase is admitted. Models permutation rotation and off windows.
+    pub ends_previous: bool,
+    /// The flows this phase admits. May be empty (a pure cut marker).
+    pub flows: Vec<ScenarioFlow>,
+}
+
+impl Phase {
+    /// A barrier phase: admitted when the previous phase completes.
+    pub fn barrier(label: String, flows: Vec<ScenarioFlow>) -> Self {
+        Phase {
+            label,
+            admission: Admission::AfterPrevious,
+            ends_previous: false,
+            flows,
+        }
+    }
+
+    /// A timed phase admitted at `tick`, leaving earlier flows running.
+    pub fn at_tick(tick: u64, label: String, flows: Vec<ScenarioFlow>) -> Self {
+        Phase {
+            label,
+            admission: Admission::AtTick(tick),
+            ends_previous: false,
+            flows,
+        }
+    }
+
+    /// A timed phase admitted at `tick` that cuts earlier active flows.
+    pub fn cut_at_tick(tick: u64, label: String, flows: Vec<ScenarioFlow>) -> Self {
+        Phase {
+            label,
+            admission: Admission::AtTick(tick),
+            ends_previous: true,
+            flows,
+        }
+    }
+
+    /// Total bytes this phase injects.
+    pub fn bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+}
+
+/// A phase-structured workload. Implementations are single-pass
+/// iterators: [`Scenario::next_phase`] yields phases in admission order
+/// and returns `None` when the scenario is exhausted.
+pub trait Scenario {
+    /// The family name (matches [`ScenarioKind::name`] for built-ins).
+    fn name(&self) -> &'static str;
+
+    /// The next phase, or `None` once the scenario is exhausted.
+    fn next_phase(&mut self) -> Option<Phase>;
+}
+
+/// The scenario families the bench CLI exposes via `--scenario`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Ring allreduce: `2(n−1)` barrier phases of neighbor chunks.
+    AllreduceRing,
+    /// Tree allreduce: reduce up a binary tree, then broadcast down.
+    AllreduceTree,
+    /// All-to-all: `n−1` barrier phases of shifted permutations.
+    AllToAll,
+    /// Bursty on/off sources: timed bursts separated by silence.
+    Burst,
+    /// Permutation shift: the permutation rotates every K ticks.
+    PermShift,
+    /// N:1 incast fan-in onto a single receiver.
+    Incast,
+}
+
+impl ScenarioKind {
+    /// Every built-in family, in CLI listing order.
+    pub const ALL: [ScenarioKind; 6] = [
+        ScenarioKind::AllreduceRing,
+        ScenarioKind::AllreduceTree,
+        ScenarioKind::AllToAll,
+        ScenarioKind::Burst,
+        ScenarioKind::PermShift,
+        ScenarioKind::Incast,
+    ];
+
+    /// The CLI spelling of this family.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::AllreduceRing => "allreduce:ring",
+            ScenarioKind::AllreduceTree => "allreduce:tree",
+            ScenarioKind::AllToAll => "alltoall",
+            ScenarioKind::Burst => "burst",
+            ScenarioKind::PermShift => "permshift",
+            ScenarioKind::Incast => "incast",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    ///
+    /// # Errors
+    /// Returns a message listing the valid spellings when `s` matches none.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Self::ALL.iter().map(|k| k.name()).collect();
+                format!(
+                    "unknown scenario `{s}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+
+    /// Builds this family with canonical parameters over `servers`
+    /// endpoints, sizing per-participant payloads at `bytes`.
+    ///
+    /// # Panics
+    /// Panics if `servers < 4` (every family needs a few endpoints) or
+    /// `bytes == 0`.
+    pub fn build(self, servers: u32, bytes: u64) -> Box<dyn Scenario> {
+        assert!(servers >= 4, "scenarios need at least 4 servers");
+        assert!(bytes > 0, "scenarios need a nonzero payload");
+        let all: Vec<u32> = (0..servers).collect();
+        match self {
+            ScenarioKind::AllreduceRing => Box::new(RingAllreduce::new(all, bytes)),
+            ScenarioKind::AllreduceTree => Box::new(TreeAllreduce::new(all, bytes)),
+            ScenarioKind::AllToAll => Box::new(AllToAll::new(all, bytes)),
+            ScenarioKind::Burst => Box::new(BurstyOnOff::new(servers, bytes, 60, 60, 3)),
+            ScenarioKind::PermShift => Box::new(PermutationShift::new(servers, bytes, 200, 4, 0)),
+            ScenarioKind::Incast => {
+                Box::new(Incast::new((0..servers / 2).collect(), servers - 1, bytes))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_parses_its_own_name() {
+        for kind in ScenarioKind::ALL {
+            assert_eq!(ScenarioKind::parse(kind.name()), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names_and_lists_the_valid_ones() {
+        let err = ScenarioKind::parse("allreduce").unwrap_err();
+        assert!(err.contains("allreduce:ring"), "{err}");
+        assert!(err.contains("permshift"), "{err}");
+    }
+
+    #[test]
+    fn every_kind_builds_and_yields_at_least_one_nonempty_phase() {
+        for kind in ScenarioKind::ALL {
+            let mut s = kind.build(16, 1_000_000);
+            assert_eq!(s.name(), kind.name());
+            let mut injected = 0u64;
+            let mut phases = 0usize;
+            while let Some(p) = s.next_phase() {
+                phases += 1;
+                injected += p.bytes();
+                assert!(phases < 10_000, "{}: runaway phase stream", kind.name());
+            }
+            assert!(phases >= 1, "{}: no phases", kind.name());
+            assert!(injected > 0, "{}: no bytes", kind.name());
+        }
+    }
+
+    #[test]
+    fn built_scenarios_never_emit_self_flows_or_out_of_range_endpoints() {
+        for kind in ScenarioKind::ALL {
+            let mut s = kind.build(8, 64_000);
+            while let Some(p) = s.next_phase() {
+                for f in &p.flows {
+                    assert_ne!(f.src, f.dst, "{}: self flow in {}", kind.name(), p.label);
+                    assert!(
+                        f.src < 8 && f.dst < 8,
+                        "{}: endpoint out of range",
+                        kind.name()
+                    );
+                    assert!(f.bytes > 0, "{}: empty flow", kind.name());
+                }
+            }
+        }
+    }
+}

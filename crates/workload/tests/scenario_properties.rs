@@ -1,0 +1,177 @@
+//! Property tests for the scenario generators (ISSUE 10 satellite):
+//!
+//! * ring and tree allreduce conserve total bytes per participant across
+//!   phases (sent == received for every rank, root included);
+//! * permutation shift and all-to-all emit a bijection every phase;
+//! * bursty on/off phase timing matches the configured duty cycle.
+//!
+//! Deterministic: proptest's default RNG is seeded per-case and the
+//! generators themselves are pure functions of their config.
+
+use std::collections::{HashMap, HashSet};
+
+use flowtune_workload::scenario::Admission;
+use flowtune_workload::{
+    AllToAll, BurstyOnOff, PermutationShift, Phase, RingAllreduce, Scenario, TreeAllreduce,
+};
+use proptest::prelude::*;
+
+fn drain(s: &mut dyn Scenario) -> Vec<Phase> {
+    let mut phases = Vec::new();
+    while let Some(p) = s.next_phase() {
+        phases.push(p);
+        assert!(phases.len() < 100_000, "runaway phase stream");
+    }
+    phases
+}
+
+/// (sent, received) byte totals per server over all phases.
+fn totals(phases: &[Phase]) -> HashMap<u32, (u64, u64)> {
+    let mut t: HashMap<u32, (u64, u64)> = HashMap::new();
+    for p in phases {
+        for f in &p.flows {
+            t.entry(f.src).or_default().0 += f.bytes;
+            t.entry(f.dst).or_default().1 += f.bytes;
+        }
+    }
+    t
+}
+
+/// A phase's flows form a permutation of the participant set: every
+/// participant appears exactly once as a source and once as a
+/// destination, and no flow is a self-loop.
+fn assert_bijection(p: &Phase, participants: &[u32]) {
+    let srcs: HashSet<u32> = p.flows.iter().map(|f| f.src).collect();
+    let dsts: HashSet<u32> = p.flows.iter().map(|f| f.dst).collect();
+    let all: HashSet<u32> = participants.iter().copied().collect();
+    assert_eq!(p.flows.len(), participants.len(), "{}", p.label);
+    assert_eq!(srcs, all, "{}: sources are not a permutation", p.label);
+    assert_eq!(dsts, all, "{}: destinations are not a permutation", p.label);
+    for f in &p.flows {
+        assert_ne!(f.src, f.dst, "{}: self-loop", p.label);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ring_allreduce_conserves_bytes_per_participant(
+        n in 2usize..40,
+        bytes in 1u64..1_000_000_000,
+        base in 0u32..1000,
+    ) {
+        let participants: Vec<u32> = (base..base + n as u32).collect();
+        let mut s = RingAllreduce::new(participants.clone(), bytes);
+        let phases = drain(&mut s);
+        prop_assert_eq!(phases.len(), 2 * (n - 1));
+        let t = totals(&phases);
+        prop_assert_eq!(t.len(), n);
+        for (&server, &(sent, recv)) in &t {
+            prop_assert_eq!(sent, recv, "server {}", server);
+            prop_assert_eq!(sent, s.chunk_bytes() * (2 * (n as u64 - 1)));
+        }
+        // Every ring phase is itself a bijection of the participants.
+        for p in &phases {
+            assert_bijection(p, &participants);
+            prop_assert_eq!(p.admission, Admission::AfterPrevious);
+        }
+    }
+
+    #[test]
+    fn tree_allreduce_conserves_bytes_per_participant(
+        n in 2usize..64,
+        bytes in 1u64..1_000_000_000,
+    ) {
+        let participants: Vec<u32> = (0..n as u32).collect();
+        let mut s = TreeAllreduce::new(participants, bytes);
+        let phases = drain(&mut s);
+        let t = totals(&phases);
+        prop_assert_eq!(t.len(), n, "every participant moves bytes");
+        for (&server, &(sent, recv)) in &t {
+            prop_assert_eq!(sent, recv, "server {} (root included)", server);
+        }
+        // Total traffic: every non-root edge is crossed exactly twice.
+        let injected: u64 = phases.iter().map(|p| p.bytes()).sum();
+        prop_assert_eq!(injected, 2 * (n as u64 - 1) * bytes);
+    }
+
+    #[test]
+    fn alltoall_emits_a_bijection_every_phase_and_covers_every_pair(
+        n in 2usize..24,
+        bytes in 1u64..1_000_000,
+    ) {
+        let participants: Vec<u32> = (0..n as u32).collect();
+        let mut s = AllToAll::new(participants.clone(), bytes);
+        let phases = drain(&mut s);
+        prop_assert_eq!(phases.len(), n - 1);
+        let mut pairs = HashSet::new();
+        for p in &phases {
+            assert_bijection(p, &participants);
+            for f in &p.flows {
+                prop_assert!(pairs.insert((f.src, f.dst)), "pair repeated");
+            }
+        }
+        prop_assert_eq!(pairs.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn permutation_shift_emits_a_bijection_every_phase(
+        servers in 2u32..48,
+        rotate_every in 1u64..500,
+        phases_n in 1u64..12,
+        base_shift in 0u32..100,
+        bytes in 1u64..1_000_000,
+    ) {
+        let participants: Vec<u32> = (0..servers).collect();
+        let mut s = PermutationShift::new(servers, bytes, rotate_every, phases_n, base_shift);
+        let phases = drain(&mut s);
+        prop_assert_eq!(phases.len(), phases_n as usize);
+        for (i, p) in phases.iter().enumerate() {
+            assert_bijection(p, &participants);
+            prop_assert_eq!(p.admission, Admission::AtTick(i as u64 * rotate_every));
+            prop_assert_eq!(p.ends_previous, i > 0, "rotation cuts its predecessor");
+        }
+    }
+
+    #[test]
+    fn bursty_on_off_timing_matches_the_configured_duty_cycle(
+        servers in 2u32..64,
+        on in 1u64..200,
+        off in 1u64..200,
+        bursts in 1u64..10,
+        bytes in 1u64..1_000_000,
+    ) {
+        let s0 = BurstyOnOff::new(servers, bytes, on, off, bursts);
+        prop_assert!((s0.duty_cycle() - on as f64 / (on + off) as f64).abs() < 1e-12);
+        let mut s = s0.clone();
+        let phases = drain(&mut s);
+        prop_assert_eq!(phases.len(), 2 * bursts as usize);
+        // Reconstruct the on-windows from the phase stream itself: each
+        // burst phase opens a window its cut phase closes.
+        let mut on_ticks = 0u64;
+        let mut span = 0u64;
+        for pair in phases.chunks(2) {
+            let (Admission::AtTick(start), Admission::AtTick(stop)) =
+                (pair[0].admission, pair[1].admission)
+            else {
+                prop_assert!(false, "burst phases must be timed");
+                unreachable!();
+            };
+            prop_assert!(!pair[0].ends_previous && !pair[0].flows.is_empty());
+            prop_assert!(pair[1].ends_previous && pair[1].flows.is_empty());
+            prop_assert_eq!(stop - start, on);
+            on_ticks += stop - start;
+            span = span.max(start + on + off);
+        }
+        let measured = on_ticks as f64 / span as f64;
+        prop_assert!(
+            (measured - s0.duty_cycle()).abs() < 1e-12,
+            "measured duty {} vs configured {}",
+            measured,
+            s0.duty_cycle()
+        );
+        // Each burst sends from the lower half to the upper half.
+        prop_assert_eq!(phases[0].flows.len(), servers as usize / 2);
+    }
+}

@@ -14,49 +14,15 @@
 //! * flow intake dirties exactly the traversed links: an add or remove
 //!   marks the links of that flow's path, nothing else (property-tested
 //!   under random endpoint pairs).
+//!
+//! The replay/assert skeleton lives in `tests/common` (the differential
+//! conformance harness); this file owns only what varies per pin.
 
-use flowtune::{AllocatorService, FlowtuneConfig, ServiceStats, ShardedService};
-use flowtune_proto::{Message, Token};
-use flowtune_topo::{ClosConfig, TwoTierClos};
+mod common;
+
+use common::{assert_bit_for_bit, fabric, start, Replay, StatsCheck};
+use flowtune::{AllocatorService, FlowtuneConfig, ShardedService};
 use proptest::prelude::*;
-
-/// Two blocks of 2 racks × 4 servers: 16 servers, 40 G hosts.
-fn fabric() -> TwoTierClos {
-    TwoTierClos::build(ClosConfig::multicore(2, 2, 4))
-}
-
-fn start(fabric: &TwoTierClos, token: u32, src: u16, dst: u16) -> Message {
-    let spine = fabric.ecmp_spine(
-        src as usize,
-        dst as usize,
-        flowtune_topo::FlowId(token as u64),
-    );
-    Message::FlowletStart {
-        token: Token::new(token),
-        src,
-        dst,
-        size_hint: 1_000_000,
-        weight_q8: 256,
-        spine: spine as u8,
-    }
-}
-
-/// xorshift64 — a tiny deterministic stream for churn schedules.
-fn xorshift(s: &mut u64) -> u64 {
-    *s ^= *s << 13;
-    *s ^= *s >> 7;
-    *s ^= *s << 17;
-    *s
-}
-
-/// Aggregate counters with the incremental-only telemetry masked out —
-/// the full sweep keeps no dirty set, so those two fields are the one
-/// place the configs are *allowed* to differ.
-fn masked(mut stats: ServiceStats) -> ServiceStats {
-    stats.dirty_flows = 0;
-    stats.dirty_links = 0;
-    stats
-}
 
 #[test]
 fn incremental_is_bit_for_bit_the_full_sweep_at_eps_zero() {
@@ -75,57 +41,19 @@ fn incremental_is_bit_for_bit_the_full_sweep_at_eps_zero() {
                 };
                 let mut inc = build(true);
                 let mut full = build(false);
-                let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-                let mut token = 0u32;
-                let mut live: Vec<u32> = Vec::new();
-                for round in 0..120 {
-                    if round % 3 == 0 {
-                        // Churn across the whole server space: mostly
-                        // starts, some ends — each one reshapes the
-                        // dirty set mid-trajectory.
-                        let r = xorshift(&mut rng);
-                        if r.is_multiple_of(4) && !live.is_empty() {
-                            let t = live.swap_remove((r >> 8) as usize % live.len());
-                            let end = Message::FlowletEnd {
-                                token: Token::new(t),
-                            };
-                            assert_eq!(inc.on_message(end), full.on_message(end));
-                        } else {
-                            token += 1;
-                            let src = (r % 16) as u16;
-                            let mut dst = ((r >> 16) % 16) as u16;
-                            if dst == src {
-                                dst = (dst + 1) % 16;
-                            }
-                            let msg = start(&fabric, token, src, dst);
-                            let a = inc.on_message(msg);
-                            assert_eq!(a, full.on_message(msg));
-                            if a.is_ok() {
-                                live.push(token);
-                            }
-                        }
-                    }
-                    let a = inc.tick();
-                    let b = full.tick();
-                    assert_eq!(
-                        a, b,
-                        "streams diverged: {shards} shards, exchange \
-                         {exchange_every}, seed {seed}, round {round}"
-                    );
-                }
-                for &t in &live {
-                    assert_eq!(
-                        inc.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
-                        full.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
-                        "rate of token {t} diverged ({shards} shards, \
-                         exchange {exchange_every}, seed {seed})"
-                    );
-                }
-                assert_eq!(masked(inc.stats()), masked(full.stats()));
+                let replay = Replay::churn(&fabric, seed, 120);
+                assert_bit_for_bit(
+                    &format!("incremental vs full sweep, {shards} shards, exchange {exchange_every}, seed {seed}"),
+                    &replay,
+                    &mut full,
+                    &mut inc,
+                    StatsCheck::MaskedDirty,
+                );
                 // The incremental run did skip work — the equivalence
                 // is not vacuous. A 120-tick full sweep would re-run
                 // every live flow's rate pass every tick; the dirty
                 // counter must come in strictly below that.
+                let live = replay.live_tokens();
                 let full_work: u64 = full.stats().iterations * live.len() as u64;
                 assert!(
                     inc.stats().dirty_flows < full_work || live.is_empty(),
@@ -133,7 +61,6 @@ fn incremental_is_bit_for_bit_the_full_sweep_at_eps_zero() {
                      dirty_flows {} never skipped anything (full would be {full_work})",
                     inc.stats().dirty_flows,
                 );
-                assert_eq!(inc.active_flows(), full.active_flows());
             }
         }
     }
@@ -174,7 +101,7 @@ fn eps_divergence_is_bounded_and_sweep_cadence_caps_drift() {
                 let msg = start(&fabric, token, src, dst);
                 inc.on_message(msg).unwrap();
                 full.on_message(msg).unwrap();
-                live.push(Token::new(token));
+                live.push(flowtune_proto::Token::new(token));
             }
         }
         // Long quiet stretch: plenty of iterations for per-tick drift to

@@ -11,33 +11,17 @@
 //!   because every link price a flow sees is driven by the same loads;
 //! * routing never misdirects: a flowlet lives in exactly the shard that
 //!   owns its source endpoint (property-tested under random workloads).
+//!
+//! The replay/assert skeleton lives in `tests/common` (the differential
+//! conformance harness); this file owns only what varies per pin.
 
+mod common;
+
+use common::{assert_bit_for_bit, fabric, start, Replay, StatsCheck};
 use flowtune::{AllocatorService, FlowtuneConfig, ShardedService};
 use flowtune_proto::{Message, Token};
-use flowtune_topo::{ClosConfig, TwoTierClos};
+use flowtune_topo::TwoTierClos;
 use proptest::prelude::*;
-
-/// Two blocks of 2 racks × 4 servers: 16 servers, block 0 = 0..8,
-/// block 1 = 8..16, 40 G hosts.
-fn fabric() -> TwoTierClos {
-    TwoTierClos::build(ClosConfig::multicore(2, 2, 4))
-}
-
-fn start(fabric: &TwoTierClos, token: u32, src: u16, dst: u16) -> Message {
-    let spine = fabric.ecmp_spine(
-        src as usize,
-        dst as usize,
-        flowtune_topo::FlowId(token as u64),
-    );
-    Message::FlowletStart {
-        token: Token::new(token),
-        src,
-        dst,
-        size_hint: 1_000_000,
-        weight_q8: 256,
-        spine: spine as u8,
-    }
-}
 
 /// A deterministic churny workload crossing both blocks: starts, some
 /// rejected duplicates, an unknown end, real ends.
@@ -70,34 +54,23 @@ fn one_shard_is_bit_for_bit_the_unsharded_service() {
     let mut plain = AllocatorService::new(&fabric, cfg);
     let mut sharded = ShardedService::new(&fabric, cfg, 1);
 
+    // The original interleave as a replay schedule: five starts up
+    // front, then the rest of the churn (duplicate, unknown end, real
+    // end) dripped in every ten rounds across 300 rounds of ticking.
     let msgs = workload(&fabric);
-    let (mut fed, half) = (0, 5);
-    for msg in &msgs[..half] {
-        assert_eq!(plain.on_message(*msg), sharded.on_message(*msg));
-        fed += 1;
+    let mut rounds: Vec<Vec<Message>> = vec![Vec::new(); 300];
+    rounds[0].extend_from_slice(&msgs[..5]);
+    for (i, msg) in msgs[5..].iter().enumerate() {
+        rounds[i * 10].push(*msg);
     }
-    // Interleave ticks with the rest of the churn; every update stream
-    // must match exactly, transient or converged.
-    for round in 0..300 {
-        if round % 10 == 0 && fed < msgs.len() {
-            assert_eq!(plain.on_message(msgs[fed]), sharded.on_message(msgs[fed]));
-            fed += 1;
-        }
-        let a = plain.tick();
-        let b = sharded.tick();
-        assert_eq!(a, b, "update streams diverged at tick {round}");
-    }
-    for t in [1u32, 2, 3, 5, 6] {
-        let ra = plain.flow_rate_gbps(Token::new(t));
-        let rb = sharded.flow_rate_gbps(Token::new(t));
-        assert_eq!(
-            ra.map(f64::to_bits),
-            rb.map(f64::to_bits),
-            "rate of token {t} diverged: {ra:?} vs {rb:?}"
-        );
-    }
-    assert_eq!(plain.stats(), sharded.stats());
-    assert_eq!(plain.active_flows(), sharded.active_flows());
+    let replay = Replay { rounds };
+    assert_bit_for_bit(
+        "one shard vs unsharded",
+        &replay,
+        &mut plain,
+        &mut sharded,
+        StatsCheck::Exact,
+    );
 }
 
 #[test]
@@ -196,14 +169,6 @@ fn message_intake_stats_match_byte_for_byte_at_any_shard_count() {
     }
 }
 
-/// xorshift64 — a tiny deterministic stream for churn schedules.
-fn xorshift(s: &mut u64) -> u64 {
-    *s ^= *s << 13;
-    *s ^= *s >> 7;
-    *s ^= *s << 17;
-    *s
-}
-
 #[test]
 fn parallel_tick_is_bit_for_bit_sequential() {
     // The concurrent two-phase tick must be *indistinguishable* from the
@@ -226,53 +191,13 @@ fn parallel_tick_is_bit_for_bit_sequential() {
                 let mut seq = build(false);
                 assert_eq!(par.parallel_shards(), shards > 1);
                 assert!(!seq.parallel_shards());
-                let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-                let mut token = 0u32;
-                let mut live: Vec<u32> = Vec::new();
-                for round in 0..90 {
-                    if round % 3 == 0 {
-                        // Churn: mostly starts, some ends, across the
-                        // whole server (and therefore shard) space.
-                        let r = xorshift(&mut rng);
-                        if r.is_multiple_of(4) && !live.is_empty() {
-                            let t = live.swap_remove((r >> 8) as usize % live.len());
-                            let end = Message::FlowletEnd {
-                                token: Token::new(t),
-                            };
-                            assert_eq!(par.on_message(end), seq.on_message(end));
-                        } else {
-                            token += 1;
-                            let src = (r % 16) as u16;
-                            let mut dst = ((r >> 16) % 16) as u16;
-                            if dst == src {
-                                dst = (dst + 1) % 16;
-                            }
-                            let msg = start(&fabric, token, src, dst);
-                            let a = par.on_message(msg);
-                            assert_eq!(a, seq.on_message(msg));
-                            if a.is_ok() {
-                                live.push(token);
-                            }
-                        }
-                    }
-                    let a = par.tick();
-                    let b = seq.tick();
-                    assert_eq!(
-                        a, b,
-                        "streams diverged: {shards} shards, exchange \
-                         {exchange_every}, seed {seed}, round {round}"
-                    );
-                }
-                for &t in &live {
-                    assert_eq!(
-                        par.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
-                        seq.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
-                        "rate of token {t} diverged ({shards} shards, \
-                         exchange {exchange_every}, seed {seed})"
-                    );
-                }
-                assert_eq!(par.stats(), seq.stats());
-                assert_eq!(par.active_flows(), seq.active_flows());
+                assert_bit_for_bit(
+                    &format!("parallel vs sequential, {shards} shards, exchange {exchange_every}, seed {seed}"),
+                    &Replay::churn(&fabric, seed, 90),
+                    &mut seq,
+                    &mut par,
+                    StatsCheck::Exact,
+                );
             }
         }
     }
@@ -290,7 +215,7 @@ fn mem_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
     // invisible.
     use std::time::Duration;
 
-    use flowtune::{ExchangeConfig, TickDriver};
+    use flowtune::ExchangeConfig;
     use flowtune_net::{mem_mesh, PeerCluster, ShardPeer};
 
     let fabric = fabric();
@@ -313,51 +238,13 @@ fn mem_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
                     .collect();
                 let mut cluster = PeerCluster::from_peers(peers);
 
-                let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-                let mut token = 0u32;
-                let mut live: Vec<u32> = Vec::new();
-                for round in 0..90 {
-                    if round % 3 == 0 {
-                        let r = xorshift(&mut rng);
-                        if r.is_multiple_of(4) && !live.is_empty() {
-                            let t = live.swap_remove((r >> 8) as usize % live.len());
-                            let end = Message::FlowletEnd {
-                                token: Token::new(t),
-                            };
-                            assert_eq!(svc.on_message(end), cluster.on_message(end));
-                        } else {
-                            token += 1;
-                            let src = (r % 16) as u16;
-                            let mut dst = ((r >> 16) % 16) as u16;
-                            if dst == src {
-                                dst = (dst + 1) % 16;
-                            }
-                            let msg = start(&fabric, token, src, dst);
-                            let a = svc.on_message(msg);
-                            assert_eq!(a, cluster.on_message(msg));
-                            if a.is_ok() {
-                                live.push(token);
-                            }
-                        }
-                    }
-                    let a = svc.tick();
-                    let b = cluster.tick();
-                    assert_eq!(
-                        a, b,
-                        "streams diverged: {shards} shards, exchange \
-                         {exchange_every}, seed {seed}, round {round}"
-                    );
-                }
-                for &t in &live {
-                    assert_eq!(
-                        svc.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
-                        cluster.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
-                        "rate of token {t} diverged ({shards} shards, \
-                         exchange {exchange_every}, seed {seed})"
-                    );
-                }
-                assert_eq!(svc.stats(), cluster.stats());
-                assert_eq!(svc.active_flows(), cluster.active_flows());
+                assert_bit_for_bit(
+                    &format!("mem cluster vs in-process, {shards} shards, exchange {exchange_every}, seed {seed}"),
+                    &Replay::churn(&fabric, seed, 90),
+                    &mut svc,
+                    &mut cluster,
+                    StatsCheck::Exact,
+                );
                 // Real frames moved through the transport whenever an
                 // exchange could have happened.
                 let wire = cluster.wire_stats();
@@ -381,7 +268,7 @@ fn uds_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
     // independence, the churn breadth is covered above.)
     use std::time::Duration;
 
-    use flowtune::{ExchangeConfig, TickDriver};
+    use flowtune::ExchangeConfig;
     use flowtune_net::{uds_mesh, PeerCluster, ShardPeer};
 
     let fabric = fabric();
@@ -409,48 +296,13 @@ fn uds_wire_cluster_is_bit_for_bit_the_in_process_sharded_service() {
                 .collect();
             let mut cluster = PeerCluster::from_peers(peers);
 
-            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-            let mut token = 0u32;
-            let mut live: Vec<u32> = Vec::new();
-            for round in 0..60 {
-                if round % 3 == 0 {
-                    let r = xorshift(&mut rng);
-                    if r.is_multiple_of(4) && !live.is_empty() {
-                        let t = live.swap_remove((r >> 8) as usize % live.len());
-                        let end = Message::FlowletEnd {
-                            token: Token::new(t),
-                        };
-                        assert_eq!(svc.on_message(end), cluster.on_message(end));
-                    } else {
-                        token += 1;
-                        let src = (r % 16) as u16;
-                        let mut dst = ((r >> 16) % 16) as u16;
-                        if dst == src {
-                            dst = (dst + 1) % 16;
-                        }
-                        let msg = start(&fabric, token, src, dst);
-                        let a = svc.on_message(msg);
-                        assert_eq!(a, cluster.on_message(msg));
-                        if a.is_ok() {
-                            live.push(token);
-                        }
-                    }
-                }
-                let a = svc.tick();
-                let b = cluster.tick();
-                assert_eq!(
-                    a, b,
-                    "streams diverged over uds: {shards} shards, seed {seed}, round {round}"
-                );
-            }
-            for &t in &live {
-                assert_eq!(
-                    svc.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
-                    cluster.flow_rate_gbps(Token::new(t)).map(f64::to_bits),
-                    "rate of token {t} diverged over uds ({shards} shards, seed {seed})"
-                );
-            }
-            assert_eq!(svc.stats(), cluster.stats());
+            assert_bit_for_bit(
+                &format!("uds cluster vs in-process, {shards} shards, seed {seed}"),
+                &Replay::churn(&fabric, seed, 60),
+                &mut svc,
+                &mut cluster,
+                StatsCheck::Exact,
+            );
             let wire = cluster.wire_stats();
             assert!(wire.tx_bytes > 0, "no bytes on the uds wire");
             assert_eq!(wire.late_rounds, 0, "on-time frames must never be late");
